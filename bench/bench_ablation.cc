@@ -1,0 +1,121 @@
+// Ablation studies beyond the paper's figures, probing the design
+// choices DESIGN.md calls out:
+//   1. predictSplit hit-rate (the paper reports ~80% correct predictions
+//      on Function 2) and its effect on scan counts;
+//   2. interval-count sensitivity (Table 1's 10 vs 15 vs 100 intervals);
+//   3. max_alive sensitivity (1 vs 2 vs 4 alive intervals);
+//   4. linear-split grid coarsening (detection grid vs tree size).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "tree/evaluate.h"
+
+namespace {
+
+using namespace cmp;
+
+Dataset MakeTrain(AgrawalFunction fn, int64_t n, uint64_t seed) {
+  AgrawalOptions gen;
+  gen.function = fn;
+  gen.num_records = n;
+  gen.seed = seed;
+  return GenerateAgrawal(gen);
+}
+
+void PredictionAblation(int64_t n) {
+  std::printf("1) predictSplit accuracy and scan savings (Function 2, %lld"
+              " records)\n",
+              static_cast<long long>(n));
+  const Dataset train = MakeTrain(AgrawalFunction::kF2, n, 201);
+  CmpBuilder s_builder(CmpSOptions());
+  CmpBuilder b_builder(CmpBOptions());
+  const BuildResult s = s_builder.Build(train);
+  const BuildResult b = b_builder.Build(train);
+  const double hit_rate =
+      b.stats.predictions_total == 0
+          ? 0.0
+          : 100.0 * b.stats.predictions_correct / b.stats.predictions_total;
+  std::printf("   CMP-B prediction hit-rate: %.1f%% (%lld/%lld)\n", hit_rate,
+              static_cast<long long>(b.stats.predictions_correct),
+              static_cast<long long>(b.stats.predictions_total));
+  std::printf("   scans: CMP-S=%lld CMP-B=%lld\n\n",
+              static_cast<long long>(s.stats.dataset_scans),
+              static_cast<long long>(b.stats.dataset_scans));
+}
+
+void IntervalAblation(int64_t n) {
+  std::printf("2) interval-count sensitivity (Function 2, %lld records)\n",
+              static_cast<long long>(n));
+  std::printf("   %9s %10s %8s %8s %8s\n", "intervals", "accuracy", "scans",
+              "nodes", "alive@root");
+  const Dataset train = MakeTrain(AgrawalFunction::kF2, n, 203);
+  for (const int q : {10, 15, 25, 50, 100, 200}) {
+    CmpOptions o = CmpSOptions();
+    o.intervals = q;
+    CmpBuilder builder(o);
+    const BuildResult result = builder.Build(train);
+    std::printf("   %9d %10.4f %8lld %8lld %8lld\n", q,
+                Evaluate(result.tree, train).Accuracy(),
+                static_cast<long long>(result.stats.dataset_scans),
+                static_cast<long long>(result.stats.tree_nodes),
+                static_cast<long long>(result.stats.root_alive_intervals));
+  }
+  std::printf("\n");
+}
+
+void MaxAliveAblation(int64_t n) {
+  std::printf("3) max_alive sensitivity (Function 7, %lld records)\n",
+              static_cast<long long>(n));
+  std::printf("   %9s %10s %10s %8s\n", "max_alive", "accuracy",
+              "buffered", "scans");
+  const Dataset train = MakeTrain(AgrawalFunction::kF7, n, 205);
+  for (const int alive : {1, 2, 4}) {
+    CmpOptions o = CmpSOptions();
+    o.max_alive = alive;
+    CmpBuilder builder(o);
+    const BuildResult result = builder.Build(train);
+    std::printf("   %9d %10.4f %10lld %8lld\n", alive,
+                Evaluate(result.tree, train).Accuracy(),
+                static_cast<long long>(result.stats.buffered_records),
+                static_cast<long long>(result.stats.dataset_scans));
+  }
+  std::printf("\n");
+}
+
+void LinearGridAblation(int64_t n) {
+  std::printf("4) linear-split detection grid (Function f, %lld records)\n",
+              static_cast<long long>(n));
+  std::printf("   %9s %10s %8s %8s\n", "grid", "accuracy", "nodes",
+              "root");
+  const Dataset train = MakeTrain(AgrawalFunction::kFunctionF, n, 207);
+  for (const int grid : {8, 16, 32, 64}) {
+    CmpOptions o = CmpFullOptions();
+    o.linear_grid = grid;
+    CmpBuilder builder(o);
+    const BuildResult result = builder.Build(train);
+    const bool linear_root =
+        !result.tree.node(0).is_leaf &&
+        result.tree.node(0).split.kind == Split::Kind::kLinear;
+    std::printf("   %9d %10.4f %8lld %8s\n", grid,
+                Evaluate(result.tree, train).Accuracy(),
+                static_cast<long long>(result.stats.tree_nodes),
+                linear_root ? "linear" : "axis");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto series = cmp::bench::RecordSeries();
+  const int64_t n = series[1];  // second point of the figure series
+  std::printf("Ablation studies (scale=%.2f)\n\n", cmp::bench::Scale());
+  PredictionAblation(n);
+  IntervalAblation(n);
+  MaxAliveAblation(n / 2);
+  LinearGridAblation(n / 2);
+  return 0;
+}

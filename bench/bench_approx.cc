@@ -1,0 +1,68 @@
+// The paper's premise (Section 1.1): approximate techniques — sampling
+// and windowing — cut learning time but "can carry a significant loss of
+// accuracy in comparison with trees built by an exact approach", while
+// CMP is "as accurate as SPRINT, but significantly faster". This harness
+// quantifies that trade-off: exact builders (SPRINT, SLIQ), CMP, and the
+// two approximate meta-strategies on the same held-out split.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "sampling/windowing.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+int main() {
+  using namespace cmp;
+  const auto series = bench::RecordSeries();
+  const int64_t n = series[2];  // middle of the figure series
+  std::printf(
+      "Exact vs approximate vs CMP (Function 2, %lld records, 25%% held "
+      "out)\n\n",
+      static_cast<long long>(n));
+
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = n;
+  gen.seed = 99;
+  const Dataset data = GenerateAgrawal(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 21, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  std::vector<std::unique_ptr<TreeBuilder>> builders;
+  builders.push_back(std::make_unique<SprintBuilder>());
+  builders.push_back(std::make_unique<SliqBuilder>());
+  builders.push_back(std::make_unique<CmpBuilder>(CmpFullOptions()));
+  builders.push_back(
+      std::make_unique<SampledBuilder>(std::make_unique<SprintBuilder>(),
+                                       /*fraction=*/0.05));
+  {
+    WindowingOptions wo;
+    wo.initial_fraction = 0.05;
+    builders.push_back(std::make_unique<WindowingBuilder>(
+        std::make_unique<SprintBuilder>(), wo));
+  }
+
+  const DiskModel disk = bench::Disk();
+  std::printf("%-20s %10s %10s %8s %10s\n", "builder", "sim(s)", "wall(s)",
+              "nodes", "accuracy");
+  for (auto& builder : builders) {
+    const BuildResult result = builder->Build(train);
+    const Evaluation eval = Evaluate(result.tree, test);
+    std::printf("%-20s %10.2f %10.3f %8lld %10.4f\n",
+                builder->name().c_str(),
+                result.stats.SimulatedSeconds(disk),
+                result.stats.wall_seconds,
+                static_cast<long long>(result.stats.tree_nodes),
+                eval.Accuracy());
+  }
+  return 0;
+}

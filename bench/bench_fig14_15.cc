@@ -1,0 +1,60 @@
+// Reproduces Figures 14 and 15: scalability of the CMP family.
+//
+// Figure 14 plots total construction time against training-set size
+// (200,000 .. 2,500,000 records) for CMP-S, CMP-B and CMP on Function 2;
+// Figure 15 repeats the experiment on Function 7 (which grows a much
+// larger tree). The paper's findings to reproduce:
+//   * runtime grows nearly linearly with the number of records;
+//   * CMP-B is ~40% faster than CMP-S thanks to split prediction;
+//   * full CMP is only slightly slower than CMP-B.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+
+namespace {
+
+using namespace cmp;
+
+void RunFigure(const char* title, AgrawalFunction fn) {
+  std::printf("%s\n", title);
+  std::printf("%10s %12s %12s %12s   %s\n", "records", "CMP-S", "CMP-B",
+              "CMP", "(simulated seconds; scans in parens)");
+  const DiskModel disk = bench::Disk();
+  for (const int64_t n : bench::RecordSeries()) {
+    AgrawalOptions gen;
+    gen.function = fn;
+    gen.num_records = n;
+    gen.seed = 91;
+    const Dataset train = GenerateAgrawal(gen);
+
+    double sim[3];
+    int64_t scans[3];
+    const CmpOptions variants[3] = {CmpSOptions(), CmpBOptions(),
+                                    CmpFullOptions()};
+    for (int i = 0; i < 3; ++i) {
+      CmpBuilder builder(variants[i]);
+      const BuildResult result = builder.Build(train);
+      sim[i] = result.stats.SimulatedSeconds(disk);
+      scans[i] = result.stats.dataset_scans;
+    }
+    std::printf("%10lld %7.2f (%2lld) %7.2f (%2lld) %7.2f (%2lld)\n",
+                static_cast<long long>(n), sim[0],
+                static_cast<long long>(scans[0]), sim[1],
+                static_cast<long long>(scans[1]), sim[2],
+                static_cast<long long>(scans[2]));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figures 14-15: CMP family scalability (scale=%.2f)\n\n",
+              cmp::bench::Scale());
+  RunFigure("Figure 14: Function 2", AgrawalFunction::kF2);
+  RunFigure("Figure 15: Function 7", AgrawalFunction::kF7);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figures 16 and 17: CMP vs SPRINT, RainForest and CLOUDS on
+// Function 2 (Fig. 16) and Function 7 (Fig. 17) as the training set
+// grows. The paper's findings to reproduce:
+//   * CMP is ~5x faster than SPRINT;
+//   * CLOUDS sits between CMP and SPRINT;
+//   * RainForest (RF-Hybrid, 2.5M-entry AVC buffer) slightly outperforms
+//     CMP — but only by spending ~20 MB of memory (see Figure 19).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "sprint/sprint.h"
+
+namespace {
+
+using namespace cmp;
+
+void RunFigure(const char* title, AgrawalFunction fn) {
+  std::printf("%s\n", title);
+  std::printf("%10s %10s %10s %10s %10s   (simulated seconds)\n", "records",
+              "CMP", "SPRINT", "RainForest", "CLOUDS");
+  const DiskModel disk = bench::Disk();
+  for (const int64_t n : bench::RecordSeries()) {
+    AgrawalOptions gen;
+    gen.function = fn;
+    gen.num_records = n;
+    gen.seed = 93;
+    const Dataset train = GenerateAgrawal(gen);
+
+    std::vector<std::unique_ptr<TreeBuilder>> builders;
+    builders.push_back(std::make_unique<CmpBuilder>(CmpFullOptions()));
+    builders.push_back(std::make_unique<SprintBuilder>());
+    builders.push_back(std::make_unique<RainForestBuilder>());
+    builders.push_back(std::make_unique<CloudsBuilder>());
+
+    std::printf("%10lld", static_cast<long long>(n));
+    for (auto& builder : builders) {
+      const BuildResult result = builder->Build(train);
+      std::printf(" %10.2f", result.stats.SimulatedSeconds(disk));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figures 16-17: comparison with SPRINT / RainForest / CLOUDS "
+      "(scale=%.2f)\n\n",
+      cmp::bench::Scale());
+  RunFigure("Figure 16: Function 2", AgrawalFunction::kF2);
+  RunFigure("Figure 17: Function 7", AgrawalFunction::kF7);
+  return 0;
+}

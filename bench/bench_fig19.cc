@@ -1,0 +1,50 @@
+// Reproduces Figure 19: memory space usage as the training set grows.
+//
+// The paper's findings to reproduce:
+//   * RainForest's RF-Hybrid holds a fixed 2.5M-entry AVC buffer:
+//     2.5M * 4 bytes * 2 classes = 20 MB regardless of dataset size;
+//   * CMP's working set (interval histograms / matrices + alive-interval
+//     buffers + rid buffer) is considerably smaller;
+//   * SPRINT's attribute lists grow with the data until disk swap caps
+//     the resident set.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "sprint/sprint.h"
+
+int main() {
+  using namespace cmp;
+  std::printf("Figure 19: peak memory usage, Function 2 (scale=%.2f)\n\n",
+              bench::Scale());
+  std::printf("%10s %10s %10s %10s %10s   (MB)\n", "records", "CMP",
+              "CMP-S", "RainForest", "SPRINT");
+  for (const int64_t n : bench::RecordSeries()) {
+    AgrawalOptions gen;
+    gen.function = AgrawalFunction::kF2;
+    gen.num_records = n;
+    gen.seed = 97;
+    const Dataset train = GenerateAgrawal(gen);
+
+    std::vector<std::unique_ptr<TreeBuilder>> builders;
+    builders.push_back(std::make_unique<CmpBuilder>(CmpFullOptions()));
+    builders.push_back(std::make_unique<CmpBuilder>(CmpSOptions()));
+    builders.push_back(std::make_unique<RainForestBuilder>());
+    builders.push_back(std::make_unique<SprintBuilder>());
+
+    std::printf("%10lld", static_cast<long long>(n));
+    for (auto& builder : builders) {
+      const BuildResult result = builder->Build(train);
+      std::printf(" %10.2f",
+                  result.stats.peak_memory_bytes / (1024.0 * 1024.0));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Runs all five builders (CMP-S, CMP-B, CMP, SPRINT, CLOUDS, RainForest)
+// on the same workload and prints a comparison table: wall time,
+// simulated disk time, dataset scans, memory, tree size, test accuracy.
+//
+// Usage: compare_classifiers [records] [function]
+//   records: training records (default 100000)
+//   function: 1..10 or 0 for the paper's Function f (default 2)
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+int main(int argc, char** argv) {
+  const int64_t records = argc > 1 ? std::atoll(argv[1]) : 100000;
+  const int fn = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  cmp::AgrawalOptions gen;
+  gen.function = fn == 0 ? cmp::AgrawalFunction::kFunctionF
+                         : static_cast<cmp::AgrawalFunction>(fn);
+  gen.num_records = records;
+  gen.seed = 19;
+  const cmp::Dataset data = cmp::GenerateAgrawal(gen);
+
+  std::vector<cmp::RecordId> train_ids;
+  std::vector<cmp::RecordId> test_ids;
+  cmp::TrainTestSplit(data.num_records(), 0.2, /*seed=*/5, &train_ids,
+                      &test_ids);
+  const cmp::Dataset train = data.Subset(train_ids);
+  const cmp::Dataset test = data.Subset(test_ids);
+
+  std::vector<std::unique_ptr<cmp::TreeBuilder>> builders;
+  builders.push_back(
+      std::make_unique<cmp::CmpBuilder>(cmp::CmpSOptions()));
+  builders.push_back(
+      std::make_unique<cmp::CmpBuilder>(cmp::CmpBOptions()));
+  builders.push_back(
+      std::make_unique<cmp::CmpBuilder>(cmp::CmpFullOptions()));
+  builders.push_back(std::make_unique<cmp::SprintBuilder>());
+  builders.push_back(std::make_unique<cmp::SliqBuilder>());
+  builders.push_back(std::make_unique<cmp::CloudsBuilder>());
+  builders.push_back(std::make_unique<cmp::RainForestBuilder>());
+
+  const cmp::DiskModel disk;
+  std::cout << "training on " << train.num_records()
+            << " records, testing on " << test.num_records() << "\n\n";
+  std::cout << std::left << std::setw(12) << "algorithm" << std::right
+            << std::setw(10) << "wall(s)" << std::setw(10) << "sim(s)"
+            << std::setw(8) << "scans" << std::setw(10) << "mem(MB)"
+            << std::setw(8) << "nodes" << std::setw(8) << "depth"
+            << std::setw(10) << "accuracy" << "\n";
+  for (auto& builder : builders) {
+    const cmp::BuildResult result = builder->Build(train);
+    const cmp::Evaluation eval = cmp::Evaluate(result.tree, test);
+    std::cout << std::left << std::setw(12) << builder->name() << std::right
+              << std::fixed << std::setprecision(3) << std::setw(10)
+              << result.stats.wall_seconds << std::setw(10)
+              << result.stats.SimulatedSeconds(disk) << std::setw(8)
+              << result.stats.dataset_scans << std::setprecision(2)
+              << std::setw(10)
+              << result.stats.peak_memory_bytes / (1024.0 * 1024.0)
+              << std::setw(8) << result.tree.num_nodes() << std::setw(8)
+              << result.tree.Depth() << std::setprecision(4)
+              << std::setw(10) << eval.Accuracy() << "\n";
+  }
+  return 0;
+}

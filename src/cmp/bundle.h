@@ -1,0 +1,91 @@
+#ifndef CMP_CMP_BUNDLE_H_
+#define CMP_CMP_BUNDLE_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "hist/grids.h"
+#include "hist/histogram1d.h"
+#include "hist/histogram2d.h"
+
+namespace cmp {
+
+/// The class-histogram state one CMP node accumulates during a scan.
+///
+/// CMP-S keeps one 1-D histogram per attribute (interval rows for numeric
+/// attributes, value rows for categorical ones).
+///
+/// CMP-B/CMP keep one bivariate HistogramMatrix per attribute other than
+/// the designated X-axis attribute `x_attr` (all matrices of a node share
+/// the same X axis, chosen by predictSplit). The X rows of a bundle may
+/// cover only a sub-range [x_lo, x_hi) of the global grid: bundles of
+/// children created by an X split are sub-matrices of the parent's
+/// matrices, which is what lets CMP-B grow several levels per scan.
+class HistBundle {
+ public:
+  HistBundle() = default;
+
+  /// Creates an empty univariate (CMP-S) bundle over the global grids.
+  static HistBundle MakeUnivariate(const Schema& schema,
+                                   const std::vector<IntervalGrid>& grids);
+
+  /// Creates an empty bivariate bundle with the given X-axis attribute
+  /// (must be numeric) covering X-intervals [x_lo, x_hi) of the global
+  /// grid.
+  static HistBundle MakeBivariate(const Schema& schema,
+                                  const std::vector<IntervalGrid>& grids,
+                                  AttrId x_attr, int x_lo, int x_hi);
+
+  /// Derives a child bundle after a split on the X axis: the child covers
+  /// global X-intervals [x_lo, x_hi); columns in [full_lo, full_hi) are
+  /// copied from this bundle, the rest start at zero (partial alive
+  /// columns are filled later by buffer flushes). Only valid for
+  /// bivariate bundles.
+  HistBundle DeriveXRange(int x_lo, int x_hi, int full_lo, int full_hi) const;
+
+  bool bivariate() const { return bivariate_; }
+  AttrId x_attr() const { return x_attr_; }
+  int x_lo() const { return x_lo_; }
+  int x_hi() const { return x_hi_; }
+
+  /// Adds record `r` of `ds` to every histogram of the bundle. The
+  /// record's X interval must lie inside [x_lo, x_hi) for bivariate
+  /// bundles.
+  void Add(const Dataset& ds, const std::vector<IntervalGrid>& grids,
+           RecordId r);
+
+  /// The 1-D class histogram of attribute `a`:
+  ///  - univariate: the stored histogram (numeric rows are global
+  ///    intervals);
+  ///  - bivariate, a == x_attr: the X marginal (rows are the LOCAL
+  ///    intervals x_lo..x_hi-1);
+  ///  - bivariate, a != x_attr: the Y marginal of matrix `a` (rows are
+  ///    global intervals / categorical values).
+  Histogram1D HistFor(AttrId a) const;
+
+  /// Bivariate only: the matrix pairing X with attribute `a` (a !=
+  /// x_attr).
+  const HistogramMatrix& matrix(AttrId a) const { return matrices_[a]; }
+
+  /// Adds every histogram of `other` into this bundle. Both bundles must
+  /// have identical shape (same variant, X attribute and X range).
+  void MergeSameShape(const HistBundle& other);
+
+  /// Per-class record counts of the whole bundle.
+  std::vector<int64_t> ClassTotals() const;
+
+  int64_t MemoryBytes() const;
+
+ private:
+  bool bivariate_ = false;
+  AttrId x_attr_ = kInvalidAttr;
+  int x_lo_ = 0;
+  int x_hi_ = 0;
+  const Schema* schema_ = nullptr;
+  std::vector<Histogram1D> hists_;         // univariate
+  std::vector<HistogramMatrix> matrices_;  // bivariate, indexed by attr
+};
+
+}  // namespace cmp
+
+#endif  // CMP_CMP_BUNDLE_H_

@@ -1,0 +1,50 @@
+#ifndef CMP_CMP_CMP_H_
+#define CMP_CMP_CMP_H_
+
+#include <string>
+
+#include "cmp/options.h"
+#include "tree/builder.h"
+
+namespace cmp {
+
+/// The CMP family of decision-tree builders (Wang & Zaniolo, ICDE 2000).
+///
+/// All three variants share the same skeleton: numeric attributes are
+/// discretized once into equal-depth intervals; per node, class
+/// histograms over those intervals yield the exact gini at every interval
+/// boundary plus a gradient-based lower bound per interval; the few
+/// intervals that could beat the boundary minimum stay "alive". Unlike
+/// CLOUDS, the exact split point inside the alive intervals is NOT found
+/// with an extra pass: the node is preliminarily split around the alive
+/// intervals, and during the NEXT scan (which builds the children's
+/// histograms anyway) the records falling into alive intervals are set
+/// aside in a buffer, sorted, and used to fix the exact split point —
+/// after which the preliminary subnodes are merged into the final
+/// children and the buffered records flushed into their histograms.
+///
+/// CMP-B replaces the per-attribute histograms with bivariate matrices
+/// sharing a predicted X axis; when a split lands on the X axis the
+/// children's matrices are sub-matrices of the parent's, so the children
+/// can be split in the same round (two or more tree levels per scan).
+/// CMP (full) additionally searches the matrices for linear-combination
+/// splits a*x + b*y <= c.
+class CmpBuilder : public TreeBuilder {
+ public:
+  explicit CmpBuilder(CmpOptions options = {}) : options_(options) {}
+
+  BuildResult Build(const Dataset& train) override;
+  std::string name() const override;
+
+ private:
+  CmpOptions options_;
+};
+
+/// Convenience factories for the three paper variants.
+CmpOptions CmpSOptions();
+CmpOptions CmpBOptions();
+CmpOptions CmpFullOptions();
+
+}  // namespace cmp
+
+#endif  // CMP_CMP_CMP_H_

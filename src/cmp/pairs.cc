@@ -1,0 +1,91 @@
+#include "cmp/pairs.h"
+
+#include <algorithm>
+
+#include "cmp/linear.h"
+#include "gini/gini.h"
+#include "hist/grids.h"
+#include "hist/histogram2d.h"
+
+namespace cmp {
+
+std::vector<PairRelation> DiscoverLinearRelations(
+    const Dataset& ds, const PairDiscoveryOptions& options,
+    ScanTracker* tracker) {
+  std::vector<PairRelation> out;
+  const Schema& schema = ds.schema();
+  const std::vector<AttrId> numeric = schema.NumericAttrs();
+  if (numeric.size() < 2 || ds.num_records() == 0) return out;
+
+  // Coarse equal-depth grids (one quantiling pass, charged by the
+  // helper).
+  const std::vector<IntervalGrid> grids =
+      ComputeGrids(ds, options.grid, Discretization::kEqualDepth, tracker);
+
+  // One matrix per unordered pair of numeric attributes with a usable
+  // grid.
+  std::vector<AttrId> axes;
+  for (AttrId a : numeric) {
+    if (grids[a].num_intervals() >= 2) axes.push_back(a);
+  }
+  const int k = static_cast<int>(axes.size());
+  if (k < 2) return out;
+
+  std::vector<HistogramMatrix> matrices;
+  matrices.reserve(static_cast<size_t>(k) * (k - 1) / 2);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      matrices.emplace_back(grids[axes[i]].num_intervals(),
+                            grids[axes[j]].num_intervals(),
+                            schema.num_classes());
+    }
+  }
+
+  // Single pass fills every pairwise matrix.
+  if (tracker != nullptr) tracker->ChargeScan(ds);
+  {
+    std::vector<int> iv(k);
+    for (RecordId r = 0; r < ds.num_records(); ++r) {
+      for (int i = 0; i < k; ++i) {
+        iv[i] = grids[axes[i]].IntervalOf(ds.numeric(axes[i], r));
+      }
+      const ClassId label = ds.label(r);
+      size_t m = 0;
+      for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+          matrices[m++].Add(iv[i], iv[j], label);
+        }
+      }
+    }
+  }
+  if (tracker != nullptr) {
+    int64_t bytes = 0;
+    for (const HistogramMatrix& m : matrices) bytes += m.MemoryBytes();
+    tracker->NotePeakMemory(bytes);
+  }
+
+  const double base = Gini(ds.ClassCounts());
+  size_t m = 0;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j, ++m) {
+      const LinearSplitResult line = FindBestLine(
+          matrices[m], grids[axes[i]], 0, grids[axes[j]], options.grid);
+      if (!line.valid) continue;
+      if (line.gini >= (1.0 - options.min_gain) * base) continue;
+      PairRelation rel;
+      rel.x = axes[i];
+      rel.y = axes[j];
+      rel.split = Split::Linear(axes[i], axes[j], line.a, line.b, line.c);
+      rel.gini = line.gini;
+      rel.base_gini = base;
+      out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PairRelation& a, const PairRelation& b) {
+              return a.gini < b.gini;
+            });
+  return out;
+}
+
+}  // namespace cmp

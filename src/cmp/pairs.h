@@ -1,0 +1,50 @@
+#ifndef CMP_CMP_PAIRS_H_
+#define CMP_CMP_PAIRS_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "io/scan.h"
+#include "tree/split.h"
+
+namespace cmp {
+
+/// A linear relationship a*x + b*y <= c discovered between two numeric
+/// attributes, with the gini of the induced binary partition and the
+/// node's gini without any split for comparison.
+struct PairRelation {
+  AttrId x = kInvalidAttr;
+  AttrId y = kInvalidAttr;
+  Split split;
+  /// Three-way matrix gini of the line (under / above / crossed cells).
+  double gini = 1.0;
+  /// gini(S) of the whole dataset (no split), for judging the gain.
+  double base_gini = 1.0;
+};
+
+/// Options for all-pairs linear-relationship discovery.
+struct PairDiscoveryOptions {
+  /// Coarse intervals per axis for the pairwise matrices. N numeric
+  /// attributes need N(N-1)/2 matrices of grid^2 cells each, so this is
+  /// deliberately small.
+  int grid = 40;
+  /// Keep only relations whose line gini is at least this fraction below
+  /// the dataset's own gini.
+  double min_gain = 0.1;
+};
+
+/// Addresses the limitation the paper states in Section 2.3: CMP's
+/// per-node matrices all share one X axis, so only N-1 of the N(N-1)/2
+/// attribute pairs are visible to the linear-split search. This routine
+/// builds ALL pairwise matrices (at coarse resolution) in a single scan
+/// of the dataset and runs the intercept-walking line search on each,
+/// returning the detected relations ranked by gini (best first). Usable
+/// standalone as a relationship-mining API, and by CmpBuilder at the
+/// root when CmpOptions::all_pairs_root is set.
+std::vector<PairRelation> DiscoverLinearRelations(
+    const Dataset& ds, const PairDiscoveryOptions& options = {},
+    ScanTracker* tracker = nullptr);
+
+}  // namespace cmp
+
+#endif  // CMP_CMP_PAIRS_H_

@@ -1,0 +1,69 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace cmp {
+
+namespace {
+
+// splitmix64: used only to expand the user seed into generator state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+  has_spare_gaussian_ = false;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * mul;
+  has_spare_gaussian_ = true;
+  return u * mul;
+}
+
+}  // namespace cmp

@@ -1,0 +1,51 @@
+#ifndef CMP_COMMON_RANDOM_H_
+#define CMP_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace cmp {
+
+/// Small, fast, reproducible PRNG (xoshiro256**). All data generators in
+/// this library draw from Rng so experiments are bit-reproducible across
+/// platforms, which std::mt19937's distribution wrappers do not guarantee.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_COMMON_RANDOM_H_

@@ -1,0 +1,41 @@
+#ifndef CMP_COMMON_SUMMARY_H_
+#define CMP_COMMON_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace cmp {
+
+/// Per-attribute descriptive statistics of a dataset.
+struct AttrSummary {
+  std::string name;
+  AttrKind kind = AttrKind::kNumeric;
+  // Numeric attributes.
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  int64_t distinct = 0;  // exact for categorical, capped estimate for numeric
+  // Categorical attributes.
+  int32_t cardinality = 0;
+};
+
+/// Whole-dataset summary: record/class counts plus per-attribute stats.
+struct DatasetSummary {
+  int64_t records = 0;
+  std::vector<int64_t> class_counts;
+  std::vector<AttrSummary> attrs;
+
+  /// Tabular rendering.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Computes the summary in one pass per column. `distinct_cap` bounds the
+/// distinct-value count for numeric attributes (counting stops there).
+DatasetSummary Summarize(const Dataset& ds, int64_t distinct_cap = 1000000);
+
+}  // namespace cmp
+
+#endif  // CMP_COMMON_SUMMARY_H_

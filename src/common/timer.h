@@ -1,0 +1,27 @@
+#ifndef CMP_COMMON_TIMER_H_
+#define CMP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cmp {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_COMMON_TIMER_H_

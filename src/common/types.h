@@ -1,0 +1,27 @@
+#ifndef CMP_COMMON_TYPES_H_
+#define CMP_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace cmp {
+
+/// Index of a record within a dataset.
+using RecordId = int64_t;
+
+/// Index of an attribute within a schema (excludes the class label).
+using AttrId = int32_t;
+
+/// Zero-based class label identifier.
+using ClassId = int32_t;
+
+/// Index of a node within a decision tree's node array.
+using NodeId = int32_t;
+
+/// Sentinel for "no node" / "no attribute".
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr AttrId kInvalidAttr = -1;
+inline constexpr ClassId kInvalidClass = -1;
+
+}  // namespace cmp
+
+#endif  // CMP_COMMON_TYPES_H_

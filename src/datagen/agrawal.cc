@@ -1,0 +1,163 @@
+#include "datagen/agrawal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmp {
+
+namespace {
+
+// Group A is class 0, group B is class 1.
+constexpr ClassId kGroupA = 0;
+constexpr ClassId kGroupB = 1;
+
+bool Between(double v, double lo, double hi) { return v >= lo && v <= hi; }
+
+// Disposable-income style helpers used by F7..F10.
+double Equity(double hvalue, double hyears) {
+  return hyears >= 20.0 ? hvalue * (hyears - 20.0) / 10.0 : 0.0;
+}
+
+}  // namespace
+
+Schema AgrawalSchema() {
+  std::vector<AttrInfo> attrs = {
+      {"salary", AttrKind::kNumeric, 0},
+      {"commission", AttrKind::kNumeric, 0},
+      {"age", AttrKind::kNumeric, 0},
+      {"elevel", AttrKind::kCategorical, 5},
+      {"car", AttrKind::kCategorical, 20},
+      {"zipcode", AttrKind::kCategorical, 9},
+      {"hvalue", AttrKind::kNumeric, 0},
+      {"hyears", AttrKind::kNumeric, 0},
+      {"loan", AttrKind::kNumeric, 0},
+  };
+  return Schema(std::move(attrs), {"A", "B"});
+}
+
+ClassId AgrawalGroundTruth(AgrawalFunction function, double salary,
+                           double commission, double age, int32_t elevel,
+                           int32_t /*car*/, int32_t /*zipcode*/,
+                           double hvalue, double hyears, double loan) {
+  const double total = salary + commission;
+  switch (function) {
+    case AgrawalFunction::kF1:
+      return (age < 40.0 || age >= 60.0) ? kGroupA : kGroupB;
+    case AgrawalFunction::kF2: {
+      const bool a = (age < 40.0 && Between(salary, 50000, 100000)) ||
+                     (age >= 40.0 && age < 60.0 &&
+                      Between(salary, 75000, 125000)) ||
+                     (age >= 60.0 && Between(salary, 25000, 75000));
+      return a ? kGroupA : kGroupB;
+    }
+    case AgrawalFunction::kF3: {
+      const bool a = (age < 40.0 && (elevel == 0 || elevel == 1)) ||
+                     (age >= 40.0 && age < 60.0 && elevel >= 1 &&
+                      elevel <= 3) ||
+                     (age >= 60.0 && elevel >= 2 && elevel <= 4);
+      return a ? kGroupA : kGroupB;
+    }
+    case AgrawalFunction::kF4: {
+      bool a;
+      if (age < 40.0) {
+        a = (elevel == 0 || elevel == 1) ? Between(salary, 25000, 75000)
+                                         : Between(salary, 50000, 100000);
+      } else if (age < 60.0) {
+        a = (elevel >= 1 && elevel <= 3) ? Between(salary, 50000, 100000)
+                                         : Between(salary, 75000, 125000);
+      } else {
+        a = (elevel >= 2 && elevel <= 4) ? Between(salary, 50000, 100000)
+                                         : Between(salary, 25000, 75000);
+      }
+      return a ? kGroupA : kGroupB;
+    }
+    case AgrawalFunction::kF5: {
+      bool a;
+      if (age < 40.0) {
+        a = Between(salary, 50000, 100000) ? Between(loan, 100000, 300000)
+                                           : Between(loan, 200000, 400000);
+      } else if (age < 60.0) {
+        a = Between(salary, 75000, 125000) ? Between(loan, 200000, 400000)
+                                           : Between(loan, 300000, 500000);
+      } else {
+        a = Between(salary, 25000, 75000) ? Between(loan, 300000, 500000)
+                                          : Between(loan, 100000, 300000);
+      }
+      return a ? kGroupA : kGroupB;
+    }
+    case AgrawalFunction::kF6: {
+      const bool a = (age < 40.0 && Between(total, 50000, 100000)) ||
+                     (age >= 40.0 && age < 60.0 &&
+                      Between(total, 75000, 125000)) ||
+                     (age >= 60.0 && Between(total, 25000, 75000));
+      return a ? kGroupA : kGroupB;
+    }
+    case AgrawalFunction::kF7:
+      return (2.0 * total / 3.0 - loan / 5.0 - 20000.0) > 0.0 ? kGroupA
+                                                              : kGroupB;
+    case AgrawalFunction::kF8:
+      return (2.0 * total / 3.0 - 5000.0 * elevel - 20000.0) > 0.0 ? kGroupA
+                                                                   : kGroupB;
+    case AgrawalFunction::kF9:
+      return (2.0 * total / 3.0 - 5000.0 * elevel - loan / 5.0 - 10000.0) >
+                     0.0
+                 ? kGroupA
+                 : kGroupB;
+    case AgrawalFunction::kF10: {
+      const double equity = Equity(hvalue, hyears);
+      return (2.0 * total / 3.0 - 5000.0 * elevel + equity / 5.0 -
+              10000.0) > 0.0
+                 ? kGroupA
+                 : kGroupB;
+    }
+    case AgrawalFunction::kFunctionF:
+      return (age >= 40.0 && total >= 100000.0) ? kGroupA : kGroupB;
+  }
+  return kGroupB;
+}
+
+Dataset GenerateAgrawal(const AgrawalOptions& options) {
+  Dataset ds(AgrawalSchema());
+  ds.Reserve(options.num_records);
+  Rng rng(options.seed);
+
+  std::vector<double> nvals(6);
+  std::vector<int32_t> cvals(3);
+  for (int64_t i = 0; i < options.num_records; ++i) {
+    const double salary = rng.Uniform(20000.0, 150000.0);
+    const double commission =
+        salary >= 75000.0 ? 0.0 : rng.Uniform(10000.0, 75000.0);
+    const double age = rng.Uniform(20.0, 80.0);
+    const int32_t elevel = static_cast<int32_t>(rng.UniformInt(0, 4));
+    const int32_t car = static_cast<int32_t>(rng.UniformInt(0, 19));
+    const int32_t zipcode = static_cast<int32_t>(rng.UniformInt(0, 8));
+    const double k = static_cast<double>(9 - zipcode);
+    const double hvalue = rng.Uniform(0.5 * k, 1.5 * k) * 100000.0;
+    const double hyears = rng.Uniform(1.0, 30.0);
+    const double loan = rng.Uniform(0.0, 500000.0);
+
+    const ClassId label =
+        AgrawalGroundTruth(options.function, salary, commission, age, elevel,
+                           car, zipcode, hvalue, hyears, loan);
+
+    auto perturb = [&](double v, double lo, double hi) {
+      if (options.perturbation <= 0.0) return v;
+      const double range = hi - lo;
+      const double p = options.perturbation;
+      return std::clamp(v + rng.Uniform(-p, p) * range, lo, hi);
+    };
+    nvals[0] = perturb(salary, 20000.0, 150000.0);
+    nvals[1] = commission == 0.0 ? 0.0 : perturb(commission, 10000.0, 75000.0);
+    nvals[2] = perturb(age, 20.0, 80.0);
+    nvals[3] = perturb(hvalue, 0.0, 1350000.0);
+    nvals[4] = perturb(hyears, 1.0, 30.0);
+    nvals[5] = perturb(loan, 0.0, 500000.0);
+    cvals[0] = elevel;
+    cvals[1] = car;
+    cvals[2] = zipcode;
+    ds.Append(nvals, cvals, label);
+  }
+  return ds;
+}
+
+}  // namespace cmp

@@ -1,0 +1,76 @@
+#ifndef CMP_DATAGEN_AGRAWAL_H_
+#define CMP_DATAGEN_AGRAWAL_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/random.h"
+
+namespace cmp {
+
+/// Reimplementation of the synthetic classification benchmark of
+/// Agrawal, Imielinski & Swami (TKDE 1993), the workload used by SLIQ,
+/// SPRINT, CLOUDS, RainForest and the CMP paper ("Function 2",
+/// "Function 7", ...). Each record describes a loan applicant with nine
+/// attributes; ten predicate functions assign one of two groups (A / B).
+///
+/// Attribute distributions (as in the original paper and its common open
+/// reimplementations):
+///   salary      numeric      uniform [20,000 .. 150,000]
+///   commission  numeric      0 if salary >= 75,000, else uniform
+///               [10,000 .. 75,000]
+///   age         numeric      uniform [20 .. 80]
+///   elevel      categorical  uniform {0..4}
+///   car         categorical  uniform {1..20} stored as {0..19}
+///   zipcode     categorical  uniform {0..8}
+///   hvalue      numeric      uniform [0.5*k .. 1.5*k] * 100,000 where
+///               k = 9 - zipcode (house values depend on the zipcode)
+///   hyears      numeric      uniform [1 .. 30]
+///   loan        numeric      uniform [0 .. 500,000]
+///
+/// Functions F1..F10 follow the original definitions; kFunctionF is the
+/// CMP paper's linearly-correlated example
+///   f: (age >= 40) && (salary + commission >= 100,000).
+enum class AgrawalFunction {
+  kF1 = 1,
+  kF2 = 2,
+  kF3 = 3,
+  kF4 = 4,
+  kF5 = 5,
+  kF6 = 6,
+  kF7 = 7,
+  kF8 = 8,
+  kF9 = 9,
+  kF10 = 10,
+  /// The CMP paper's "Function f" (Section 2.3).
+  kFunctionF = 11,
+};
+
+/// Options for the generator.
+struct AgrawalOptions {
+  AgrawalFunction function = AgrawalFunction::kF2;
+  int64_t num_records = 100000;
+  uint64_t seed = 42;
+  /// Fraction by which numeric attribute values are randomly perturbed
+  /// after the label is assigned (the original generator's noise knob).
+  /// 0 disables perturbation.
+  double perturbation = 0.0;
+};
+
+/// Schema shared by every Agrawal function (9 attributes, classes A/B).
+Schema AgrawalSchema();
+
+/// Generates a dataset according to `options`.
+Dataset GenerateAgrawal(const AgrawalOptions& options);
+
+/// The ground-truth group for one applicant; exposed so tests can verify
+/// both the generator and trained trees against the true concept.
+/// `elevel` in [0,4], `car` in [0,19], `zipcode` in [0,8].
+ClassId AgrawalGroundTruth(AgrawalFunction function, double salary,
+                           double commission, double age, int32_t elevel,
+                           int32_t car, int32_t zipcode, double hvalue,
+                           double hyears, double loan);
+
+}  // namespace cmp
+
+#endif  // CMP_DATAGEN_AGRAWAL_H_

@@ -1,0 +1,27 @@
+#include "datagen/loan_example.h"
+
+namespace cmp {
+
+Schema LoanExampleSchema() {
+  std::vector<AttrInfo> attrs = {
+      {"age", AttrKind::kNumeric, 0},
+      {"salary", AttrKind::kNumeric, 0},
+      {"commission", AttrKind::kNumeric, 0},
+  };
+  return Schema(std::move(attrs), {"No", "Yes"});
+}
+
+Dataset LoanExampleDataset() {
+  Dataset ds(LoanExampleSchema());
+  const std::vector<int32_t> no_cats;
+  // (age, salary, commission) -> approval, from Figure 1(a).
+  ds.Append({18, 20000, 0}, no_cats, 0);
+  ds.Append({60, 70000, 20000}, no_cats, 1);
+  ds.Append({43, 30000, 1000}, no_cats, 0);
+  ds.Append({68, 40000, 26000}, no_cats, 1);
+  ds.Append({32, 80000, 0}, no_cats, 1);
+  ds.Append({20, 50000, 20000}, no_cats, 0);
+  return ds;
+}
+
+}  // namespace cmp

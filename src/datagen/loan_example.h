@@ -1,0 +1,18 @@
+#ifndef CMP_DATAGEN_LOAN_EXAMPLE_H_
+#define CMP_DATAGEN_LOAN_EXAMPLE_H_
+
+#include "common/dataset.h"
+
+namespace cmp {
+
+/// The six-record loan-application example from Figure 1 of the paper
+/// (attributes age, salary, commission; classes Yes / No). Used by the
+/// quickstart example and by unit tests as a tiny, hand-checkable input.
+Dataset LoanExampleDataset();
+
+/// Schema of the loan example (3 numeric attributes, classes {No, Yes}).
+Schema LoanExampleSchema();
+
+}  // namespace cmp
+
+#endif  // CMP_DATAGEN_LOAN_EXAMPLE_H_

@@ -1,0 +1,130 @@
+#include "datagen/statlog.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cmp {
+
+namespace {
+
+struct Spec {
+  const char* name;
+  int64_t records;
+  int32_t attrs;
+  int32_t classes;
+};
+
+Spec GetSpec(StatlogDataset d) {
+  switch (d) {
+    case StatlogDataset::kLetter:
+      return {"Letter", 15000, 16, 26};
+    case StatlogDataset::kSatimage:
+      return {"Satimage", 4435, 36, 6};
+    case StatlogDataset::kSegment:
+      return {"Segment", 2310, 19, 7};
+    case StatlogDataset::kShuttle:
+      return {"Shuttle", 43500, 9, 7};
+  }
+  return {"Letter", 15000, 16, 26};
+}
+
+}  // namespace
+
+std::string StatlogName(StatlogDataset d) { return GetSpec(d).name; }
+int64_t StatlogRecords(StatlogDataset d) { return GetSpec(d).records; }
+int32_t StatlogAttrs(StatlogDataset d) { return GetSpec(d).attrs; }
+int32_t StatlogClasses(StatlogDataset d) { return GetSpec(d).classes; }
+
+Dataset GenerateStatlog(const StatlogOptions& options) {
+  const Spec spec = GetSpec(options.dataset);
+  std::vector<AttrInfo> attrs(spec.attrs);
+  for (int32_t a = 0; a < spec.attrs; ++a) {
+    std::string name = "a";
+    name += std::to_string(a);
+    attrs[a] = {std::move(name), AttrKind::kNumeric, 0};
+  }
+  std::vector<std::string> class_names(spec.classes);
+  for (int32_t c = 0; c < spec.classes; ++c) {
+    std::string name = "c";
+    name += std::to_string(c);
+    class_names[c] = std::move(name);
+  }
+  Dataset ds(Schema(std::move(attrs), std::move(class_names)));
+
+  const int64_t n =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               std::llround(spec.records * options.scale)));
+  ds.Reserve(n);
+  Rng rng(options.seed);
+
+  // Per (class, attribute): a mixture of 1-3 Gaussian clusters. Cluster
+  // means spread over [0, 100]; only a subset of attributes is
+  // discriminative per class so that attribute selection is non-trivial
+  // (mirrors real STATLOG data where a handful of bands/features carry
+  // most of the signal).
+  const int kMaxClusters = 3;
+  struct Component {
+    double mean[kMaxClusters];
+    double sd[kMaxClusters];
+    int k;
+    bool informative;
+  };
+  Rng layout_rng(options.seed ^ 0xC0FFEE);
+  std::vector<Component> comps(
+      static_cast<size_t>(spec.classes) * spec.attrs);
+  for (int32_t c = 0; c < spec.classes; ++c) {
+    for (int32_t a = 0; a < spec.attrs; ++a) {
+      Component& comp = comps[static_cast<size_t>(c) * spec.attrs + a];
+      comp.informative = layout_rng.UniformDouble() < 0.5;
+      comp.k = 1 + static_cast<int>(layout_rng.UniformInt(0, kMaxClusters - 1));
+      for (int j = 0; j < comp.k; ++j) {
+        if (comp.informative) {
+          comp.mean[j] = layout_rng.Uniform(0.0, 100.0);
+          comp.sd[j] = layout_rng.Uniform(2.0, 8.0);
+        } else {
+          // Uninformative attribute: same broad distribution regardless
+          // of class.
+          comp.mean[j] = 50.0;
+          comp.sd[j] = 25.0;
+        }
+      }
+    }
+  }
+
+  // Class priors: skewed like the real datasets (Shuttle in particular is
+  // dominated by one class).
+  std::vector<double> priors(spec.classes);
+  double total_prior = 0.0;
+  for (int32_t c = 0; c < spec.classes; ++c) {
+    priors[c] = options.dataset == StatlogDataset::kShuttle && c == 0
+                    ? 10.0 * spec.classes
+                    : layout_rng.Uniform(0.5, 1.5);
+    total_prior += priors[c];
+  }
+
+  std::vector<double> nvals(spec.attrs);
+  const std::vector<int32_t> no_cats;
+  for (int64_t i = 0; i < n; ++i) {
+    double pick = rng.Uniform(0.0, total_prior);
+    ClassId label = spec.classes - 1;
+    for (int32_t c = 0; c < spec.classes; ++c) {
+      pick -= priors[c];
+      if (pick <= 0.0) {
+        label = c;
+        break;
+      }
+    }
+    for (int32_t a = 0; a < spec.attrs; ++a) {
+      const Component& comp =
+          comps[static_cast<size_t>(label) * spec.attrs + a];
+      const int j = static_cast<int>(rng.UniformInt(0, comp.k - 1));
+      nvals[a] = rng.Gaussian(comp.mean[j], comp.sd[j]);
+    }
+    ds.Append(nvals, no_cats, label);
+  }
+  return ds;
+}
+
+}  // namespace cmp

@@ -1,0 +1,171 @@
+#include "exact/exact.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/timer.h"
+#include "gini/categorical.h"
+#include "gini/gini.h"
+#include "hist/histogram1d.h"
+#include "pruning/mdl.h"
+
+namespace cmp {
+
+ExactSplit FindBestSplitExact(const Dataset& ds,
+                              const std::vector<RecordId>& rids,
+                              ScanTracker* tracker) {
+  ExactSplit best;
+  best.gini = std::numeric_limits<double>::infinity();
+  const Schema& schema = ds.schema();
+  const int nc = schema.num_classes();
+
+  std::vector<int64_t> totals(nc, 0);
+  for (RecordId r : rids) totals[ds.label(r)]++;
+
+  std::vector<std::pair<double, ClassId>> column;
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.is_numeric(a)) {
+      column.clear();
+      column.reserve(rids.size());
+      for (RecordId r : rids) {
+        column.emplace_back(ds.numeric(a, r), ds.label(r));
+      }
+      std::sort(column.begin(), column.end());
+      if (tracker != nullptr) {
+        tracker->ChargeSort(static_cast<int64_t>(column.size()));
+      }
+      std::vector<int64_t> below(nc, 0);
+      for (size_t i = 0; i + 1 < column.size(); ++i) {
+        below[column[i].second]++;
+        if (column[i].first == column[i + 1].first) continue;
+        const double g = BoundaryGini(below, totals);
+        if (g < best.gini) {
+          best.gini = g;
+          best.split = Split::Numeric(a, column[i].first);
+          best.valid = true;
+        }
+      }
+    } else {
+      const int card = schema.attr(a).cardinality;
+      Histogram1D hist(card, nc);
+      for (RecordId r : rids) {
+        hist.Add(ds.categorical(a, r), ds.label(r));
+      }
+      const CategoricalSplit cs = BestCategoricalSplit(hist);
+      if (cs.valid && cs.gini < best.gini) {
+        best.gini = cs.gini;
+        best.split = Split::Categorical(a, cs.left_subset);
+        best.valid = true;
+      }
+    }
+  }
+  if (!best.valid) best.gini = Gini(totals);
+  return best;
+}
+
+namespace {
+
+std::vector<int64_t> CountClasses(const Dataset& ds,
+                                  const std::vector<RecordId>& rids) {
+  std::vector<int64_t> counts(ds.num_classes(), 0);
+  for (RecordId r : rids) counts[ds.label(r)]++;
+  return counts;
+}
+
+ClassId Majority(const std::vector<int64_t>& counts) {
+  ClassId best = 0;
+  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return best;
+}
+
+bool IsPure(const std::vector<int64_t>& counts) {
+  int nonzero = 0;
+  for (int64_t c : counts) {
+    if (c > 0) ++nonzero;
+  }
+  return nonzero <= 1;
+}
+
+}  // namespace
+
+void BuildExactSubtree(const Dataset& ds, const std::vector<RecordId>& rids,
+                       const BuilderOptions& options, DecisionTree* tree,
+                       NodeId root_id, ScanTracker* tracker) {
+  TreeNode& root = tree->mutable_node(root_id);
+  const std::vector<int64_t>& counts = root.class_counts;
+  const int depth = root.depth;
+
+  const bool stop =
+      IsPure(counts) ||
+      static_cast<int64_t>(rids.size()) < options.min_split_records ||
+      depth >= options.max_depth ||
+      (options.prune &&
+       ShouldPruneBeforeExpand(counts, ds.schema().num_attrs()));
+  if (!stop) {
+    const ExactSplit best = FindBestSplitExact(ds, rids, tracker);
+    if (best.valid && best.gini < Gini(counts) - 1e-12) {
+      std::vector<RecordId> left_rids;
+      std::vector<RecordId> right_rids;
+      for (RecordId r : rids) {
+        (best.split.RoutesLeft(ds, r) ? left_rids : right_rids).push_back(r);
+      }
+      if (!left_rids.empty() && !right_rids.empty()) {
+        TreeNode left;
+        left.depth = depth + 1;
+        left.class_counts = CountClasses(ds, left_rids);
+        left.leaf_class = Majority(left.class_counts);
+        TreeNode right;
+        right.depth = depth + 1;
+        right.class_counts = CountClasses(ds, right_rids);
+        right.leaf_class = Majority(right.class_counts);
+
+        const NodeId left_id = tree->AddNode(std::move(left));
+        const NodeId right_id = tree->AddNode(std::move(right));
+        // `root` may be dangling after AddNode reallocations; refetch.
+        TreeNode& node = tree->mutable_node(root_id);
+        node.is_leaf = false;
+        node.split = best.split;
+        node.left = left_id;
+        node.right = right_id;
+        BuildExactSubtree(ds, left_rids, options, tree, left_id, tracker);
+        BuildExactSubtree(ds, right_rids, options, tree, right_id, tracker);
+        return;
+      }
+    }
+  }
+  TreeNode& node = tree->mutable_node(root_id);
+  node.is_leaf = true;
+  node.leaf_class = Majority(node.class_counts);
+}
+
+BuildResult ExactBuilder::Build(const Dataset& train) {
+  BuildResult result;
+  ScanTracker tracker(&result.stats);
+  Timer timer;
+
+  result.tree = DecisionTree(train.schema());
+  std::vector<RecordId> rids(train.num_records());
+  for (RecordId r = 0; r < train.num_records(); ++r) rids[r] = r;
+
+  TreeNode root;
+  root.depth = 0;
+  root.class_counts = train.ClassCounts();
+  root.leaf_class = Majority(root.class_counts);
+  const NodeId root_id = result.tree.AddNode(std::move(root));
+
+  // The exact builder re-reads the partition once per level in a disk
+  // implementation; as an in-memory reference we charge a single scan
+  // (its cost counters are not used in figure reproductions).
+  tracker.ChargeScan(train);
+  BuildExactSubtree(train, rids, options_, &result.tree, root_id, &tracker);
+  if (options_.prune) PruneTreeMdl(&result.tree);
+
+  result.stats.tree_nodes = result.tree.num_nodes();
+  result.stats.tree_depth = result.tree.Depth();
+  result.stats.wall_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cmp

@@ -1,0 +1,54 @@
+#ifndef CMP_EXACT_EXACT_H_
+#define CMP_EXACT_EXACT_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "io/scan.h"
+#include "tree/builder.h"
+#include "tree/split.h"
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// Result of an exact best-split search over a set of records.
+struct ExactSplit {
+  Split split;
+  double gini = 1.0;
+  bool valid = false;
+};
+
+/// Finds the exact gini-optimal binary split over ALL attributes for the
+/// records `rids` of `ds` (numeric: every distinct-value boundary;
+/// categorical: best subset). This is the reference splitter Table 1
+/// compares CMP against. Sort work is charged to `tracker` when provided.
+ExactSplit FindBestSplitExact(const Dataset& ds,
+                              const std::vector<RecordId>& rids,
+                              ScanTracker* tracker = nullptr);
+
+/// Recursively grows an exact greedy subtree for `rids` under the node
+/// `root_id` of `tree` (whose class_counts must already describe `rids`).
+/// Used by every builder once a partition fits in memory
+/// (BuilderOptions::in_memory_threshold) — the standard switch RF-Hybrid
+/// makes explicit. Honors min_split_records, max_depth and, when
+/// `options.prune` is set, the PUBLIC(1) stop test.
+void BuildExactSubtree(const Dataset& ds, const std::vector<RecordId>& rids,
+                       const BuilderOptions& options, DecisionTree* tree,
+                       NodeId root_id, ScanTracker* tracker = nullptr);
+
+/// Convenience: a whole-tree exact greedy builder (used in tests as the
+/// ground-truth classifier and by Table 1's "Exact Algo." column).
+class ExactBuilder : public TreeBuilder {
+ public:
+  explicit ExactBuilder(BuilderOptions options = {}) : options_(options) {}
+
+  BuildResult Build(const Dataset& train) override;
+  std::string name() const override { return "Exact"; }
+
+ private:
+  BuilderOptions options_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_EXACT_EXACT_H_

@@ -1,0 +1,107 @@
+#include "gini/categorical.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "gini/gini.h"
+
+namespace cmp {
+
+namespace {
+
+// Evaluates gini^D for the subset encoded in `mask` (bit v set => value v
+// goes left).
+double SubsetGini(const Histogram1D& hist, uint64_t mask,
+                  const std::vector<int64_t>& totals) {
+  const int nc = hist.num_classes();
+  std::vector<int64_t> left(nc, 0);
+  for (int v = 0; v < hist.num_intervals(); ++v) {
+    if ((mask >> v) & 1u) {
+      const int64_t* r = hist.row(v);
+      for (int c = 0; c < nc; ++c) left[c] += r[c];
+    }
+  }
+  std::vector<int64_t> right(nc);
+  for (int c = 0; c < nc; ++c) right[c] = totals[c] - left[c];
+  return SplitGini(left, right);
+}
+
+}  // namespace
+
+CategoricalSplit BestCategoricalSplit(const Histogram1D& hist,
+                                      int exhaustive_limit) {
+  CategoricalSplit out;
+  const int card = hist.num_intervals();
+  if (card < 2) return out;
+  const std::vector<int64_t> totals = hist.ClassTotals();
+  int64_t n = 0;
+  for (int64_t t : totals) n += t;
+  if (n == 0) return out;
+
+  auto empty_side = [&](uint64_t mask) {
+    int64_t left_n = 0;
+    for (int v = 0; v < card; ++v) {
+      if ((mask >> v) & 1u) left_n += hist.IntervalTotal(v);
+    }
+    return left_n == 0 || left_n == n;
+  };
+
+  uint64_t best_mask = 0;
+  double best_gini = std::numeric_limits<double>::infinity();
+
+  if (card <= exhaustive_limit && card < 63) {
+    // Enumerate half of the subsets (complement symmetric); skip empty /
+    // full splits.
+    const uint64_t limit = 1ull << (card - 1);
+    for (uint64_t mask = 1; mask < limit; ++mask) {
+      if (empty_side(mask)) continue;
+      const double g = SubsetGini(hist, mask, totals);
+      if (g < best_gini) {
+        best_gini = g;
+        best_mask = mask;
+      }
+    }
+  } else {
+    // Greedy hill-climbing: start from the single best value, then keep
+    // adding the value that lowers gini most until no improvement.
+    uint64_t mask = 0;
+    double cur = std::numeric_limits<double>::infinity();
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      uint64_t next_mask = mask;
+      double next_gini = cur;
+      for (int v = 0; v < card && v < 63; ++v) {
+        if ((mask >> v) & 1u) continue;
+        const uint64_t cand = mask | (1ull << v);
+        if (empty_side(cand)) continue;
+        const double g = SubsetGini(hist, cand, totals);
+        if (g < next_gini) {
+          next_gini = g;
+          next_mask = cand;
+        }
+      }
+      if (next_mask != mask) {
+        mask = next_mask;
+        cur = next_gini;
+        improved = true;
+      }
+    }
+    best_mask = mask;
+    best_gini = cur;
+  }
+
+  if (best_mask == 0 ||
+      best_gini == std::numeric_limits<double>::infinity()) {
+    return out;
+  }
+  out.left_subset.assign(card, 0);
+  for (int v = 0; v < card && v < 63; ++v) {
+    out.left_subset[v] = static_cast<uint8_t>((best_mask >> v) & 1u);
+  }
+  out.gini = best_gini;
+  out.valid = true;
+  return out;
+}
+
+}  // namespace cmp

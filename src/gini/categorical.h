@@ -1,0 +1,29 @@
+#ifndef CMP_GINI_CATEGORICAL_H_
+#define CMP_GINI_CATEGORICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hist/histogram1d.h"
+
+namespace cmp {
+
+/// Best binary subset split of a categorical attribute.
+struct CategoricalSplit {
+  /// left_subset[v] != 0 routes value v to the left child.
+  std::vector<uint8_t> left_subset;
+  double gini = 1.0;
+  bool valid = false;
+};
+
+/// Finds the subset S of attribute values minimizing gini^D(node, a in S)
+/// from the per-value class histogram (`hist` has one row per attribute
+/// value). Exhaustive enumeration when the cardinality is at most
+/// `exhaustive_limit`; greedy hill-climbing (SPRINT's approach for large
+/// alphabets) otherwise. A split where either side is empty is invalid.
+CategoricalSplit BestCategoricalSplit(const Histogram1D& hist,
+                                      int exhaustive_limit = 12);
+
+}  // namespace cmp
+
+#endif  // CMP_GINI_CATEGORICAL_H_

@@ -1,0 +1,168 @@
+#include "gini/estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "gini/gini.h"
+
+namespace cmp {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// One hill-climbing walk across an interval. `start` is the per-class
+// below-count vector at the starting boundary; `chunk` the per-class
+// record counts inside the interval, consumed whole per step (the paper's
+// observation that only `c` evaluation points are needed); `sign` is +1
+// for a left-to-right walk and -1 for right-to-left. Returns the minimum
+// gini^D seen at the intermediate evaluation points.
+double HillClimb(std::span<const int64_t> start,
+                 std::span<const int64_t> chunk,
+                 std::span<const int64_t> totals, int sign) {
+  const int nc = static_cast<int>(totals.size());
+  std::vector<int64_t> cur(start.begin(), start.end());
+  std::vector<int64_t> remaining(chunk.begin(), chunk.end());
+  double best = std::numeric_limits<double>::infinity();
+  for (int step = 0; step < nc; ++step) {
+    // Pick the class whose consumption descends the gini curve fastest:
+    // moving right adds records (choose the most negative gradient);
+    // moving left removes records (choose the most positive gradient).
+    int pick = -1;
+    double pick_grad = 0.0;
+    for (int c = 0; c < nc; ++c) {
+      if (remaining[c] == 0) continue;
+      const double g = GiniGradient(cur, totals, c);
+      if (pick < 0 || (sign > 0 ? g < pick_grad : g > pick_grad)) {
+        pick = c;
+        pick_grad = g;
+      }
+    }
+    if (pick < 0) break;
+    cur[pick] += sign * remaining[pick];
+    remaining[pick] = 0;
+    best = std::min(best, BoundaryGini(cur, totals));
+  }
+  return best;
+}
+
+}  // namespace
+
+double GiniGradient(std::span<const int64_t> below,
+                    std::span<const int64_t> totals, int cls) {
+  // d/dx_i of Equation 3, evaluated analytically (matches the paper's
+  // Equation 4 up to algebraic rearrangement).
+  int64_t nl = 0;
+  int64_t n = 0;
+  for (int64_t v : below) nl += v;
+  for (int64_t v : totals) n += v;
+  const int64_t nr = n - nl;
+  if (n == 0) return 0.0;
+  // Degenerate boundaries: one-sided partitions have gini^D equal to
+  // gini(S); use a zero gradient (the walks never start outside (0, n)).
+  if (nl == 0 || nr == 0) return 0.0;
+  double sum_x2 = 0.0;
+  double sum_r2 = 0.0;
+  for (size_t i = 0; i < below.size(); ++i) {
+    const double x = static_cast<double>(below[i]);
+    const double r = static_cast<double>(totals[i] - below[i]);
+    sum_x2 += x * x;
+    sum_r2 += r * r;
+  }
+  const double x_i = static_cast<double>(below[cls]);
+  const double r_i = static_cast<double>(totals[cls] - below[cls]);
+  const double dnl = static_cast<double>(nl);
+  const double dnr = static_cast<double>(nr);
+  const double dn = static_cast<double>(n);
+  // gini^D = nl/n + nr/n - (1/n) * (sum_x2/nl + sum_r2/nr)
+  //        = 1 - (1/n) * (sum_x2/nl + sum_r2/nr).
+  // d/dx_i = -(1/n) * [ (2*x_i*nl - sum_x2)/nl^2 + (-2*r_i*nr + sum_r2)/nr^2 ]
+  const double d_left = (2.0 * x_i * dnl - sum_x2) / (dnl * dnl);
+  const double d_right = (-2.0 * r_i * dnr + sum_r2) / (dnr * dnr);
+  return -(d_left + d_right) / dn;
+}
+
+double EstimateIntervalGini(std::span<const int64_t> below_left,
+                            std::span<const int64_t> interval_counts,
+                            std::span<const int64_t> totals) {
+  std::vector<int64_t> below_right(below_left.size());
+  for (size_t i = 0; i < below_left.size(); ++i) {
+    below_right[i] = below_left[i] + interval_counts[i];
+  }
+  double est = std::min(BoundaryGini(below_left, totals),
+                        BoundaryGini(below_right, totals));
+  int64_t interval_total = 0;
+  for (int64_t v : interval_counts) interval_total += v;
+  if (interval_total == 0) return est;
+  est = std::min(est, HillClimb(below_left, interval_counts, totals, +1));
+  est = std::min(est, HillClimb(below_right, interval_counts, totals, -1));
+  return est;
+}
+
+AttrAnalysis AnalyzeAttribute(const Histogram1D& hist) {
+  AttrAnalysis out;
+  const int q = hist.num_intervals();
+  const int nc = hist.num_classes();
+  const std::vector<int64_t> totals = hist.ClassTotals();
+
+  out.boundary_gini.reserve(std::max(0, q - 1));
+  out.interval_est.resize(q, 1.0);
+
+  std::vector<int64_t> below(nc, 0);
+  // First compute every boundary gini (cut after interval i).
+  std::vector<std::vector<int64_t>> prefixes;
+  prefixes.reserve(q);
+  for (int i = 0; i < q; ++i) {
+    prefixes.push_back(below);  // below-counts at the left edge of i
+    const int64_t* r = hist.row(i);
+    for (int c = 0; c < nc; ++c) below[c] += r[c];
+    if (i + 1 < q) {
+      const double g = BoundaryGini(below, totals);
+      out.boundary_gini.push_back(g);
+      if (g < out.gini_min) {
+        out.gini_min = g;
+        out.best_boundary = i;
+      }
+    }
+  }
+  if (q <= 1) {
+    out.gini_min = Gini(totals);
+    out.est_min = out.gini_min;
+    out.interval_est.assign(q, out.gini_min);
+    return out;
+  }
+
+  out.est_min = std::numeric_limits<double>::infinity();
+  std::vector<int64_t> interval_counts(nc);
+  for (int i = 0; i < q; ++i) {
+    for (int c = 0; c < nc; ++c) interval_counts[c] = hist.count(i, c);
+    out.interval_est[i] =
+        EstimateIntervalGini(prefixes[i], interval_counts, totals);
+    out.est_min = std::min(out.est_min, out.interval_est[i]);
+  }
+  return out;
+}
+
+std::vector<int> SelectAliveIntervals(const AttrAnalysis& analysis,
+                                      int max_alive) {
+  std::vector<int> alive;
+  const int q = static_cast<int>(analysis.interval_est.size());
+  for (int i = 0; i < q; ++i) {
+    if (analysis.interval_est[i] < analysis.gini_min - kEps) {
+      alive.push_back(i);
+    }
+  }
+  if (static_cast<int>(alive.size()) > max_alive) {
+    std::partial_sort(alive.begin(), alive.begin() + max_alive, alive.end(),
+                      [&](int a, int b) {
+                        return analysis.interval_est[a] <
+                               analysis.interval_est[b];
+                      });
+    alive.resize(max_alive);
+    std::sort(alive.begin(), alive.end());
+  }
+  return alive;
+}
+
+}  // namespace cmp

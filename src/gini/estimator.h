@@ -1,0 +1,59 @@
+#ifndef CMP_GINI_ESTIMATOR_H_
+#define CMP_GINI_ESTIMATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hist/histogram1d.h"
+
+namespace cmp {
+
+/// Analysis of one discretized attribute at one tree node: the exact gini
+/// at every interval boundary, the gradient-based lower-bound estimate
+/// for every interval, and the resulting alive intervals (Section 2.1 of
+/// the paper, following CLOUDS' estimation heuristic).
+struct AttrAnalysis {
+  /// gini^D(S, a <= b_i) for each cut b_i; size = num_intervals - 1.
+  std::vector<double> boundary_gini;
+  /// Estimated lower bound of the gini inside each interval; size =
+  /// num_intervals. Intervals that cannot contain a split better than the
+  /// boundary minimum have est >= gini_min.
+  std::vector<double> interval_est;
+  /// Minimum boundary gini and the boundary (cut index) achieving it.
+  double gini_min = 1.0;
+  int best_boundary = -1;
+  /// Minimum interval estimate over all intervals.
+  double est_min = 1.0;
+};
+
+/// Computes boundary ginis and per-interval lower-bound estimates for one
+/// attribute's class histogram. `hist` has one row per interval.
+AttrAnalysis AnalyzeAttribute(const Histogram1D& hist);
+
+/// Gradient-based lower bound for the gini index inside one interval
+/// whose left boundary has per-class "below" counts `below_left` and
+/// which contains `interval_counts` records per class, out of a node with
+/// per-class totals `totals`. Implements the hill-climbing walk of the
+/// paper (Equations 3-5): evaluated left-to-right and right-to-left, the
+/// result is the minimum of both walks and of the two boundary ginis.
+double EstimateIntervalGini(std::span<const int64_t> below_left,
+                            std::span<const int64_t> interval_counts,
+                            std::span<const int64_t> totals);
+
+/// Gradient of gini^D(S, a <= v) with respect to the below-count of class
+/// `cls` (Equation 4). Exposed for unit tests that check it against a
+/// numeric difference quotient.
+double GiniGradient(std::span<const int64_t> below,
+                    std::span<const int64_t> totals, int cls);
+
+/// Selects the alive intervals of an analyzed attribute: the intervals
+/// whose estimate is below `gini_min`, keeping at most `max_alive` of
+/// them (the ones with the lowest estimates), per the CMP restrictions.
+/// Returned indices are ascending.
+std::vector<int> SelectAliveIntervals(const AttrAnalysis& analysis,
+                                      int max_alive);
+
+}  // namespace cmp
+
+#endif  // CMP_GINI_ESTIMATOR_H_

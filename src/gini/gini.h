@@ -1,0 +1,33 @@
+#ifndef CMP_GINI_GINI_H_
+#define CMP_GINI_GINI_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cmp {
+
+/// gini(S) = 1 - sum_j p_j^2 over the class counts of S (Equation 1).
+/// Returns 0 for an empty set.
+double Gini(std::span<const int64_t> class_counts);
+
+/// gini^D(S, cond) = n1/n * gini(S1) + n2/n * gini(S2) (Equation 2) for a
+/// binary partition described by per-class counts of both sides.
+double SplitGini(std::span<const int64_t> left_counts,
+                 std::span<const int64_t> right_counts);
+
+/// Weighted gini of a three-way partition (used for linear splits, where
+/// the cells crossed by the line form a third "on the line" bucket).
+double SplitGini3(std::span<const int64_t> a, std::span<const int64_t> b,
+                  std::span<const int64_t> c);
+
+/// gini^D(S, a <= v) when `below` holds the per-class counts of records
+/// with value <= v and `totals` the node's per-class counts (Equation 3).
+double BoundaryGini(std::span<const int64_t> below,
+                    std::span<const int64_t> totals);
+
+}  // namespace cmp
+
+#endif  // CMP_GINI_GINI_H_

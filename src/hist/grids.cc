@@ -1,0 +1,34 @@
+#include "hist/grids.h"
+
+namespace cmp {
+
+std::vector<IntervalGrid> ComputeGrids(const Dataset& ds, int intervals,
+                                       Discretization kind,
+                                       ScanTracker* tracker) {
+  if (tracker != nullptr) tracker->ChargeScan(ds);
+  std::vector<IntervalGrid> grids(ds.num_attrs());
+  for (AttrId a = 0; a < ds.num_attrs(); ++a) {
+    if (!ds.schema().is_numeric(a)) continue;
+    if (kind == Discretization::kEqualDepth) {
+      grids[a] = IntervalGrid::EqualDepth(ds.numeric_column(a), intervals);
+      if (tracker != nullptr) tracker->ChargeSort(ds.num_records());
+    } else {
+      grids[a] = IntervalGrid::EqualWidth(ds.numeric_column(a), intervals);
+    }
+  }
+  return grids;
+}
+
+std::vector<IntervalGrid> ComputeEqualDepthGrids(const Dataset& ds,
+                                                 int intervals,
+                                                 ScanTracker* tracker) {
+  return ComputeGrids(ds, intervals, Discretization::kEqualDepth, tracker);
+}
+
+int64_t GridsMemoryBytes(const std::vector<IntervalGrid>& grids) {
+  int64_t bytes = 0;
+  for (const IntervalGrid& g : grids) bytes += g.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace cmp

@@ -1,0 +1,37 @@
+#ifndef CMP_HIST_GRIDS_H_
+#define CMP_HIST_GRIDS_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "hist/quantiles.h"
+#include "io/scan.h"
+
+namespace cmp {
+
+/// Which discretization the per-attribute grids use.
+enum class Discretization {
+  kEqualDepth,  // quantiling (the paper's default)
+  kEqualWidth,  // fixed-width ranges (cheaper, skew-sensitive)
+};
+
+/// Builds the per-attribute interval grids used by CLOUDS and the CMP
+/// family: `intervals` intervals for each numeric attribute (categorical
+/// attributes get an empty grid). The construction is charged to
+/// `tracker` as one dataset scan, plus one sort per numeric attribute
+/// for equal-depth grids.
+std::vector<IntervalGrid> ComputeGrids(const Dataset& ds, int intervals,
+                                       Discretization kind,
+                                       ScanTracker* tracker);
+
+/// Equal-depth convenience wrapper (the common case).
+std::vector<IntervalGrid> ComputeEqualDepthGrids(const Dataset& ds,
+                                                 int intervals,
+                                                 ScanTracker* tracker);
+
+/// Total bytes of the grids (for memory accounting).
+int64_t GridsMemoryBytes(const std::vector<IntervalGrid>& grids);
+
+}  // namespace cmp
+
+#endif  // CMP_HIST_GRIDS_H_

@@ -1,0 +1,92 @@
+#include "hist/quantiles.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cmp {
+
+IntervalGrid IntervalGrid::EqualDepth(const std::vector<double>& values,
+                                      int q) {
+  assert(q >= 1);
+  IntervalGrid grid;
+  if (values.empty() || q <= 1) {
+    if (!values.empty()) {
+      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      grid.min_value_ = *lo;
+      grid.max_value_ = *hi;
+    }
+    return grid;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  grid.min_value_ = sorted.front();
+  grid.max_value_ = sorted.back();
+  const int64_t n = static_cast<int64_t>(sorted.size());
+  grid.boundaries_.reserve(q - 1);
+  for (int i = 1; i < q; ++i) {
+    // Cut after the i-th q-quantile position.
+    const int64_t pos = std::min<int64_t>(n - 1, (n * i) / q);
+    const double cut = sorted[pos];
+    if (grid.boundaries_.empty() || cut > grid.boundaries_.back()) {
+      grid.boundaries_.push_back(cut);
+    }
+  }
+  // A cut equal to the global maximum would leave an empty last interval;
+  // drop it.
+  while (!grid.boundaries_.empty() && grid.boundaries_.back() >= sorted.back()) {
+    grid.boundaries_.pop_back();
+  }
+  return grid;
+}
+
+IntervalGrid IntervalGrid::EqualWidth(const std::vector<double>& values,
+                                      int q) {
+  IntervalGrid grid;
+  if (values.empty() || q <= 1) {
+    if (!values.empty()) {
+      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      grid.min_value_ = *lo;
+      grid.max_value_ = *hi;
+    }
+    return grid;
+  }
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  grid.min_value_ = lo;
+  grid.max_value_ = hi;
+  if (lo == hi) return grid;  // constant column: one interval
+  grid.boundaries_.reserve(q - 1);
+  for (int i = 1; i < q; ++i) {
+    const double cut = lo + (hi - lo) * i / q;
+    if (grid.boundaries_.empty() || cut > grid.boundaries_.back()) {
+      grid.boundaries_.push_back(cut);
+    }
+  }
+  return grid;
+}
+
+IntervalGrid IntervalGrid::FromBoundaries(std::vector<double> boundaries,
+                                          double min_value,
+                                          double max_value) {
+  IntervalGrid grid;
+  assert(std::is_sorted(boundaries.begin(), boundaries.end()));
+  grid.boundaries_ = std::move(boundaries);
+  if (min_value == 0.0 && max_value == 0.0 && !grid.boundaries_.empty()) {
+    grid.min_value_ = grid.boundaries_.front();
+    grid.max_value_ = grid.boundaries_.back();
+  } else {
+    grid.min_value_ = min_value;
+    grid.max_value_ = max_value;
+  }
+  return grid;
+}
+
+int IntervalGrid::IntervalOf(double v) const {
+  // Interval i covers (b_i, b_{i+1}]: the first boundary >= v identifies
+  // the interval.
+  const auto it = std::lower_bound(boundaries_.begin(), boundaries_.end(), v);
+  return static_cast<int>(it - boundaries_.begin());
+}
+
+}  // namespace cmp

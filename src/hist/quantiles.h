@@ -1,0 +1,72 @@
+#ifndef CMP_HIST_QUANTILES_H_
+#define CMP_HIST_QUANTILES_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cmp {
+
+/// Equal-depth (quantile) discretization of one numeric attribute.
+///
+/// The grid stores the `q-1` cut values b_1 < b_2 < ... < b_{q-1} that
+/// divide the attribute's domain into `q` intervals of approximately equal
+/// record count. Interval `i` covers (b_i, b_{i+1}] with b_0 = -inf and
+/// b_q = +inf, so a candidate split `a <= b_i` separates intervals
+/// [0, i) from [i, q). Duplicate cut values (heavy ties in the data)
+/// are collapsed, so the actual interval count can be lower than
+/// requested; callers must use num_intervals().
+class IntervalGrid {
+ public:
+  IntervalGrid() = default;
+
+  /// Builds an equal-depth grid with (at most) `q` intervals from the
+  /// attribute values. `values` is copied and sorted internally. The
+  /// observed min/max are recorded as the grid's domain bounds.
+  static IntervalGrid EqualDepth(const std::vector<double>& values, int q);
+
+  /// Builds an equal-width grid: `q` intervals of identical value span
+  /// across [min, max] (the paper's other discretization option; cheaper
+  /// to build — no sort — but skewed data piles into few intervals).
+  static IntervalGrid EqualWidth(const std::vector<double>& values, int q);
+
+  /// Builds a grid from explicit, strictly increasing cut values and
+  /// domain bounds (defaulting to the first/last cut).
+  static IntervalGrid FromBoundaries(std::vector<double> boundaries,
+                                     double min_value = 0.0,
+                                     double max_value = 0.0);
+
+  int num_intervals() const {
+    return static_cast<int>(boundaries_.size()) + 1;
+  }
+
+  /// Index of the interval containing `v`, in [0, num_intervals()).
+  int IntervalOf(double v) const;
+
+  /// The cut value at the *upper* edge of interval `i`; only valid for
+  /// i < num_intervals()-1 (the last interval is unbounded above).
+  double UpperCut(int i) const { return boundaries_[i]; }
+
+  /// All cut values (size num_intervals()-1), ascending.
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Smallest / largest attribute value observed when the grid was built
+  /// (finite stand-ins for the outer interval edges; used by the linear
+  /// split search to bound grid cells in value space).
+  double min_value() const { return min_value_; }
+  double max_value() const { return max_value_; }
+
+  /// Bytes used by the grid (for memory accounting).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(boundaries_.size()) * sizeof(double);
+  }
+
+ private:
+  std::vector<double> boundaries_;
+  double min_value_ = 0.0;
+  double max_value_ = 0.0;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_HIST_QUANTILES_H_

@@ -1,0 +1,32 @@
+#ifndef CMP_IO_ARFF_H_
+#define CMP_IO_ARFF_H_
+
+#include <string>
+
+#include "common/dataset.h"
+
+namespace cmp {
+
+/// Minimal ARFF (Attribute-Relation File Format) reader, so the real
+/// STATLOG/UCI files can be dropped in when available (the bundled
+/// stand-ins are synthetics; see DESIGN.md).
+///
+/// Supported subset:
+///   @relation NAME
+///   @attribute NAME numeric|real|integer
+///   @attribute NAME {v1,v2,...}          (nominal)
+///   @data
+///   comma-separated rows; '%' comments; blank lines ignored.
+/// The LAST attribute is taken as the class label and must be nominal.
+/// Nominal attribute values are mapped to dense integers in declaration
+/// order. Unsupported features (strings, dates, sparse rows, missing
+/// '?' values) cause a clean failure.
+bool LoadArff(const std::string& path, Dataset* out);
+
+/// Writes `ds` in the same ARFF subset (numeric + nominal + class).
+bool SaveArff(const Dataset& ds, const std::string& relation,
+              const std::string& path);
+
+}  // namespace cmp
+
+#endif  // CMP_IO_ARFF_H_

@@ -1,0 +1,190 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cmp {
+
+namespace {
+
+// Splits one CSV line into trimmed fields.
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream ss(line);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    size_t b = 0;
+    size_t e = field.size();
+    while (b < e && (field[b] == ' ' || field[b] == '\t')) ++b;
+    while (e > b && (field[e - 1] == ' ' || field[e - 1] == '\t' ||
+                     field[e - 1] == '\r')) {
+      --e;
+    }
+    fields.push_back(field.substr(b, e - b));
+  }
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool SaveCsv(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) return false;
+  const Schema& schema = ds.schema();
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    os << schema.attr(a).name << ',';
+  }
+  os << "class\n";
+  os.precision(17);
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      if (schema.is_numeric(a)) {
+        os << ds.numeric(a, r);
+      } else {
+        os << ds.categorical(a, r);
+      }
+      os << ',';
+    }
+    os << schema.class_name(ds.label(r)) << '\n';
+  }
+  return os.good();
+}
+
+bool LoadCsvInferSchema(const std::string& path, Dataset* out,
+                        int max_categorical_card) {
+  // ---- Pass 1: header + per-column type inference.
+  std::ifstream is(path);
+  if (!is.is_open()) return false;
+  std::string line;
+  if (!std::getline(is, line)) return false;
+  const std::vector<std::string> header = SplitLine(line);
+  if (header.size() < 2) return false;
+  const size_t num_cols = header.size();
+  const size_t num_attrs = num_cols - 1;
+
+  std::vector<bool> numeric(num_attrs, true);
+  // Distinct values of non-numeric columns (and the class column),
+  // indexed by first appearance.
+  std::vector<std::map<std::string, int32_t>> values(num_cols);
+  std::vector<std::vector<std::string>> value_order(num_cols);
+  int64_t rows = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitLine(line);
+    if (fields.size() != num_cols) return false;
+    ++rows;
+    for (size_t c = 0; c < num_cols; ++c) {
+      double unused;
+      const bool is_num = ParseDouble(fields[c], &unused);
+      if (c < num_attrs && !is_num) numeric[c] = false;
+      if (c == num_attrs || !is_num) {
+        auto [it, inserted] =
+            values[c].try_emplace(fields[c],
+                                  static_cast<int32_t>(values[c].size()));
+        if (inserted) value_order[c].push_back(fields[c]);
+        if (c < num_attrs &&
+            static_cast<int>(values[c].size()) > max_categorical_card) {
+          return false;  // free-text column, refuse to guess
+        }
+      }
+    }
+  }
+  if (rows == 0 || value_order[num_attrs].empty()) return false;
+
+  std::vector<AttrInfo> attrs(num_attrs);
+  for (size_t c = 0; c < num_attrs; ++c) {
+    attrs[c].name = header[c];
+    if (numeric[c]) {
+      attrs[c].kind = AttrKind::kNumeric;
+    } else {
+      attrs[c].kind = AttrKind::kCategorical;
+      attrs[c].cardinality = static_cast<int32_t>(values[c].size());
+    }
+  }
+  Dataset ds(Schema(std::move(attrs), value_order[num_attrs]));
+  ds.Reserve(rows);
+
+  // ---- Pass 2: load.
+  is.clear();
+  is.seekg(0);
+  std::getline(is, line);  // header
+  std::vector<double> nvals;
+  std::vector<int32_t> cvals;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitLine(line);
+    nvals.clear();
+    cvals.clear();
+    for (size_t c = 0; c < num_attrs; ++c) {
+      if (numeric[c]) {
+        double v;
+        if (!ParseDouble(fields[c], &v)) return false;
+        nvals.push_back(v);
+      } else {
+        const auto it = values[c].find(fields[c]);
+        if (it == values[c].end()) return false;
+        cvals.push_back(it->second);
+      }
+    }
+    const auto it = values[num_attrs].find(fields[num_attrs]);
+    if (it == values[num_attrs].end()) return false;
+    ds.Append(nvals, cvals, it->second);
+  }
+  *out = std::move(ds);
+  return true;
+}
+
+bool LoadCsv(const std::string& path, const Schema& schema, Dataset* out) {
+  std::ifstream is(path);
+  if (!is.is_open()) return false;
+  std::string line;
+  if (!std::getline(is, line)) return false;  // header, ignored
+
+  Dataset ds(schema);
+  std::vector<double> nvals;
+  std::vector<int32_t> cvals;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    nvals.clear();
+    cvals.clear();
+    std::stringstream ss(line);
+    std::string field;
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      if (!std::getline(ss, field, ',')) return false;
+      try {
+        if (schema.is_numeric(a)) {
+          nvals.push_back(std::stod(field));
+        } else {
+          cvals.push_back(static_cast<int32_t>(std::stol(field)));
+        }
+      } catch (...) {
+        return false;
+      }
+    }
+    if (!std::getline(ss, field, ',')) return false;
+    ClassId label = kInvalidClass;
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      if (schema.class_name(c) == field) {
+        label = c;
+        break;
+      }
+    }
+    if (label == kInvalidClass) return false;
+    ds.Append(nvals, cvals, label);
+  }
+  *out = std::move(ds);
+  return true;
+}
+
+}  // namespace cmp

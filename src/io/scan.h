@@ -1,0 +1,73 @@
+#ifndef CMP_IO_SCAN_H_
+#define CMP_IO_SCAN_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "common/stats.h"
+
+namespace cmp {
+
+/// Accounting facade every tree builder charges its data movement to.
+///
+/// The library keeps training sets in memory for speed, but the algorithms
+/// are written and costed as if the data were disk-resident (as in the
+/// paper): each full iteration over the records is a "scan" and is charged
+/// here. Benchmarks convert the counters to simulated seconds through
+/// DiskModel, which is how the paper's figures are regenerated.
+class ScanTracker {
+ public:
+  /// `stats` must outlive the tracker; may be null (all charges dropped).
+  explicit ScanTracker(BuildStats* stats) : stats_(stats) {}
+
+  /// Charges one full sequential pass over `ds`.
+  void ChargeScan(const Dataset& ds) {
+    if (stats_ == nullptr) return;
+    stats_->dataset_scans += 1;
+    stats_->records_read += ds.num_records();
+    stats_->bytes_read += ds.TotalBytes();
+  }
+
+  /// Charges a partial pass of `records` records of the given schema.
+  void ChargeRecords(int64_t records, const Schema& schema) {
+    if (stats_ == nullptr) return;
+    stats_->records_read += records;
+    stats_->bytes_read += records * schema.RecordBytes();
+  }
+
+  /// Charges `bytes` of sequential writes (materialized lists, nid swap).
+  void ChargeWrite(int64_t bytes) {
+    if (stats_ == nullptr) return;
+    stats_->bytes_written += bytes;
+  }
+
+  /// Charges an n·log2(n) comparison sort of `n` keys.
+  void ChargeSort(int64_t n) {
+    if (stats_ == nullptr || n <= 1) return;
+    stats_->sort_comparisons +=
+        static_cast<int64_t>(std::ceil(static_cast<double>(n) *
+                                       std::log2(static_cast<double>(n))));
+  }
+
+  /// Records that `n` records were set aside in side buffers.
+  void ChargeBuffered(int64_t n) {
+    if (stats_ == nullptr) return;
+    stats_->buffered_records += n;
+  }
+
+  /// Raises the peak-working-memory estimate to at least `bytes`.
+  void NotePeakMemory(int64_t bytes) {
+    if (stats_ == nullptr) return;
+    UpdatePeak(stats_->peak_memory_bytes, bytes);
+  }
+
+  BuildStats* stats() { return stats_; }
+
+ private:
+  BuildStats* stats_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_IO_SCAN_H_

@@ -1,0 +1,101 @@
+#include "io/stream.h"
+
+#include <algorithm>
+
+#include "io/table_file.h"
+
+namespace cmp {
+
+std::unique_ptr<TableScanner> TableScanner::Open(const std::string& path,
+                                                 int64_t block_records) {
+  // Parse the header with the existing reader, then locate the column
+  // payloads: they start right after the header and are laid out in
+  // schema order, labels last.
+  Schema schema;
+  int64_t n = 0;
+  if (!ReadTableHeader(path, &schema, &n) || block_records <= 0) {
+    return nullptr;
+  }
+
+  std::unique_ptr<TableScanner> scanner(new TableScanner());
+  scanner->schema_ = schema;
+  scanner->num_records_ = n;
+  scanner->block_records_ = block_records;
+  scanner->file_.open(path, std::ios::binary);
+  if (!scanner->file_.is_open()) return nullptr;
+
+  // Header size: magic(4) + version(4) + counts(8) + per attr
+  // (4 + name + 1 + 4) + per class (4 + name).
+  int64_t offset = 4 + 4 + 4 + 4;
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    offset += 4 + static_cast<int64_t>(schema.attr(a).name.size()) + 1 + 4;
+  }
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    offset += 4 + static_cast<int64_t>(schema.class_name(c).size());
+  }
+  offset += 8;  // num_records
+
+  scanner->column_offsets_.resize(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    scanner->column_offsets_[a] = offset;
+    offset += n * static_cast<int64_t>(schema.is_numeric(a)
+                                           ? sizeof(double)
+                                           : sizeof(int32_t));
+  }
+  scanner->label_offset_ = offset;
+  return scanner;
+}
+
+bool TableScanner::NextBlock(Dataset* block) {
+  *block = Dataset(schema_);
+  if (position_ >= num_records_) return false;
+  const int64_t count =
+      std::min(block_records_, num_records_ - position_);
+  block->Reserve(count);
+
+  // Load this block's slice of every column.
+  std::vector<std::vector<double>> ncols(schema_.num_attrs());
+  std::vector<std::vector<int32_t>> ccols(schema_.num_attrs());
+  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+    if (schema_.is_numeric(a)) {
+      ncols[a].resize(count);
+      file_.seekg(column_offsets_[a] +
+                  position_ * static_cast<int64_t>(sizeof(double)));
+      file_.read(reinterpret_cast<char*>(ncols[a].data()),
+                 count * static_cast<int64_t>(sizeof(double)));
+    } else {
+      ccols[a].resize(count);
+      file_.seekg(column_offsets_[a] +
+                  position_ * static_cast<int64_t>(sizeof(int32_t)));
+      file_.read(reinterpret_cast<char*>(ccols[a].data()),
+                 count * static_cast<int64_t>(sizeof(int32_t)));
+    }
+    if (!file_.good()) return false;
+  }
+  std::vector<ClassId> labels(count);
+  file_.seekg(label_offset_ +
+              position_ * static_cast<int64_t>(sizeof(ClassId)));
+  file_.read(reinterpret_cast<char*>(labels.data()),
+             count * static_cast<int64_t>(sizeof(ClassId)));
+  if (!file_.good()) return false;
+
+  std::vector<double> nvals;
+  std::vector<int32_t> cvals;
+  for (int64_t i = 0; i < count; ++i) {
+    nvals.clear();
+    cvals.clear();
+    for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+      if (schema_.is_numeric(a)) {
+        nvals.push_back(ncols[a][i]);
+      } else {
+        cvals.push_back(ccols[a][i]);
+      }
+    }
+    if (labels[i] < 0 || labels[i] >= schema_.num_classes()) return false;
+    block->Append(nvals, cvals, labels[i]);
+  }
+  position_ += count;
+  return true;
+}
+
+}  // namespace cmp

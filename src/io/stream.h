@@ -1,0 +1,53 @@
+#ifndef CMP_IO_STREAM_H_
+#define CMP_IO_STREAM_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace cmp {
+
+/// Bounded-memory streaming reader over the binary table format
+/// (table_file.h): records are surfaced in blocks of `block_records`
+/// without ever loading a full column, so a table far larger than RAM
+/// can be scanned exactly the way the paper's builders scan their
+/// disk-resident training sets. The columnar layout is bridged by one
+/// seek per column per block.
+class TableScanner {
+ public:
+  /// Opens `path`; returns null on open/parse failure.
+  static std::unique_ptr<TableScanner> Open(const std::string& path,
+                                            int64_t block_records = 65536);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_records() const { return num_records_; }
+  /// Records delivered so far in the current pass.
+  int64_t position() const { return position_; }
+
+  /// Reads the next block into `block` (a small Dataset with the same
+  /// schema). Returns false when the pass is complete; `block` is then
+  /// empty. The scanner can be Reset() for another pass.
+  bool NextBlock(Dataset* block);
+
+  /// Rewinds to the first record.
+  void Reset() { position_ = 0; }
+
+ private:
+  TableScanner() = default;
+
+  Schema schema_;
+  int64_t num_records_ = 0;
+  int64_t block_records_ = 0;
+  int64_t position_ = 0;
+  // Absolute file offset of each attribute column, plus the label column.
+  std::vector<int64_t> column_offsets_;
+  int64_t label_offset_ = 0;
+  std::ifstream file_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_IO_STREAM_H_

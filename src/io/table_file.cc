@@ -1,0 +1,178 @@
+#include "io/table_file.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace cmp {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'M', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ofstream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI32(std::ofstream& os, int32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI64(std::ofstream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ofstream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::ifstream& is, uint32_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+
+bool ReadI32(std::ifstream& is, int32_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+
+bool ReadI64(std::ifstream& is, int64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return is.good();
+}
+
+bool ReadString(std::ifstream& is, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(is, &len)) return false;
+  if (len > (1u << 20)) return false;  // implausible name length
+  s->resize(len);
+  is.read(s->data(), len);
+  return is.good();
+}
+
+bool ReadHeaderInternal(std::ifstream& is, Schema* schema,
+                        int64_t* num_records) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is.good() || std::memcmp(magic, kMagic, 4) != 0) return false;
+  uint32_t version = 0;
+  if (!ReadU32(is, &version) || version != kVersion) return false;
+  uint32_t num_attrs = 0;
+  uint32_t num_classes = 0;
+  if (!ReadU32(is, &num_attrs) || !ReadU32(is, &num_classes)) return false;
+  std::vector<AttrInfo> attrs(num_attrs);
+  for (auto& a : attrs) {
+    if (!ReadString(is, &a.name)) return false;
+    char kind = 0;
+    is.read(&kind, 1);
+    if (!is.good()) return false;
+    a.kind = kind == 0 ? AttrKind::kNumeric : AttrKind::kCategorical;
+    if (!ReadI32(is, &a.cardinality)) return false;
+  }
+  std::vector<std::string> class_names(num_classes);
+  for (auto& cn : class_names) {
+    if (!ReadString(is, &cn)) return false;
+  }
+  if (!ReadI64(is, num_records) || *num_records < 0) return false;
+  *schema = Schema(std::move(attrs), std::move(class_names));
+  return true;
+}
+
+}  // namespace
+
+bool SaveTableFile(const Dataset& ds, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.is_open()) return false;
+  os.write(kMagic, 4);
+  WriteU32(os, kVersion);
+  const Schema& schema = ds.schema();
+  WriteU32(os, static_cast<uint32_t>(schema.num_attrs()));
+  WriteU32(os, static_cast<uint32_t>(schema.num_classes()));
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const AttrInfo& info = schema.attr(a);
+    WriteString(os, info.name);
+    const char kind = info.kind == AttrKind::kNumeric ? 0 : 1;
+    os.write(&kind, 1);
+    WriteI32(os, info.cardinality);
+  }
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    WriteString(os, schema.class_name(c));
+  }
+  WriteI64(os, ds.num_records());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.is_numeric(a)) {
+      const auto& col = ds.numeric_column(a);
+      os.write(reinterpret_cast<const char*>(col.data()),
+               static_cast<std::streamsize>(col.size() * sizeof(double)));
+    } else {
+      const auto& col = ds.categorical_column(a);
+      os.write(reinterpret_cast<const char*>(col.data()),
+               static_cast<std::streamsize>(col.size() * sizeof(int32_t)));
+    }
+  }
+  const auto& labels = ds.labels();
+  os.write(reinterpret_cast<const char*>(labels.data()),
+           static_cast<std::streamsize>(labels.size() * sizeof(ClassId)));
+  return os.good();
+}
+
+bool LoadTableFile(const std::string& path, Dataset* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return false;
+  Schema schema;
+  int64_t n = 0;
+  if (!ReadHeaderInternal(is, &schema, &n)) return false;
+
+  // Read columns, then repack record-wise through Append to reuse the
+  // Dataset invariants.
+  std::vector<std::vector<double>> ncols(schema.num_attrs());
+  std::vector<std::vector<int32_t>> ccols(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.is_numeric(a)) {
+      ncols[a].resize(n);
+      is.read(reinterpret_cast<char*>(ncols[a].data()),
+              static_cast<std::streamsize>(n * sizeof(double)));
+    } else {
+      ccols[a].resize(n);
+      is.read(reinterpret_cast<char*>(ccols[a].data()),
+              static_cast<std::streamsize>(n * sizeof(int32_t)));
+    }
+    if (!is.good()) return false;
+  }
+  std::vector<ClassId> labels(n);
+  is.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(n * sizeof(ClassId)));
+  if (!is.good()) return false;
+
+  Dataset ds(schema);
+  ds.Reserve(n);
+  std::vector<double> nvals;
+  std::vector<int32_t> cvals;
+  for (int64_t r = 0; r < n; ++r) {
+    nvals.clear();
+    cvals.clear();
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      if (schema.is_numeric(a)) {
+        nvals.push_back(ncols[a][r]);
+      } else {
+        cvals.push_back(ccols[a][r]);
+      }
+    }
+    if (labels[r] < 0 || labels[r] >= schema.num_classes()) return false;
+    ds.Append(nvals, cvals, labels[r]);
+  }
+  *out = std::move(ds);
+  return true;
+}
+
+bool ReadTableHeader(const std::string& path, Schema* schema,
+                     int64_t* num_records) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return false;
+  return ReadHeaderInternal(is, schema, num_records);
+}
+
+}  // namespace cmp

@@ -1,0 +1,38 @@
+#ifndef CMP_IO_TABLE_FILE_H_
+#define CMP_IO_TABLE_FILE_H_
+
+#include <string>
+
+#include "common/dataset.h"
+
+namespace cmp {
+
+/// Binary on-disk format for training sets.
+///
+/// Layout (little-endian):
+///   magic "CMPT" | version u32 | num_attrs u32 | num_classes u32 |
+///   per attr: name (u32 len + bytes) | kind u8 | cardinality i32 |
+///   per class: name (u32 len + bytes) |
+///   num_records i64 |
+///   per attr column (schema order): raw doubles or raw int32s |
+///   labels: raw int32s
+///
+/// Columns are stored contiguously so out-of-core scanners can stream one
+/// attribute at a time; `LoadTableFile` reads the whole table. These are
+/// the files the `out_of_core` example and `cmptool` operate on.
+
+/// Writes `ds` to `path`. Returns false (and leaves a partial file) on I/O
+/// failure.
+bool SaveTableFile(const Dataset& ds, const std::string& path);
+
+/// Reads a table previously written by SaveTableFile. Returns false on
+/// open/parse failure; `out` is unspecified in that case.
+bool LoadTableFile(const std::string& path, Dataset* out);
+
+/// Reads only the schema and record count from a table file header.
+bool ReadTableHeader(const std::string& path, Schema* schema,
+                     int64_t* num_records);
+
+}  // namespace cmp
+
+#endif  // CMP_IO_TABLE_FILE_H_

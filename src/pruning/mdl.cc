@@ -1,0 +1,79 @@
+#include "pruning/mdl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+namespace cmp {
+
+namespace {
+
+double SplitTestCost(int num_attrs) {
+  return 1.0 + std::log2(std::max(2, num_attrs));
+}
+
+}  // namespace
+
+double MdlLeafCost(std::span<const int64_t> class_counts) {
+  int64_t n = 0;
+  int64_t largest = 0;
+  for (int64_t c : class_counts) {
+    n += c;
+    largest = std::max(largest, c);
+  }
+  return 1.0 + static_cast<double>(n - largest);
+}
+
+double PublicLowerBound(std::span<const int64_t> class_counts,
+                        int num_attrs) {
+  std::vector<int64_t> sorted(class_counts.begin(), class_counts.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<int64_t>());
+  const int k = static_cast<int>(sorted.size());
+  // Suffix sums: records in all classes after the first i largest.
+  std::vector<int64_t> suffix(k + 1, 0);
+  for (int i = k - 1; i >= 0; --i) suffix[i] = suffix[i + 1] + sorted[i];
+
+  double best = std::numeric_limits<double>::infinity();
+  // A subtree with s splits has s+1 leaves; at best each leaf captures
+  // one of the s+1 most frequent classes exactly, so all remaining
+  // classes' records are errors.
+  for (int s = 1; s < std::max(2, k); ++s) {
+    const double cost = 2.0 * s + 1.0 + s * SplitTestCost(num_attrs) +
+                        static_cast<double>(suffix[std::min(s + 1, k)]);
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+bool ShouldPruneBeforeExpand(std::span<const int64_t> class_counts,
+                             int num_attrs) {
+  return PublicLowerBound(class_counts, num_attrs) >=
+         MdlLeafCost(class_counts);
+}
+
+int PruneTreeMdl(DecisionTree* tree) {
+  if (tree->empty()) return 0;
+  const int num_attrs = tree->schema().num_attrs();
+  int removed = 0;
+  // Returns the subtree's post-pruning cost.
+  std::function<double(NodeId)> visit = [&](NodeId id) -> double {
+    TreeNode& n = tree->mutable_node(id);
+    const double leaf_cost = MdlLeafCost(n.class_counts);
+    if (n.is_leaf) return leaf_cost;
+    const double subtree_cost = SplitTestCost(num_attrs) + 1.0 +
+                                visit(n.left) + visit(n.right);
+    if (subtree_cost >= leaf_cost) {
+      tree->MakeLeaf(id);
+      ++removed;
+      return leaf_cost;
+    }
+    return subtree_cost;
+  };
+  visit(0);
+  if (removed > 0) tree->Compact();
+  return removed;
+}
+
+}  // namespace cmp

@@ -1,0 +1,48 @@
+#ifndef CMP_PRUNING_MDL_H_
+#define CMP_PRUNING_MDL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// MDL / PUBLIC-style pruning (Rastogi & Shim, VLDB 1998), used by every
+/// builder in this library, as in the paper ("for pruning, we use the
+/// algorithm in PUBLIC, since this is applied during the generation phase
+/// of the decision tree").
+///
+/// Costs are measured in bits:
+///  - a leaf costs 1 (node type) plus one bit per misclassified record
+///    (the encode-the-exceptions simplification of MDL error coding);
+///  - an internal node costs 1 + log2(num_attrs) for the split test plus
+///    its children's costs.
+/// PUBLIC(1)'s contribution is a *lower bound* on the cost of any yet
+/// unbuilt subtree, so nodes that can never beat their own leaf cost are
+/// pruned before they are ever expanded.
+
+/// MDL cost in bits of turning a node with these class counts into a leaf.
+double MdlLeafCost(std::span<const int64_t> class_counts);
+
+/// PUBLIC(1) lower bound on the MDL cost of ANY subtree with at least one
+/// split rooted at a node with the given class counts, over a dataset
+/// with `num_attrs` attributes: minimized over the number of splits s,
+///   cost(s) = 2*s + 1 + s*log2(num_attrs) + sum of the record counts of
+///             all but the s+1 largest classes.
+double PublicLowerBound(std::span<const int64_t> class_counts,
+                        int num_attrs);
+
+/// True if PUBLIC(1) says this node should not be expanded: the best
+/// possible subtree already costs at least as much as the leaf.
+bool ShouldPruneBeforeExpand(std::span<const int64_t> class_counts,
+                             int num_attrs);
+
+/// Bottom-up MDL pruning of a finished tree: replaces any subtree whose
+/// total cost is not below its leaf cost by a leaf, then compacts the
+/// tree. Returns the number of internal nodes removed.
+int PruneTreeMdl(DecisionTree* tree);
+
+}  // namespace cmp
+
+#endif  // CMP_PRUNING_MDL_H_

@@ -1,0 +1,110 @@
+#include "sampling/windowing.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "io/scan.h"
+
+namespace cmp {
+
+namespace {
+
+// Uniform sample of `k` record ids out of `n` (partial Fisher-Yates).
+std::vector<RecordId> SampleIds(int64_t n, int64_t k, Rng* rng) {
+  std::vector<RecordId> ids(n);
+  for (int64_t i = 0; i < n; ++i) ids[i] = i;
+  k = std::min(k, n);
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = rng->UniformInt(i, n - 1);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(k);
+  return ids;
+}
+
+}  // namespace
+
+BuildResult WindowingBuilder::Build(const Dataset& train) {
+  BuildResult result;
+  ScanTracker tracker(&result.stats);
+  Timer timer;
+
+  const int64_t n = train.num_records();
+  Rng rng(options_.seed);
+  const int64_t initial =
+      std::max<int64_t>(1, static_cast<int64_t>(n * options_.initial_fraction));
+  const int64_t growth =
+      std::max<int64_t>(1, static_cast<int64_t>(n * options_.growth_fraction));
+
+  // The window: record ids currently used for training, plus a
+  // membership bitmap so misclassified records are not added twice.
+  std::vector<RecordId> window = SampleIds(n, initial, &rng);
+  std::vector<uint8_t> in_window(n, 0);
+  for (RecordId r : window) in_window[r] = 1;
+  tracker.ChargeScan(train);  // drawing the sample reads the data once
+
+  for (int iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    const Dataset window_ds = train.Subset(window);
+    BuildResult inner = inner_->Build(window_ds);
+    result.tree = std::move(inner.tree);
+    result.stats.Accumulate(inner.stats);
+
+    // Classify the FULL training set to find misclassified records (one
+    // scan per iteration — windowing's hidden cost).
+    tracker.ChargeScan(train);
+    std::vector<RecordId> misses;
+    for (RecordId r = 0; r < n; ++r) {
+      if (result.tree.Classify(train, r) != train.label(r)) {
+        misses.push_back(r);
+      }
+    }
+    const double error =
+        static_cast<double>(misses.size()) / static_cast<double>(n);
+    if (error <= options_.target_error ||
+        iteration + 1 == options_.max_iterations) {
+      break;
+    }
+    // Augment the window with (up to `growth`) misclassified records,
+    // uniformly chosen.
+    int64_t added = 0;
+    for (size_t i = misses.size(); i > 1; --i) {
+      std::swap(misses[i - 1], misses[rng.UniformInt(0, i - 1)]);
+    }
+    for (RecordId r : misses) {
+      if (added >= growth) break;
+      if (in_window[r] != 0) continue;
+      in_window[r] = 1;
+      window.push_back(r);
+      ++added;
+    }
+    if (added == 0) break;  // window saturated
+  }
+
+  result.stats.tree_nodes = result.tree.num_nodes();
+  result.stats.tree_depth = result.tree.Depth();
+  result.stats.wall_seconds = timer.Seconds();
+  return result;
+}
+
+BuildResult SampledBuilder::Build(const Dataset& train) {
+  BuildResult result;
+  ScanTracker tracker(&result.stats);
+  Timer timer;
+
+  Rng rng(seed_);
+  const int64_t k = std::max<int64_t>(
+      1, static_cast<int64_t>(train.num_records() * fraction_));
+  const std::vector<RecordId> ids = SampleIds(train.num_records(), k, &rng);
+  tracker.ChargeScan(train);  // drawing the sample
+  const Dataset sample = train.Subset(ids);
+  BuildResult inner = inner_->Build(sample);
+  result.tree = std::move(inner.tree);
+  result.stats.Accumulate(inner.stats);
+  result.stats.tree_nodes = result.tree.num_nodes();
+  result.stats.tree_depth = result.tree.Depth();
+  result.stats.wall_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace cmp

@@ -1,0 +1,76 @@
+#ifndef CMP_SAMPLING_WINDOWING_H_
+#define CMP_SAMPLING_WINDOWING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "tree/builder.h"
+
+namespace cmp {
+
+/// Options for the windowing meta-builder.
+struct WindowingOptions {
+  /// Initial window size as a fraction of the training set.
+  double initial_fraction = 0.1;
+  /// Maximum records added to the window per iteration, as a fraction of
+  /// the training set.
+  double growth_fraction = 0.05;
+  /// Iteration cap.
+  int max_iterations = 8;
+  /// Stop early once the tree misclassifies at most this fraction of the
+  /// full training set.
+  double target_error = 0.005;
+  uint64_t seed = 1;
+};
+
+/// The windowing technique the paper describes in its background section
+/// (Section 1.1): train on a small sample ("window"), classify the full
+/// training set, add (a bounded number of) misclassified records to the
+/// window, and repeat. An approximate meta-strategy: it trades accuracy
+/// for fewer records visited per tree build — exactly the trade-off CMP
+/// is designed to avoid. Included so the approximate-vs-exact comparison
+/// the paper draws can be reproduced locally.
+///
+/// The wrapped `inner` builder trains each window; it is owned by this
+/// object. Scans of the full dataset for misclassification checks are
+/// charged to the returned stats.
+class WindowingBuilder : public TreeBuilder {
+ public:
+  WindowingBuilder(std::unique_ptr<TreeBuilder> inner,
+                   WindowingOptions options = {})
+      : inner_(std::move(inner)), options_(options) {}
+
+  BuildResult Build(const Dataset& train) override;
+  std::string name() const override {
+    return "Windowing(" + inner_->name() + ")";
+  }
+
+ private:
+  std::unique_ptr<TreeBuilder> inner_;
+  WindowingOptions options_;
+};
+
+/// Plain one-shot random-sample trainer: train the inner builder on a
+/// uniform sample of the given fraction. The cheapest approximate
+/// baseline ("sampling" in the paper's taxonomy).
+class SampledBuilder : public TreeBuilder {
+ public:
+  SampledBuilder(std::unique_ptr<TreeBuilder> inner, double fraction,
+                 uint64_t seed = 1)
+      : inner_(std::move(inner)), fraction_(fraction), seed_(seed) {}
+
+  BuildResult Build(const Dataset& train) override;
+  std::string name() const override {
+    return "Sampled(" + inner_->name() + ")";
+  }
+
+ private:
+  std::unique_ptr<TreeBuilder> inner_;
+  double fraction_;
+  uint64_t seed_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_SAMPLING_WINDOWING_H_

@@ -1,0 +1,42 @@
+#ifndef CMP_SLIQ_SLIQ_H_
+#define CMP_SLIQ_SLIQ_H_
+
+#include <string>
+
+#include "tree/builder.h"
+
+namespace cmp {
+
+/// Options specific to SLIQ.
+struct SliqOptions {
+  BuilderOptions base;
+};
+
+/// Reimplementation of SLIQ (Mehta, Agrawal & Rissanen, EDBT 1996), the
+/// predecessor of SPRINT and the other "exact algorithm" the paper cites.
+///
+/// Like SPRINT, SLIQ pre-sorts each numeric attribute once into an
+/// attribute list of (value, rid) entries. Unlike SPRINT, the lists are
+/// never partitioned: a memory-resident *class list* maps every rid to
+/// its current leaf, and one pass over each attribute list evaluates the
+/// gini index for ALL leaves of the current level simultaneously
+/// (breadth-first growth). Splitting just rewrites the class list.
+///
+/// The class list (one node id + class label per record) must stay in
+/// memory — SLIQ's scalability limit, and the reason SPRINT exists. The
+/// attribute lists are re-read once per level but never rewritten, so
+/// SLIQ writes far less than SPRINT.
+class SliqBuilder : public TreeBuilder {
+ public:
+  explicit SliqBuilder(SliqOptions options = {}) : options_(options) {}
+
+  BuildResult Build(const Dataset& train) override;
+  std::string name() const override { return "SLIQ"; }
+
+ private:
+  SliqOptions options_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_SLIQ_SLIQ_H_

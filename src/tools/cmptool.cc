@@ -1,0 +1,306 @@
+// cmptool: command-line front end to the CMP classifier library.
+//
+// Subcommands:
+//   gen   --function F2 --records 100000 --seed 42 --out data.cmpt
+//   train --data data.cmpt --algo cmp|cmp-b|cmp-s|sprint|clouds|rainforest
+//         --out tree.txt [--intervals 100] [--no-prune]
+//   eval  --data data.cmpt --tree tree.txt
+//   show  --tree tree.txt
+//
+// All file formats are this library's own (table_file.h, serialize.h).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "clouds/clouds.h"
+#include "common/summary.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "io/arff.h"
+#include "io/csv.h"
+#include "io/table_file.h"
+#include "rainforest/rainforest.h"
+#include "sampling/windowing.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+#include "tree/explain.h"
+#include "tree/importance.h"
+#include "tree/serialize.h"
+
+namespace {
+
+using cmp::AgrawalFunction;
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  cmptool gen   --function <F1..F10|Ff> --records N [--seed S]"
+      " [--perturb P] --out FILE\n"
+      "  cmptool train --data FILE --algo"
+      " <cmp|cmp-b|cmp-s|sprint|sliq|clouds|rainforest|exact|windowing|sampled>"
+      " [--intervals Q] [--no-prune] --out FILE\n"
+      "  cmptool eval  --data FILE --tree FILE\n"
+      "  cmptool show  --tree FILE\n"
+      "  cmptool dot   --tree FILE\n"
+      "  cmptool explain --data FILE --tree FILE --record N\n"
+      "  cmptool info  --data FILE\n"
+      "  cmptool importance --tree FILE\n";
+  return 2;
+}
+
+std::string GetFlag(int argc, char** argv, const std::string& name,
+                    const std::string& def = "") {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return def;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& name) {
+  for (int i = 0; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
+bool ParseFunction(const std::string& s, AgrawalFunction* out) {
+  if (s == "Ff" || s == "ff" || s == "f") {
+    *out = AgrawalFunction::kFunctionF;
+    return true;
+  }
+  if (s.size() >= 2 && (s[0] == 'F' || s[0] == 'f')) {
+    const int k = std::atoi(s.c_str() + 1);
+    if (k >= 1 && k <= 10) {
+      *out = static_cast<AgrawalFunction>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Loads a dataset by extension: .arff via the ARFF reader, .csv via
+// schema inference, anything else via the binary table format.
+bool LoadAnyDataset(const std::string& path, cmp::Dataset* out) {
+  if (path.size() > 5 && path.substr(path.size() - 5) == ".arff") {
+    return cmp::LoadArff(path, out);
+  }
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
+    return cmp::LoadCsvInferSchema(path, out);
+  }
+  return cmp::LoadTableFile(path, out);
+}
+
+std::unique_ptr<cmp::TreeBuilder> MakeBuilder(const std::string& algo,
+                                              int intervals, bool prune) {
+  cmp::BuilderOptions base;
+  base.prune = prune;
+  if (algo == "cmp" || algo == "cmp-b" || algo == "cmp-s") {
+    cmp::CmpOptions o = algo == "cmp"     ? cmp::CmpFullOptions()
+                        : algo == "cmp-b" ? cmp::CmpBOptions()
+                                          : cmp::CmpSOptions();
+    o.base = base;
+    o.intervals = intervals;
+    return std::make_unique<cmp::CmpBuilder>(o);
+  }
+  if (algo == "sprint") {
+    cmp::SprintOptions o;
+    o.base = base;
+    return std::make_unique<cmp::SprintBuilder>(o);
+  }
+  if (algo == "clouds") {
+    cmp::CloudsOptions o;
+    o.base = base;
+    o.intervals = intervals;
+    return std::make_unique<cmp::CloudsBuilder>(o);
+  }
+  if (algo == "rainforest") {
+    cmp::RainForestOptions o;
+    o.base = base;
+    return std::make_unique<cmp::RainForestBuilder>(o);
+  }
+  if (algo == "sliq") {
+    cmp::SliqOptions o;
+    o.base = base;
+    return std::make_unique<cmp::SliqBuilder>(o);
+  }
+  if (algo == "windowing") {
+    return std::make_unique<cmp::WindowingBuilder>(
+        std::make_unique<cmp::ExactBuilder>(base));
+  }
+  if (algo == "sampled") {
+    return std::make_unique<cmp::SampledBuilder>(
+        std::make_unique<cmp::ExactBuilder>(base), 0.1);
+  }
+  if (algo == "exact") {
+    return std::make_unique<cmp::ExactBuilder>(base);
+  }
+  return nullptr;
+}
+
+int CmdGen(int argc, char** argv) {
+  AgrawalFunction function;
+  if (!ParseFunction(GetFlag(argc, argv, "--function", "F2"), &function)) {
+    std::cerr << "unknown function\n";
+    return 2;
+  }
+  cmp::AgrawalOptions o;
+  o.function = function;
+  o.num_records = std::atoll(GetFlag(argc, argv, "--records", "100000").c_str());
+  o.seed = std::atoll(GetFlag(argc, argv, "--seed", "42").c_str());
+  o.perturbation = std::atof(GetFlag(argc, argv, "--perturb", "0").c_str());
+  const std::string out = GetFlag(argc, argv, "--out");
+  if (out.empty()) return Usage();
+  const cmp::Dataset ds = cmp::GenerateAgrawal(o);
+  if (!cmp::SaveTableFile(ds, out)) {
+    std::cerr << "failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << ds.num_records() << " records ("
+            << ds.TotalBytes() / (1024.0 * 1024.0) << " MB) to " << out
+            << "\n";
+  return 0;
+}
+
+int CmdTrain(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  const std::string out = GetFlag(argc, argv, "--out");
+  const std::string algo = GetFlag(argc, argv, "--algo", "cmp");
+  const int intervals =
+      std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
+  if (data.empty() || out.empty()) return Usage();
+  cmp::Dataset ds;
+  if (!LoadAnyDataset(data, &ds)) {
+    std::cerr << "failed to read " << data << "\n";
+    return 1;
+  }
+  auto builder =
+      MakeBuilder(algo, intervals, !HasFlag(argc, argv, "--no-prune"));
+  if (builder == nullptr) {
+    std::cerr << "unknown algorithm " << algo << "\n";
+    return 2;
+  }
+  const cmp::BuildResult result = builder->Build(ds);
+  std::cout << builder->name() << ": " << result.stats.ToString() << "\n";
+  if (!cmp::SaveTree(result.tree, out)) {
+    std::cerr << "failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << "tree with " << result.tree.num_nodes() << " nodes saved to "
+            << out << "\n";
+  return 0;
+}
+
+int CmdEval(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  const std::string tree_path = GetFlag(argc, argv, "--tree");
+  if (data.empty() || tree_path.empty()) return Usage();
+  cmp::Dataset ds;
+  if (!LoadAnyDataset(data, &ds)) {
+    std::cerr << "failed to read " << data << "\n";
+    return 1;
+  }
+  cmp::DecisionTree tree;
+  if (!cmp::LoadTree(tree_path, &tree)) {
+    std::cerr << "failed to read " << tree_path << "\n";
+    return 1;
+  }
+  const cmp::Evaluation eval = cmp::Evaluate(tree, ds);
+  std::cout << eval.ToString(ds.schema());
+  return 0;
+}
+
+int CmdDot(int argc, char** argv) {
+  const std::string tree_path = GetFlag(argc, argv, "--tree");
+  if (tree_path.empty()) return Usage();
+  cmp::DecisionTree tree;
+  if (!cmp::LoadTree(tree_path, &tree)) {
+    std::cerr << "failed to read " << tree_path << "\n";
+    return 1;
+  }
+  std::cout << cmp::ToDot(tree);
+  return 0;
+}
+
+int CmdExplain(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  const std::string tree_path = GetFlag(argc, argv, "--tree");
+  const int64_t record = std::atoll(GetFlag(argc, argv, "--record", "0").c_str());
+  if (data.empty() || tree_path.empty()) return Usage();
+  cmp::Dataset ds;
+  if (!LoadAnyDataset(data, &ds)) {
+    std::cerr << "failed to read " << data << "\n";
+    return 1;
+  }
+  cmp::DecisionTree tree;
+  if (!cmp::LoadTree(tree_path, &tree)) {
+    std::cerr << "failed to read " << tree_path << "\n";
+    return 1;
+  }
+  if (record < 0 || record >= ds.num_records()) {
+    std::cerr << "record out of range\n";
+    return 2;
+  }
+  const cmp::Explanation why = cmp::Explain(tree, ds, record);
+  std::cout << "record " << record << " (actual: "
+            << ds.schema().class_name(ds.label(record)) << ")\n"
+            << why.ToString(ds.schema());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  if (data.empty()) return Usage();
+  cmp::Dataset ds;
+  if (!LoadAnyDataset(data, &ds)) {
+    std::cerr << "failed to read " << data << "\n";
+    return 1;
+  }
+  std::cout << cmp::Summarize(ds).ToString(ds.schema());
+  return 0;
+}
+
+int CmdImportance(int argc, char** argv) {
+  const std::string tree_path = GetFlag(argc, argv, "--tree");
+  if (tree_path.empty()) return Usage();
+  cmp::DecisionTree tree;
+  if (!cmp::LoadTree(tree_path, &tree)) {
+    std::cerr << "failed to read " << tree_path << "\n";
+    return 1;
+  }
+  const std::vector<double> importance = cmp::GiniImportance(tree);
+  std::cout << cmp::ImportanceToString(tree, importance);
+  return 0;
+}
+
+int CmdShow(int argc, char** argv) {
+  const std::string tree_path = GetFlag(argc, argv, "--tree");
+  if (tree_path.empty()) return Usage();
+  cmp::DecisionTree tree;
+  if (!cmp::LoadTree(tree_path, &tree)) {
+    std::cerr << "failed to read " << tree_path << "\n";
+    return 1;
+  }
+  std::cout << tree.ToString();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
+  if (cmd == "train") return CmdTrain(argc - 2, argv + 2);
+  if (cmd == "eval") return CmdEval(argc - 2, argv + 2);
+  if (cmd == "show") return CmdShow(argc - 2, argv + 2);
+  if (cmd == "dot") return CmdDot(argc - 2, argv + 2);
+  if (cmd == "explain") return CmdExplain(argc - 2, argv + 2);
+  if (cmd == "info") return CmdInfo(argc - 2, argv + 2);
+  if (cmd == "importance") return CmdImportance(argc - 2, argv + 2);
+  return Usage();
+}

@@ -1,0 +1,52 @@
+#ifndef CMP_TREE_BUILDER_H_
+#define CMP_TREE_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/dataset.h"
+#include "common/stats.h"
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// Options shared by every tree builder in the library so comparison
+/// benchmarks (Figures 16-19) drive all algorithms identically.
+struct BuilderOptions {
+  /// Stop splitting when a node has fewer records than this.
+  int64_t min_split_records = 2;
+  /// Hard cap on tree depth (safety valve; the paper's trees are shallow
+  /// compared to this).
+  int max_depth = 60;
+  /// Nodes whose partition has at most this many records are finished by
+  /// an exact in-memory builder instead of further scans (the standard
+  /// "fits in memory" switch; RainForest's RF-Hybrid does this
+  /// explicitly). 0 disables the switch.
+  int64_t in_memory_threshold = 4096;
+  /// Enable PUBLIC(1)-style MDL pruning during and after construction.
+  bool prune = true;
+};
+
+/// Result of building a tree: the classifier plus the cost counters used
+/// to reproduce the paper's figures.
+struct BuildResult {
+  DecisionTree tree;
+  BuildStats stats;
+};
+
+/// Common interface of SPRINT, CLOUDS, RainForest and the CMP family.
+class TreeBuilder {
+ public:
+  virtual ~TreeBuilder() = default;
+
+  /// Builds a decision tree for `train`. Implementations never mutate the
+  /// dataset.
+  virtual BuildResult Build(const Dataset& train) = 0;
+
+  /// Short algorithm name for benchmark tables ("SPRINT", "CMP-B", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_TREE_BUILDER_H_

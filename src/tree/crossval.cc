@@ -1,0 +1,58 @@
+#include "tree/crossval.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/random.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+
+double CrossValResult::MeanAccuracy() const {
+  if (fold_accuracy.empty()) return 0.0;
+  double sum = 0.0;
+  for (double a : fold_accuracy) sum += a;
+  return sum / static_cast<double>(fold_accuracy.size());
+}
+
+double CrossValResult::StdDevAccuracy() const {
+  if (fold_accuracy.size() < 2) return 0.0;
+  const double mean = MeanAccuracy();
+  double ss = 0.0;
+  for (double a : fold_accuracy) ss += (a - mean) * (a - mean);
+  return std::sqrt(ss / static_cast<double>(fold_accuracy.size() - 1));
+}
+
+CrossValResult CrossValidate(TreeBuilder* builder, const Dataset& data,
+                             int folds, uint64_t seed) {
+  assert(folds >= 2);
+  CrossValResult out;
+  const int64_t n = data.num_records();
+  std::vector<RecordId> ids(n);
+  for (int64_t i = 0; i < n; ++i) ids[i] = i;
+  Rng rng(seed);
+  for (int64_t i = n - 1; i > 0; --i) {
+    const int64_t j = rng.UniformInt(0, i);
+    std::swap(ids[i], ids[j]);
+  }
+
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<RecordId> train_ids;
+    std::vector<RecordId> test_ids;
+    for (int64_t i = 0; i < n; ++i) {
+      if (static_cast<int>(i % folds) == fold) {
+        test_ids.push_back(ids[i]);
+      } else {
+        train_ids.push_back(ids[i]);
+      }
+    }
+    const Dataset train = data.Subset(train_ids);
+    const Dataset test = data.Subset(test_ids);
+    const BuildResult result = builder->Build(train);
+    out.total_stats.Accumulate(result.stats);
+    out.fold_accuracy.push_back(Evaluate(result.tree, test).Accuracy());
+  }
+  return out;
+}
+
+}  // namespace cmp

@@ -1,0 +1,31 @@
+#ifndef CMP_TREE_CROSSVAL_H_
+#define CMP_TREE_CROSSVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "tree/builder.h"
+
+namespace cmp {
+
+/// Result of a k-fold cross-validation run.
+struct CrossValResult {
+  /// Held-out accuracy per fold.
+  std::vector<double> fold_accuracy;
+  /// Training cost counters accumulated across folds.
+  BuildStats total_stats;
+
+  double MeanAccuracy() const;
+  /// Sample standard deviation of the fold accuracies.
+  double StdDevAccuracy() const;
+};
+
+/// Runs k-fold cross-validation of `builder` on `data` with a
+/// deterministic shuffle.
+CrossValResult CrossValidate(TreeBuilder* builder, const Dataset& data,
+                             int folds, uint64_t seed = 1);
+
+}  // namespace cmp
+
+#endif  // CMP_TREE_CROSSVAL_H_

@@ -1,0 +1,60 @@
+#include "tree/evaluate.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace cmp {
+
+Evaluation Evaluate(const DecisionTree& tree, const Dataset& ds) {
+  Evaluation out;
+  const int nc = ds.num_classes();
+  out.confusion.assign(nc, std::vector<int64_t>(nc, 0));
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    const ClassId actual = ds.label(r);
+    const ClassId predicted = tree.Classify(ds, r);
+    out.total++;
+    if (actual == predicted) out.correct++;
+    out.confusion[actual][predicted]++;
+  }
+  return out;
+}
+
+std::string Evaluation::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "accuracy: " << std::fixed << std::setprecision(4) << Accuracy()
+     << " (" << correct << "/" << total << ")\n";
+  os << std::setw(12) << "actual\\pred";
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    os << std::setw(10) << schema.class_name(c);
+  }
+  os << '\n';
+  for (ClassId a = 0; a < schema.num_classes(); ++a) {
+    os << std::setw(12) << schema.class_name(a);
+    for (ClassId p = 0; p < schema.num_classes(); ++p) {
+      os << std::setw(10) << confusion[a][p];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TrainTestSplit(int64_t num_records, double test_fraction, uint64_t seed,
+                    std::vector<RecordId>* train_ids,
+                    std::vector<RecordId>* test_ids) {
+  std::vector<RecordId> ids(num_records);
+  for (int64_t i = 0; i < num_records; ++i) ids[i] = i;
+  // Fisher-Yates with the library RNG for reproducibility.
+  Rng rng(seed);
+  for (int64_t i = num_records - 1; i > 0; --i) {
+    const int64_t j = rng.UniformInt(0, i);
+    std::swap(ids[i], ids[j]);
+  }
+  const int64_t test_n = static_cast<int64_t>(num_records * test_fraction);
+  test_ids->assign(ids.begin(), ids.begin() + test_n);
+  train_ids->assign(ids.begin() + test_n, ids.end());
+}
+
+}  // namespace cmp

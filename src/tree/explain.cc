@@ -1,0 +1,69 @@
+#include "tree/explain.h"
+
+#include <sstream>
+
+namespace cmp {
+
+Explanation Explain(const DecisionTree& tree, const Dataset& ds,
+                    RecordId r) {
+  Explanation out;
+  if (tree.empty()) return out;
+  NodeId id = 0;
+  while (!tree.node(id).is_leaf) {
+    const TreeNode& n = tree.node(id);
+    DecisionStep step;
+    step.node = id;
+    step.test = n.split.ToString(tree.schema());
+    step.went_left = n.split.RoutesLeft(ds, r);
+    out.path.push_back(std::move(step));
+    id = out.path.back().went_left ? n.left : n.right;
+  }
+  out.leaf = id;
+  out.predicted = tree.node(id).leaf_class;
+  out.leaf_counts = tree.node(id).class_counts;
+  return out;
+}
+
+std::string Explanation::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (const DecisionStep& step : path) {
+    os << (step.went_left ? "  [yes] " : "  [no]  ") << step.test << '\n';
+  }
+  os << "=> " << schema.class_name(predicted) << " (";
+  for (size_t c = 0; c < leaf_counts.size(); ++c) {
+    if (c > 0) os << ", ";
+    os << leaf_counts[c];
+  }
+  os << ")\n";
+  return os.str();
+}
+
+std::string ToDot(const DecisionTree& tree) {
+  std::ostringstream os;
+  os << "digraph cmp_tree {\n  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& n = tree.node(id);
+    if (n.is_leaf) {
+      int64_t total = 0;
+      for (int64_t c : n.class_counts) total += c;
+      os << "  n" << id << " [label=\""
+         << tree.schema().class_name(n.leaf_class) << "\\n" << total
+         << " records\", style=filled, fillcolor=lightgray];\n";
+    } else {
+      std::string label = n.split.ToString(tree.schema());
+      // Escape quotes for DOT.
+      std::string escaped;
+      for (char c : label) {
+        if (c == '"') escaped += '\\';
+        escaped += c;
+      }
+      os << "  n" << id << " [label=\"" << escaped << "\"];\n";
+      os << "  n" << id << " -> n" << n.left << " [label=\"yes\"];\n";
+      os << "  n" << id << " -> n" << n.right << " [label=\"no\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cmp

@@ -1,0 +1,43 @@
+#ifndef CMP_TREE_EXPLAIN_H_
+#define CMP_TREE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// One hop of a record's route through the tree.
+struct DecisionStep {
+  NodeId node = kInvalidNode;
+  /// The test at this node, rendered ("salary <= 65000").
+  std::string test;
+  /// Whether the record satisfied the test (went left).
+  bool went_left = false;
+};
+
+/// Explanation of a single classification: the tests on the root-to-leaf
+/// path plus the leaf's prediction and class distribution.
+struct Explanation {
+  std::vector<DecisionStep> path;
+  NodeId leaf = kInvalidNode;
+  ClassId predicted = kInvalidClass;
+  std::vector<int64_t> leaf_counts;
+
+  /// Multi-line rendering, one test per line.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Traces record `r` of `ds` through `tree`.
+Explanation Explain(const DecisionTree& tree, const Dataset& ds, RecordId r);
+
+/// Writes the tree in Graphviz DOT format (view with `dot -Tsvg`).
+/// Internal nodes show their split test; leaves show the class name and
+/// training distribution.
+std::string ToDot(const DecisionTree& tree);
+
+}  // namespace cmp
+
+#endif  // CMP_TREE_EXPLAIN_H_

@@ -1,0 +1,66 @@
+#include "tree/importance.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "gini/gini.h"
+
+namespace cmp {
+
+std::vector<double> GiniImportance(const DecisionTree& tree) {
+  std::vector<double> importance(tree.schema().num_attrs(), 0.0);
+  if (tree.empty()) return importance;
+  int64_t root_total = 0;
+  for (int64_t c : tree.node(0).class_counts) root_total += c;
+  if (root_total == 0) return importance;
+
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& n = tree.node(id);
+    if (n.is_leaf) continue;
+    const TreeNode& l = tree.node(n.left);
+    const TreeNode& r = tree.node(n.right);
+    int64_t node_n = 0;
+    for (int64_t c : n.class_counts) node_n += c;
+    if (node_n == 0) continue;
+    const double decrease =
+        Gini(n.class_counts) - SplitGini(l.class_counts, r.class_counts);
+    const double weighted =
+        decrease * static_cast<double>(node_n) / root_total;
+    if (weighted <= 0) continue;
+    if (n.split.kind == Split::Kind::kLinear) {
+      importance[n.split.attr] += weighted / 2.0;
+      importance[n.split.attr2] += weighted / 2.0;
+    } else {
+      importance[n.split.attr] += weighted;
+    }
+  }
+  const double total =
+      std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+std::string ImportanceToString(const DecisionTree& tree,
+                               const std::vector<double>& importance) {
+  std::vector<AttrId> order(importance.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<AttrId>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](AttrId a, AttrId b) {
+    return importance[a] > importance[b];
+  });
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  for (AttrId a : order) {
+    if (importance[a] <= 0) continue;
+    os << std::setw(14) << tree.schema().attr(a).name << "  "
+       << importance[a] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cmp

@@ -1,0 +1,23 @@
+#ifndef CMP_TREE_IMPORTANCE_H_
+#define CMP_TREE_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// Gini-decrease variable importance: for every internal node, the
+/// weighted impurity reduction of its split is credited to the split's
+/// attribute(s) — both attributes, half each, for linear splits. Scores
+/// are normalized to sum to 1 (all zeros if the tree is a single leaf).
+std::vector<double> GiniImportance(const DecisionTree& tree);
+
+/// Tabular rendering, attributes sorted by descending importance.
+std::string ImportanceToString(const DecisionTree& tree,
+                               const std::vector<double>& importance);
+
+}  // namespace cmp
+
+#endif  // CMP_TREE_IMPORTANCE_H_

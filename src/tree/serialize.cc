@@ -1,0 +1,202 @@
+#include "tree/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cmp {
+
+namespace {
+
+void WriteDouble(std::ostringstream& os, double v) {
+  os << std::hexfloat << v << std::defaultfloat;
+}
+
+bool ReadDouble(std::istringstream& is, double* v) {
+  std::string tok;
+  if (!(is >> tok)) return false;
+  try {
+    *v = std::strtod(tok.c_str(), nullptr);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeTree(const DecisionTree& tree) {
+  std::ostringstream os;
+  const Schema& schema = tree.schema();
+  os << "cmp-tree 1\n";
+  os << "attrs " << schema.num_attrs() << '\n';
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const AttrInfo& info = schema.attr(a);
+    os << (info.kind == AttrKind::kNumeric ? "num " : "cat ")
+       << info.cardinality << ' ' << info.name << '\n';
+  }
+  os << "classes " << schema.num_classes() << '\n';
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    os << schema.class_name(c) << '\n';
+  }
+  os << "nodes " << tree.num_nodes() << '\n';
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& n = tree.node(id);
+    if (n.is_leaf) {
+      os << "leaf " << n.leaf_class;
+    } else {
+      switch (n.split.kind) {
+        case Split::Kind::kNumeric:
+          os << "num " << n.split.attr << ' ';
+          WriteDouble(os, n.split.threshold);
+          break;
+        case Split::Kind::kCategorical: {
+          os << "cat " << n.split.attr << ' ' << n.split.left_subset.size()
+             << ' ';
+          for (uint8_t b : n.split.left_subset) os << (b ? '1' : '0');
+          break;
+        }
+        case Split::Kind::kLinear:
+          os << "lin " << n.split.attr << ' ' << n.split.attr2 << ' ';
+          WriteDouble(os, n.split.a);
+          os << ' ';
+          WriteDouble(os, n.split.b);
+          os << ' ';
+          WriteDouble(os, n.split.c);
+          break;
+      }
+      os << ' ' << n.left << ' ' << n.right;
+    }
+    os << " d " << n.depth << " cc " << n.class_counts.size();
+    for (int64_t cnt : n.class_counts) os << ' ' << cnt;
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool DeserializeTree(const std::string& text, DecisionTree* out) {
+  std::istringstream lines(text);
+  std::string line;
+  auto next_line = [&](std::istringstream* ls) {
+    if (!std::getline(lines, line)) return false;
+    ls->clear();
+    ls->str(line);
+    return true;
+  };
+
+  std::istringstream ls;
+  if (!next_line(&ls)) return false;
+  std::string tag;
+  int version = 0;
+  if (!(ls >> tag >> version) || tag != "cmp-tree" || version != 1) {
+    return false;
+  }
+
+  if (!next_line(&ls)) return false;
+  int num_attrs = 0;
+  if (!(ls >> tag >> num_attrs) || tag != "attrs" || num_attrs < 0) {
+    return false;
+  }
+  std::vector<AttrInfo> attrs(num_attrs);
+  for (auto& info : attrs) {
+    if (!next_line(&ls)) return false;
+    std::string kind;
+    if (!(ls >> kind >> info.cardinality)) return false;
+    if (kind == "num") {
+      info.kind = AttrKind::kNumeric;
+    } else if (kind == "cat") {
+      info.kind = AttrKind::kCategorical;
+    } else {
+      return false;
+    }
+    std::getline(ls, info.name);
+    if (!info.name.empty() && info.name.front() == ' ') {
+      info.name.erase(0, 1);
+    }
+  }
+
+  if (!next_line(&ls)) return false;
+  int num_classes = 0;
+  if (!(ls >> tag >> num_classes) || tag != "classes" || num_classes <= 0) {
+    return false;
+  }
+  std::vector<std::string> class_names(num_classes);
+  for (auto& name : class_names) {
+    if (!std::getline(lines, name)) return false;
+  }
+
+  if (!next_line(&ls)) return false;
+  int num_nodes = 0;
+  if (!(ls >> tag >> num_nodes) || tag != "nodes" || num_nodes < 0) {
+    return false;
+  }
+
+  DecisionTree tree(Schema(std::move(attrs), std::move(class_names)));
+  for (int i = 0; i < num_nodes; ++i) {
+    if (!next_line(&ls)) return false;
+    TreeNode n;
+    std::string kind;
+    if (!(ls >> kind)) return false;
+    if (kind == "leaf") {
+      if (!(ls >> n.leaf_class)) return false;
+      n.is_leaf = true;
+    } else {
+      n.is_leaf = false;
+      if (kind == "num") {
+        n.split.kind = Split::Kind::kNumeric;
+        if (!(ls >> n.split.attr)) return false;
+        if (!ReadDouble(ls, &n.split.threshold)) return false;
+      } else if (kind == "cat") {
+        n.split.kind = Split::Kind::kCategorical;
+        size_t card = 0;
+        std::string bits;
+        if (!(ls >> n.split.attr >> card >> bits)) return false;
+        if (bits.size() != card) return false;
+        n.split.left_subset.resize(card);
+        for (size_t v = 0; v < card; ++v) {
+          n.split.left_subset[v] = bits[v] == '1' ? 1 : 0;
+        }
+      } else if (kind == "lin") {
+        n.split.kind = Split::Kind::kLinear;
+        if (!(ls >> n.split.attr >> n.split.attr2)) return false;
+        if (!ReadDouble(ls, &n.split.a) || !ReadDouble(ls, &n.split.b) ||
+            !ReadDouble(ls, &n.split.c)) {
+          return false;
+        }
+      } else {
+        return false;
+      }
+      if (!(ls >> n.left >> n.right)) return false;
+    }
+    std::string dtag;
+    std::string cctag;
+    size_t cc = 0;
+    if (!(ls >> dtag >> n.depth >> cctag >> cc) || dtag != "d" ||
+        cctag != "cc") {
+      return false;
+    }
+    n.class_counts.resize(cc);
+    for (auto& cnt : n.class_counts) {
+      if (!(ls >> cnt)) return false;
+    }
+    tree.AddNode(std::move(n));
+  }
+  *out = std::move(tree);
+  return true;
+}
+
+bool SaveTree(const DecisionTree& tree, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) return false;
+  os << SerializeTree(tree);
+  return os.good();
+}
+
+bool LoadTree(const std::string& path, DecisionTree* out) {
+  std::ifstream is(path);
+  if (!is.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return DeserializeTree(buffer.str(), out);
+}
+
+}  // namespace cmp

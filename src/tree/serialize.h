@@ -1,0 +1,24 @@
+#ifndef CMP_TREE_SERIALIZE_H_
+#define CMP_TREE_SERIALIZE_H_
+
+#include <string>
+
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// Serializes a tree (with its schema) to a line-oriented text format
+/// suitable for files or logs. Round-trips exactly through
+/// DeserializeTree (thresholds are written with hexfloat precision).
+std::string SerializeTree(const DecisionTree& tree);
+
+/// Parses the output of SerializeTree. Returns false on malformed input.
+bool DeserializeTree(const std::string& text, DecisionTree* out);
+
+/// Convenience wrappers writing/reading the text format to a file.
+bool SaveTree(const DecisionTree& tree, const std::string& path);
+bool LoadTree(const std::string& path, DecisionTree* out);
+
+}  // namespace cmp
+
+#endif  // CMP_TREE_SERIALIZE_H_

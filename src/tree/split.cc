@@ -1,0 +1,77 @@
+#include "tree/split.h"
+
+#include <sstream>
+#include <utility>
+
+namespace cmp {
+
+Split Split::Numeric(AttrId attr, double threshold) {
+  Split s;
+  s.kind = Kind::kNumeric;
+  s.attr = attr;
+  s.threshold = threshold;
+  return s;
+}
+
+Split Split::Categorical(AttrId attr, std::vector<uint8_t> left_subset) {
+  Split s;
+  s.kind = Kind::kCategorical;
+  s.attr = attr;
+  s.left_subset = std::move(left_subset);
+  return s;
+}
+
+Split Split::Linear(AttrId x, AttrId y, double a, double b, double c) {
+  Split s;
+  s.kind = Kind::kLinear;
+  s.attr = x;
+  s.attr2 = y;
+  s.a = a;
+  s.b = b;
+  s.c = c;
+  return s;
+}
+
+bool Split::RoutesLeft(const Dataset& ds, RecordId r) const {
+  switch (kind) {
+    case Kind::kNumeric:
+      return ds.numeric(attr, r) <= threshold;
+    case Kind::kCategorical: {
+      const int32_t v = ds.categorical(attr, r);
+      return v >= 0 && v < static_cast<int32_t>(left_subset.size()) &&
+             left_subset[v] != 0;
+    }
+    case Kind::kLinear:
+      return a * ds.numeric(attr, r) + b * ds.numeric(attr2, r) <= c;
+  }
+  return false;
+}
+
+std::string Split::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kNumeric:
+      os << schema.attr(attr).name << " <= " << threshold;
+      break;
+    case Kind::kCategorical: {
+      os << schema.attr(attr).name << " in {";
+      bool first = true;
+      for (size_t v = 0; v < left_subset.size(); ++v) {
+        if (left_subset[v] != 0) {
+          if (!first) os << ",";
+          os << v;
+          first = false;
+        }
+      }
+      os << "}";
+      break;
+    }
+    case Kind::kLinear:
+      os << a << "*" << schema.attr(attr).name << " + " << b << "*"
+         << schema.attr(attr2).name << " <= " << c;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace cmp

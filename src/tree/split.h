@@ -1,0 +1,50 @@
+#ifndef CMP_TREE_SPLIT_H_
+#define CMP_TREE_SPLIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/schema.h"
+#include "common/types.h"
+
+namespace cmp {
+
+/// A decision-tree split criterion. Three kinds are supported:
+///  - numeric:      attr <= threshold           -> left child
+///  - categorical:  attr value in left_subset   -> left child
+///  - linear:       a*attr + b*attr2 <= c       -> left child
+/// The linear kind is CMP's multivariate split over two numeric
+/// attributes (Section 2.3 of the paper).
+struct Split {
+  enum class Kind { kNumeric, kCategorical, kLinear };
+
+  Kind kind = Kind::kNumeric;
+  AttrId attr = kInvalidAttr;
+  double threshold = 0.0;
+  /// Linear splits only: second attribute and coefficients of
+  /// a*x + b*y <= c with x = attr, y = attr2.
+  AttrId attr2 = kInvalidAttr;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+  /// Categorical splits only, indexed by attribute value.
+  std::vector<uint8_t> left_subset;
+
+  /// Factory helpers.
+  static Split Numeric(AttrId attr, double threshold);
+  static Split Categorical(AttrId attr, std::vector<uint8_t> left_subset);
+  static Split Linear(AttrId x, AttrId y, double a, double b, double c);
+
+  /// True if record `r` of `ds` goes to the left child.
+  bool RoutesLeft(const Dataset& ds, RecordId r) const;
+
+  /// Human-readable rendering, e.g. "salary <= 65000" or
+  /// "salary + 0.93*commission <= 95796".
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_TREE_SPLIT_H_

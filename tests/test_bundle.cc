@@ -1,0 +1,140 @@
+#include "cmp/bundle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/agrawal.h"
+#include "io/scan.h"
+
+namespace cmp {
+namespace {
+
+class BundleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AgrawalOptions gen;
+    gen.function = AgrawalFunction::kF2;
+    gen.num_records = 3000;
+    gen.seed = 131;
+    ds_ = GenerateAgrawal(gen);
+    grids_ = ComputeEqualDepthGrids(ds_, 20, nullptr);
+  }
+
+  Dataset ds_;
+  std::vector<IntervalGrid> grids_;
+};
+
+TEST_F(BundleTest, UnivariateHistsMatchDirectCounts) {
+  HistBundle bundle = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    bundle.Add(ds_, grids_, r);
+  }
+  EXPECT_FALSE(bundle.bivariate());
+  EXPECT_EQ(bundle.ClassTotals(), ds_.ClassCounts());
+
+  // Verify the salary histogram against direct counting.
+  const AttrId salary = ds_.schema().FindAttr("salary");
+  const Histogram1D hist = bundle.HistFor(salary);
+  Histogram1D direct(grids_[salary].num_intervals(), 2);
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    direct.Add(grids_[salary].IntervalOf(ds_.numeric(salary, r)),
+               ds_.label(r));
+  }
+  for (int i = 0; i < hist.num_intervals(); ++i) {
+    for (ClassId c = 0; c < 2; ++c) {
+      EXPECT_EQ(hist.count(i, c), direct.count(i, c));
+    }
+  }
+}
+
+TEST_F(BundleTest, BivariateMarginalsMatchUnivariate) {
+  const AttrId x = ds_.schema().FindAttr("salary");
+  HistBundle uni = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  HistBundle bi = HistBundle::MakeBivariate(ds_.schema(), grids_, x, 0,
+                                            grids_[x].num_intervals());
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    uni.Add(ds_, grids_, r);
+    bi.Add(ds_, grids_, r);
+  }
+  EXPECT_TRUE(bi.bivariate());
+  EXPECT_EQ(bi.ClassTotals(), uni.ClassTotals());
+  for (AttrId a = 0; a < ds_.num_attrs(); ++a) {
+    const Histogram1D hu = uni.HistFor(a);
+    const Histogram1D hb = bi.HistFor(a);
+    ASSERT_EQ(hu.num_intervals(), hb.num_intervals()) << "attr " << a;
+    for (int i = 0; i < hu.num_intervals(); ++i) {
+      for (ClassId c = 0; c < 2; ++c) {
+        EXPECT_EQ(hu.count(i, c), hb.count(i, c))
+            << "attr " << a << " row " << i;
+      }
+    }
+  }
+}
+
+TEST_F(BundleTest, DeriveXRangeEqualsFreshBuildOfSubset) {
+  const AttrId x = ds_.schema().FindAttr("age");
+  const int qx = grids_[x].num_intervals();
+  HistBundle parent = HistBundle::MakeBivariate(ds_.schema(), grids_, x, 0, qx);
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    parent.Add(ds_, grids_, r);
+  }
+  const int cut = qx / 2;
+  const HistBundle left = parent.DeriveXRange(0, cut, 0, cut);
+
+  // A bundle freshly filled with only the records in X-intervals [0,cut)
+  // must match the derived one exactly.
+  HistBundle fresh = HistBundle::MakeBivariate(ds_.schema(), grids_, x, 0, cut);
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    if (grids_[x].IntervalOf(ds_.numeric(x, r)) < cut) {
+      fresh.Add(ds_, grids_, r);
+    }
+  }
+  EXPECT_EQ(left.ClassTotals(), fresh.ClassTotals());
+  for (AttrId a = 0; a < ds_.num_attrs(); ++a) {
+    if (a == x) continue;
+    const Histogram1D hl = left.HistFor(a);
+    const Histogram1D hf = fresh.HistFor(a);
+    for (int i = 0; i < hl.num_intervals(); ++i) {
+      for (ClassId c = 0; c < 2; ++c) {
+        EXPECT_EQ(hl.count(i, c), hf.count(i, c));
+      }
+    }
+  }
+}
+
+TEST_F(BundleTest, DeriveWithPartialColumnStartsEmptyThere) {
+  const AttrId x = ds_.schema().FindAttr("age");
+  const int qx = grids_[x].num_intervals();
+  HistBundle parent = HistBundle::MakeBivariate(ds_.schema(), grids_, x, 0, qx);
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    parent.Add(ds_, grids_, r);
+  }
+  const int alive = qx / 2;
+  // Left child covers [0, alive] with the alive column left empty.
+  const HistBundle left = parent.DeriveXRange(0, alive + 1, 0, alive);
+  const Histogram1D hx = left.HistFor(x);
+  ASSERT_EQ(hx.num_intervals(), alive + 1);
+  EXPECT_EQ(hx.IntervalTotal(alive), 0);  // partial column empty until flush
+}
+
+TEST_F(BundleTest, MergeSameShapeAddsCounts) {
+  HistBundle a = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  HistBundle b = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    (r % 2 == 0 ? a : b).Add(ds_, grids_, r);
+  }
+  a.MergeSameShape(b);
+  EXPECT_EQ(a.ClassTotals(), ds_.ClassCounts());
+}
+
+TEST_F(BundleTest, MemoryBytesPositiveAndLargerForBivariate) {
+  const AttrId x = ds_.schema().FindAttr("salary");
+  const HistBundle uni = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  const HistBundle bi = HistBundle::MakeBivariate(
+      ds_.schema(), grids_, x, 0, grids_[x].num_intervals());
+  EXPECT_GT(uni.MemoryBytes(), 0);
+  EXPECT_GT(bi.MemoryBytes(), uni.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace cmp

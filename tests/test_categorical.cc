@@ -1,0 +1,97 @@
+#include "gini/categorical.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gini/gini.h"
+
+namespace cmp {
+namespace {
+
+TEST(CategoricalSplit, PerfectSeparation) {
+  // Values {0,1} are class 0, values {2,3} are class 1.
+  Histogram1D hist(4, 2);
+  hist.Add(0, 0, 10);
+  hist.Add(1, 0, 5);
+  hist.Add(2, 1, 8);
+  hist.Add(3, 1, 7);
+  const CategoricalSplit s = BestCategoricalSplit(hist);
+  ASSERT_TRUE(s.valid);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+  EXPECT_EQ(s.left_subset[0], s.left_subset[1]);
+  EXPECT_EQ(s.left_subset[2], s.left_subset[3]);
+  EXPECT_NE(s.left_subset[0], s.left_subset[2]);
+}
+
+TEST(CategoricalSplit, SingleValueInvalid) {
+  Histogram1D hist(1, 2);
+  hist.Add(0, 0, 5);
+  hist.Add(0, 1, 5);
+  EXPECT_FALSE(BestCategoricalSplit(hist).valid);
+}
+
+TEST(CategoricalSplit, EmptyHistogramInvalid) {
+  Histogram1D hist(3, 2);
+  EXPECT_FALSE(BestCategoricalSplit(hist).valid);
+}
+
+TEST(CategoricalSplit, TwoValues) {
+  Histogram1D hist(2, 2);
+  hist.Add(0, 0, 9);
+  hist.Add(0, 1, 1);
+  hist.Add(1, 0, 2);
+  hist.Add(1, 1, 8);
+  const CategoricalSplit s = BestCategoricalSplit(hist);
+  ASSERT_TRUE(s.valid);
+  // Only one bipartition exists; verify its gini.
+  const std::vector<int64_t> left = {9, 1};
+  const std::vector<int64_t> right = {2, 8};
+  EXPECT_NEAR(s.gini, SplitGini(left, right), 1e-12);
+}
+
+// The greedy path (cardinality above the exhaustive limit) must still
+// find a reasonable split; on perfectly separable data it finds the
+// perfect one.
+TEST(CategoricalSplit, GreedyFindsPerfectSeparation) {
+  const int card = 20;
+  Histogram1D hist(card, 2);
+  for (int v = 0; v < card; ++v) {
+    hist.Add(v, v % 2 == 0 ? 0 : 1, 5);
+  }
+  const CategoricalSplit s = BestCategoricalSplit(hist, /*exhaustive_limit=*/8);
+  ASSERT_TRUE(s.valid);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+}
+
+// Exhaustive and greedy agree on separable data and greedy is never
+// better than exhaustive (exhaustive is optimal).
+TEST(CategoricalSplit, GreedyNeverBeatsExhaustive) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int card = 8;
+    Histogram1D hist(card, 2);
+    for (int v = 0; v < card; ++v) {
+      hist.Add(v, 0, rng.UniformInt(0, 20));
+      hist.Add(v, 1, rng.UniformInt(0, 20));
+    }
+    const CategoricalSplit exhaustive =
+        BestCategoricalSplit(hist, /*exhaustive_limit=*/12);
+    const CategoricalSplit greedy =
+        BestCategoricalSplit(hist, /*exhaustive_limit=*/2);
+    if (exhaustive.valid && greedy.valid) {
+      EXPECT_LE(exhaustive.gini, greedy.gini + 1e-12);
+    }
+  }
+}
+
+TEST(CategoricalSplit, SkipsEmptySideSubsets) {
+  // One value holds everything: every bipartition puts all records on
+  // one side, so no valid split exists.
+  Histogram1D hist(3, 2);
+  hist.Add(1, 0, 5);
+  hist.Add(1, 1, 5);
+  EXPECT_FALSE(BestCategoricalSplit(hist).valid);
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,110 @@
+#include "clouds/clouds.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+TEST(Clouds, HighAccuracyOnF2) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 20000;
+  gen.seed = 111;
+  const Dataset data = GenerateAgrawal(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 6, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  CloudsBuilder builder;
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, test).Accuracy(), 0.97);
+}
+
+TEST(Clouds, RootSplitMatchesExactDespiteDiscretization) {
+  // The SSE second pass guarantees the exact split point within alive
+  // intervals, so the root split must match the exact builder's.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 6000;
+  gen.seed = 113;
+  const Dataset train = GenerateAgrawal(gen);
+
+  CloudsOptions copts;
+  copts.base.in_memory_threshold = 0;
+  CloudsBuilder clouds(copts);
+  const BuildResult cres = clouds.Build(train);
+  ExactBuilder exact;
+  const BuildResult eres = exact.Build(train);
+
+  ASSERT_FALSE(cres.tree.node(0).is_leaf);
+  ASSERT_FALSE(eres.tree.node(0).is_leaf);
+  EXPECT_EQ(cres.tree.node(0).split.attr, eres.tree.node(0).split.attr);
+  if (cres.tree.node(0).split.kind == Split::Kind::kNumeric &&
+      eres.tree.node(0).split.kind == Split::Kind::kNumeric) {
+    EXPECT_DOUBLE_EQ(cres.tree.node(0).split.threshold,
+                     eres.tree.node(0).split.threshold);
+  }
+}
+
+TEST(Clouds, TakesRoughlyTwoScansPerLevel) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 15000;
+  gen.seed = 115;
+  const Dataset train = GenerateAgrawal(gen);
+  CloudsOptions copts;
+  copts.base.in_memory_threshold = 0;
+  CloudsBuilder builder(copts);
+  const BuildResult result = builder.Build(train);
+  const int64_t levels = result.stats.tree_depth;
+  // Quantile scan + (histogram + alive) per level; alive passes can be
+  // skipped when no interval survives, and a trailing routing pass may
+  // be needed for the last level's leaves.
+  EXPECT_GE(result.stats.dataset_scans, levels + 1);
+  EXPECT_LE(result.stats.dataset_scans, 2 * levels + 3);
+}
+
+TEST(Clouds, MemoryFarBelowSprint) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 30000;
+  gen.seed = 117;
+  const Dataset train = GenerateAgrawal(gen);
+  CloudsBuilder clouds;
+  SprintBuilder sprint;
+  const BuildResult cres = clouds.Build(train);
+  const BuildResult sres = sprint.Build(train);
+  EXPECT_LT(cres.stats.peak_memory_bytes, sres.stats.peak_memory_bytes / 2);
+}
+
+TEST(Clouds, FewIntervalsStillReasonable) {
+  // Table 1's q=10 setting: accuracy may dip slightly but the classifier
+  // must remain sane.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 10000;
+  gen.seed = 119;
+  const Dataset train = GenerateAgrawal(gen);
+  CloudsOptions copts;
+  copts.intervals = 10;
+  CloudsBuilder builder(copts);
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, train).Accuracy(), 0.95);
+}
+
+TEST(Clouds, EmptyDataset) {
+  const Dataset empty(AgrawalSchema());
+  CloudsBuilder builder;
+  const BuildResult result = builder.Build(empty);
+  EXPECT_EQ(result.tree.num_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace cmp

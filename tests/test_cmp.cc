@@ -1,0 +1,232 @@
+#include "cmp/cmp.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+Dataset MakeData(AgrawalFunction f, int64_t n, uint64_t seed) {
+  AgrawalOptions gen;
+  gen.function = f;
+  gen.num_records = n;
+  gen.seed = seed;
+  return GenerateAgrawal(gen);
+}
+
+struct VariantCase {
+  CmpVariant variant;
+  const char* name;
+};
+
+class CmpVariantTest : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(CmpVariantTest, HighAccuracyOnF2) {
+  const Dataset data = MakeData(AgrawalFunction::kF2, 20000, 141);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 10, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  CmpOptions o;
+  o.variant = GetParam().variant;
+  CmpBuilder builder(o);
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, test).Accuracy(), 0.97)
+      << GetParam().name;
+}
+
+TEST_P(CmpVariantTest, HighAccuracyOnF7) {
+  const Dataset data = MakeData(AgrawalFunction::kF7, 20000, 143);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 11, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  CmpOptions o;
+  o.variant = GetParam().variant;
+  CmpBuilder builder(o);
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, test).Accuracy(), 0.93)
+      << GetParam().name;
+}
+
+TEST_P(CmpVariantTest, CategoricalConceptLearned) {
+  // F3 depends on age bands AND elevel (categorical).
+  const Dataset data = MakeData(AgrawalFunction::kF3, 15000, 145);
+  CmpOptions o;
+  o.variant = GetParam().variant;
+  CmpBuilder builder(o);
+  const BuildResult result = builder.Build(data);
+  EXPECT_GT(Evaluate(result.tree, data).Accuracy(), 0.98)
+      << GetParam().name;
+}
+
+TEST_P(CmpVariantTest, EmptyAndTinyDatasets) {
+  CmpOptions o;
+  o.variant = GetParam().variant;
+  {
+    const Dataset empty(AgrawalSchema());
+    CmpBuilder builder(o);
+    const BuildResult result = builder.Build(empty);
+    EXPECT_EQ(result.tree.num_nodes(), 1);
+    EXPECT_TRUE(result.tree.node(0).is_leaf);
+  }
+  {
+    const Dataset tiny = MakeData(AgrawalFunction::kF1, 10, 147);
+    CmpBuilder builder(o);
+    const BuildResult result = builder.Build(tiny);
+    EXPECT_GE(Evaluate(result.tree, tiny).Accuracy(), 0.9);
+  }
+}
+
+TEST_P(CmpVariantTest, StatsArePopulated) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 15000, 149);
+  CmpOptions o;
+  o.variant = GetParam().variant;
+  CmpBuilder builder(o);
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(result.stats.dataset_scans, 0);
+  EXPECT_GT(result.stats.records_read, train.num_records());
+  EXPECT_GT(result.stats.peak_memory_bytes, 0);
+  EXPECT_EQ(result.stats.tree_nodes, result.tree.num_nodes());
+  EXPECT_GT(result.stats.wall_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, CmpVariantTest,
+    ::testing::Values(VariantCase{CmpVariant::kS, "CMP-S"},
+                      VariantCase{CmpVariant::kB, "CMP-B"},
+                      VariantCase{CmpVariant::kFull, "CMP"}),
+    [](const ::testing::TestParamInfo<VariantCase>& info) {
+      return std::string(info.param.name) == "CMP-S"   ? "S"
+             : std::string(info.param.name) == "CMP-B" ? "B"
+                                                       : "Full";
+    });
+
+TEST(CmpScans, CmpSNeedsRoughlyOneScanPerLevel) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 30000, 151);
+  CmpOptions o = CmpSOptions();
+  CmpBuilder builder(o);
+  const BuildResult result = builder.Build(train);
+  // Quantile scan + ~1 scan per grown level (deferred resolution adds no
+  // extra pass).
+  EXPECT_LE(result.stats.dataset_scans, result.stats.tree_depth + 3);
+}
+
+TEST(CmpScans, CmpBSavesScansOverCmpS) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 60000, 153);
+  CmpBuilder s_builder(CmpSOptions());
+  CmpBuilder b_builder(CmpBOptions());
+  const BuildResult s = s_builder.Build(train);
+  const BuildResult b = b_builder.Build(train);
+  EXPECT_LE(b.stats.dataset_scans, s.stats.dataset_scans);
+}
+
+TEST(CmpScans, PredictionStatsTracked) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 60000, 155);
+  CmpBuilder builder(CmpBOptions());
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(result.stats.predictions_total, 0);
+  EXPECT_GE(result.stats.predictions_correct, 0);
+  EXPECT_LE(result.stats.predictions_correct,
+            result.stats.predictions_total);
+}
+
+TEST(CmpLinear, FunctionFYieldsLinearRootAndSmallTree) {
+  const Dataset train = MakeData(AgrawalFunction::kFunctionF, 40000, 157);
+  CmpBuilder full(CmpFullOptions());
+  const BuildResult result = full.Build(train);
+  ASSERT_FALSE(result.tree.node(0).is_leaf);
+  EXPECT_EQ(result.tree.node(0).split.kind, Split::Kind::kLinear);
+
+  SprintBuilder sprint;
+  const BuildResult sres = sprint.Build(train);
+  EXPECT_LT(result.tree.num_nodes(), sres.tree.num_nodes());
+  EXPECT_GT(Evaluate(result.tree, train).Accuracy(), 0.98);
+}
+
+TEST(CmpLinear, LinearCoefficientsNearTrueBoundary) {
+  // Function f's boundary is salary + commission = 100,000: the root
+  // line's coefficient ratio must be near 1 and its intercept near 100k
+  // (the paper found salary + 0.93*commission <= 95,796).
+  const Dataset train = MakeData(AgrawalFunction::kFunctionF, 40000, 159);
+  CmpBuilder full(CmpFullOptions());
+  const BuildResult result = full.Build(train);
+  const Split& root = result.tree.node(0).split;
+  ASSERT_EQ(root.kind, Split::Kind::kLinear);
+  const std::string sal = "salary";
+  const bool x_is_salary =
+      train.schema().attr(root.attr).name == sal;
+  const double coef_salary = x_is_salary ? root.a : root.b;
+  const double coef_commission = x_is_salary ? root.b : root.a;
+  ASSERT_NE(coef_salary, 0.0);
+  EXPECT_NEAR(coef_commission / coef_salary, 1.0, 0.35);
+  EXPECT_NEAR(root.c / coef_salary, 100000.0, 15000.0);
+}
+
+TEST(CmpLinear, DisabledInCmpB) {
+  const Dataset train = MakeData(AgrawalFunction::kFunctionF, 30000, 161);
+  CmpBuilder b_builder(CmpBOptions());
+  const BuildResult result = b_builder.Build(train);
+  for (NodeId id = 0; id < result.tree.num_nodes(); ++id) {
+    if (!result.tree.node(id).is_leaf) {
+      EXPECT_NE(result.tree.node(id).split.kind, Split::Kind::kLinear);
+    }
+  }
+}
+
+TEST(CmpOptionsTest, IntervalCountAffectsGridButNotCorrectness) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 15000, 163);
+  for (const int intervals : {10, 50, 120}) {
+    CmpOptions o = CmpSOptions();
+    o.intervals = intervals;
+    CmpBuilder builder(o);
+    const BuildResult result = builder.Build(train);
+    EXPECT_GT(Evaluate(result.tree, train).Accuracy(), 0.95)
+        << intervals << " intervals";
+  }
+}
+
+TEST(CmpOptionsTest, MaxAliveOne) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 15000, 165);
+  CmpOptions o = CmpSOptions();
+  o.max_alive = 1;
+  CmpBuilder builder(o);
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, train).Accuracy(), 0.97);
+}
+
+TEST(CmpOptionsTest, NoPruneGrowsBiggerTree) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 15000, 167);
+  CmpOptions pruned = CmpSOptions();
+  CmpOptions unpruned = CmpSOptions();
+  unpruned.base.prune = false;
+  CmpBuilder pb(pruned);
+  CmpBuilder ub(unpruned);
+  EXPECT_LE(pb.Build(train).tree.num_nodes(),
+            ub.Build(train).tree.num_nodes());
+}
+
+TEST(CmpOptionsTest, NoInMemorySwitchStillCorrect) {
+  const Dataset train = MakeData(AgrawalFunction::kF2, 10000, 169);
+  CmpOptions o = CmpSOptions();
+  o.base.in_memory_threshold = 0;
+  CmpBuilder builder(o);
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, train).Accuracy(), 0.97);
+}
+
+TEST(CmpName, VariantsHavePaperNames) {
+  EXPECT_EQ(CmpBuilder(CmpSOptions()).name(), "CMP-S");
+  EXPECT_EQ(CmpBuilder(CmpBOptions()).name(), "CMP-B");
+  EXPECT_EQ(CmpBuilder(CmpFullOptions()).name(), "CMP");
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,111 @@
+// End-to-end smoke test of the cmptool CLI: gen -> info -> train ->
+// eval -> show -> dot -> explain -> importance, via std::system. The
+// binary path is injected by CMake as CMPTOOL_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string ToolPath() { return CMPTOOL_PATH; }
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Runs a command, returns its exit code, captures stdout into `out`.
+int RunTool(const std::string& args, std::string* out = nullptr) {
+  const std::string capture = TempPath("cmptool_out.txt");
+  const std::string cmd = ToolPath() + " " + args + " > " + capture + " 2>&1";
+  const int code = std::system(cmd.c_str());
+  if (out != nullptr) {
+    std::ifstream is(capture);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    *out = buffer.str();
+  }
+  std::remove(capture.c_str());
+  return code;
+}
+
+class CmptoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = TempPath("smoke.cmpt");
+    tree_ = TempPath("smoke.tree");
+    ASSERT_EQ(RunTool("gen --function F2 --records 4000 --seed 5 --out " +
+                  data_),
+              0);
+  }
+  void TearDown() override {
+    std::remove(data_.c_str());
+    std::remove(tree_.c_str());
+  }
+  std::string data_;
+  std::string tree_;
+};
+
+TEST_F(CmptoolTest, InfoShowsSchema) {
+  std::string out;
+  ASSERT_EQ(RunTool("info --data " + data_, &out), 0);
+  EXPECT_NE(out.find("4000 records"), std::string::npos);
+  EXPECT_NE(out.find("salary"), std::string::npos);
+}
+
+TEST_F(CmptoolTest, TrainEvalShowRoundTrip) {
+  std::string out;
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp --out " + tree_,
+                &out),
+            0);
+  EXPECT_NE(out.find("CMP"), std::string::npos);
+
+  ASSERT_EQ(RunTool("eval --data " + data_ + " --tree " + tree_, &out), 0);
+  EXPECT_NE(out.find("accuracy"), std::string::npos);
+
+  ASSERT_EQ(RunTool("show --tree " + tree_, &out), 0);
+  EXPECT_NE(out.find("leaf"), std::string::npos);
+}
+
+TEST_F(CmptoolTest, EveryAlgorithmTrains) {
+  for (const std::string algo :
+       {"cmp", "cmp-b", "cmp-s", "sprint", "sliq", "clouds", "rainforest",
+        "exact", "windowing", "sampled"}) {
+    EXPECT_EQ(RunTool("train --data " + data_ + " --algo " + algo +
+                  " --out " + tree_),
+              0)
+        << algo;
+  }
+}
+
+TEST_F(CmptoolTest, DotAndExplainAndImportance) {
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo exact --out " + tree_),
+            0);
+  std::string out;
+  ASSERT_EQ(RunTool("dot --tree " + tree_, &out), 0);
+  EXPECT_NE(out.find("digraph"), std::string::npos);
+
+  ASSERT_EQ(
+      RunTool("explain --data " + data_ + " --tree " + tree_ + " --record 3",
+          &out),
+      0);
+  EXPECT_NE(out.find("=>"), std::string::npos);
+
+  ASSERT_EQ(RunTool("importance --tree " + tree_, &out), 0);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST_F(CmptoolTest, BadInputsFailGracefully) {
+  EXPECT_NE(RunTool("train --data /does/not/exist --algo cmp --out " + tree_),
+            0);
+  EXPECT_NE(RunTool("train --data " + data_ + " --algo bogus --out " + tree_),
+            0);
+  EXPECT_NE(RunTool("frobnicate"), 0);
+  EXPECT_NE(RunTool(""), 0);
+}
+
+}  // namespace

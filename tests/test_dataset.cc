@@ -1,0 +1,104 @@
+#include "common/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/loan_example.h"
+
+namespace cmp {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"x", AttrKind::kNumeric, 0},
+                 {"color", AttrKind::kCategorical, 3},
+                 {"y", AttrKind::kNumeric, 0}},
+                {"neg", "pos"});
+}
+
+TEST(Schema, Counts) {
+  const Schema s = MixedSchema();
+  EXPECT_EQ(s.num_attrs(), 3);
+  EXPECT_EQ(s.num_classes(), 2);
+  EXPECT_TRUE(s.is_numeric(0));
+  EXPECT_FALSE(s.is_numeric(1));
+  EXPECT_EQ(s.attr(1).cardinality, 3);
+}
+
+TEST(Schema, NumericAndCategoricalAttrLists) {
+  const Schema s = MixedSchema();
+  EXPECT_EQ(s.NumericAttrs(), (std::vector<AttrId>{0, 2}));
+  EXPECT_EQ(s.CategoricalAttrs(), (std::vector<AttrId>{1}));
+}
+
+TEST(Schema, FindAttr) {
+  const Schema s = MixedSchema();
+  EXPECT_EQ(s.FindAttr("color"), 1);
+  EXPECT_EQ(s.FindAttr("missing"), kInvalidAttr);
+}
+
+TEST(Schema, RecordBytes) {
+  // 2 numeric (8 each) + 1 categorical (4) + label (4) = 24.
+  EXPECT_EQ(MixedSchema().RecordBytes(), 24);
+}
+
+TEST(Schema, Equality) {
+  EXPECT_TRUE(MixedSchema() == MixedSchema());
+  Schema other({{"x", AttrKind::kNumeric, 0}}, {"neg", "pos"});
+  EXPECT_FALSE(MixedSchema() == other);
+}
+
+TEST(Dataset, AppendAndAccess) {
+  Dataset ds(MixedSchema());
+  EXPECT_EQ(ds.Append({1.5, -2.0}, {2}, 1), 0);
+  EXPECT_EQ(ds.Append({3.0, 4.0}, {0}, 0), 1);
+  EXPECT_EQ(ds.num_records(), 2);
+  EXPECT_DOUBLE_EQ(ds.numeric(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ds.numeric(2, 0), -2.0);
+  EXPECT_EQ(ds.categorical(1, 0), 2);
+  EXPECT_EQ(ds.label(0), 1);
+  EXPECT_EQ(ds.label(1), 0);
+}
+
+TEST(Dataset, ClassCounts) {
+  Dataset ds(MixedSchema());
+  ds.Append({0, 0}, {0}, 1);
+  ds.Append({0, 0}, {1}, 1);
+  ds.Append({0, 0}, {2}, 0);
+  EXPECT_EQ(ds.ClassCounts(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(Dataset, SubsetPreservesValuesInOrder) {
+  Dataset ds(MixedSchema());
+  for (int i = 0; i < 5; ++i) {
+    ds.Append({static_cast<double>(i), i * 10.0}, {i % 3},
+              static_cast<ClassId>(i % 2));
+  }
+  const Dataset sub = ds.Subset({4, 0, 2});
+  ASSERT_EQ(sub.num_records(), 3);
+  EXPECT_DOUBLE_EQ(sub.numeric(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.numeric(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(sub.numeric(0, 2), 2.0);
+  EXPECT_EQ(sub.categorical(1, 0), 1);
+  EXPECT_EQ(sub.label(0), 0);
+}
+
+TEST(Dataset, TotalBytes) {
+  Dataset ds(MixedSchema());
+  ds.Append({0, 0}, {0}, 0);
+  ds.Append({0, 0}, {0}, 0);
+  EXPECT_EQ(ds.TotalBytes(), 48);
+}
+
+TEST(LoanExample, MatchesPaperFigure1) {
+  const Dataset ds = LoanExampleDataset();
+  ASSERT_EQ(ds.num_records(), 6);
+  EXPECT_EQ(ds.schema().num_classes(), 2);
+  // Record 0: age 18, salary 20,000, declined.
+  EXPECT_DOUBLE_EQ(ds.numeric(0, 0), 18.0);
+  EXPECT_DOUBLE_EQ(ds.numeric(1, 0), 20000.0);
+  EXPECT_EQ(ds.label(0), 0);
+  // Three approved, three declined.
+  EXPECT_EQ(ds.ClassCounts(), (std::vector<int64_t>{3, 3}));
+}
+
+}  // namespace
+}  // namespace cmp

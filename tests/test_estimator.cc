@@ -1,0 +1,159 @@
+#include "gini/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "gini/gini.h"
+#include "hist/histogram1d.h"
+
+namespace cmp {
+namespace {
+
+// Numeric difference quotient of BoundaryGini with respect to one class's
+// below count, for validating the analytic gradient.
+double NumericGradient(std::vector<int64_t> below,
+                       const std::vector<int64_t>& totals, int cls) {
+  const double g0 = BoundaryGini(below, totals);
+  below[cls] += 1;
+  const double g1 = BoundaryGini(below, totals);
+  return g1 - g0;
+}
+
+TEST(GiniGradient, MatchesDifferenceQuotient) {
+  // With large counts the unit-step difference quotient approximates the
+  // derivative well.
+  const std::vector<int64_t> totals = {100000, 80000, 50000};
+  const std::vector<int64_t> below = {40000, 10000, 25000};
+  for (int cls = 0; cls < 3; ++cls) {
+    const double analytic = GiniGradient(below, totals, cls);
+    const double numeric = NumericGradient(below, totals, cls);
+    EXPECT_NEAR(analytic, numeric, 5e-7) << "class " << cls;
+  }
+}
+
+TEST(GiniGradient, ZeroAtDegenerateBoundaries) {
+  const std::vector<int64_t> totals = {10, 10};
+  const std::vector<int64_t> none = {0, 0};
+  EXPECT_DOUBLE_EQ(GiniGradient(none, totals, 0), 0.0);
+  const std::vector<int64_t> all = {10, 10};
+  EXPECT_DOUBLE_EQ(GiniGradient(all, totals, 1), 0.0);
+}
+
+TEST(EstimateIntervalGini, NeverAboveBoundaryGinis) {
+  const std::vector<int64_t> totals = {50, 50};
+  const std::vector<int64_t> below_left = {20, 10};
+  const std::vector<int64_t> interval = {5, 15};
+  std::vector<int64_t> below_right = {25, 25};
+  const double est = EstimateIntervalGini(below_left, interval, totals);
+  EXPECT_LE(est, BoundaryGini(below_left, totals) + 1e-12);
+  EXPECT_LE(est, BoundaryGini(below_right, totals) + 1e-12);
+}
+
+TEST(EstimateIntervalGini, EmptyIntervalIsBoundaryMin) {
+  const std::vector<int64_t> totals = {50, 50};
+  const std::vector<int64_t> below_left = {20, 10};
+  const std::vector<int64_t> interval = {0, 0};
+  const double est = EstimateIntervalGini(below_left, interval, totals);
+  EXPECT_DOUBLE_EQ(est, BoundaryGini(below_left, totals));
+}
+
+// Property: the estimate is a LOWER bound on the gini at every possible
+// split point inside the interval, for every arrangement of the
+// interval's records. We verify against random orderings.
+class EstimatorLowerBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorLowerBoundTest, LowerBoundsAllOrderings) {
+  Rng rng(GetParam());
+  const int nc = 2 + static_cast<int>(rng.UniformInt(0, 2));
+  std::vector<int64_t> totals(nc);
+  std::vector<int64_t> below_left(nc);
+  std::vector<int64_t> interval(nc);
+  for (int c = 0; c < nc; ++c) {
+    below_left[c] = rng.UniformInt(0, 40);
+    interval[c] = rng.UniformInt(0, 30);
+    totals[c] = below_left[c] + interval[c] + rng.UniformInt(0, 40);
+  }
+  const double est = EstimateIntervalGini(below_left, interval, totals);
+
+  // Try many random orderings of the interval's records; every prefix
+  // induces a split point whose gini must be >= est (within fp noise).
+  std::vector<ClassId> records;
+  for (int c = 0; c < nc; ++c) {
+    records.insert(records.end(), interval[c], c);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    for (size_t i = records.size(); i > 1; --i) {
+      std::swap(records[i - 1], records[rng.UniformInt(0, i - 1)]);
+    }
+    std::vector<int64_t> below = below_left;
+    for (ClassId c : records) {
+      below[c]++;
+      EXPECT_GE(BoundaryGini(below, totals), est - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorLowerBoundTest,
+                         ::testing::Range(1, 21));
+
+TEST(AnalyzeAttribute, FindsObviousBoundarySplit) {
+  // Two intervals, perfectly separated classes: the only boundary is the
+  // perfect split.
+  Histogram1D hist(2, 2);
+  hist.Add(0, 0, 10);
+  hist.Add(1, 1, 10);
+  const AttrAnalysis an = AnalyzeAttribute(hist);
+  ASSERT_EQ(an.boundary_gini.size(), 1u);
+  EXPECT_DOUBLE_EQ(an.boundary_gini[0], 0.0);
+  EXPECT_EQ(an.best_boundary, 0);
+  EXPECT_DOUBLE_EQ(an.gini_min, 0.0);
+}
+
+TEST(AnalyzeAttribute, EstimateBelowBoundaryMinForHiddenSplit) {
+  // A mixed interval hides a perfect split inside: boundaries see a
+  // mixture, but the estimate must drop below the boundary minimum.
+  Histogram1D hist(3, 2);
+  hist.Add(0, 0, 10);
+  hist.Add(1, 0, 5);
+  hist.Add(1, 1, 5);
+  hist.Add(2, 1, 10);
+  const AttrAnalysis an = AnalyzeAttribute(hist);
+  EXPECT_LT(an.interval_est[1], an.gini_min);
+  const std::vector<int> alive = SelectAliveIntervals(an, 2);
+  ASSERT_FALSE(alive.empty());
+  EXPECT_EQ(alive[0], 1);
+}
+
+TEST(AnalyzeAttribute, SingleIntervalHasNoBoundaries) {
+  Histogram1D hist(1, 2);
+  hist.Add(0, 0, 5);
+  hist.Add(0, 1, 5);
+  const AttrAnalysis an = AnalyzeAttribute(hist);
+  EXPECT_TRUE(an.boundary_gini.empty());
+  EXPECT_EQ(an.best_boundary, -1);
+}
+
+TEST(SelectAliveIntervals, CapsAtMaxAlive) {
+  AttrAnalysis an;
+  an.gini_min = 0.5;
+  an.interval_est = {0.1, 0.2, 0.3, 0.4, 0.45};
+  an.boundary_gini = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> alive = SelectAliveIntervals(an, 2);
+  ASSERT_EQ(alive.size(), 2u);
+  EXPECT_EQ(alive[0], 0);
+  EXPECT_EQ(alive[1], 1);
+}
+
+TEST(SelectAliveIntervals, EmptyWhenNothingBeatsBoundary) {
+  AttrAnalysis an;
+  an.gini_min = 0.2;
+  an.interval_est = {0.2, 0.3, 0.25};
+  const std::vector<int> alive = SelectAliveIntervals(an, 2);
+  EXPECT_TRUE(alive.empty());
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,89 @@
+#include "tree/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/loan_example.h"
+#include "exact/exact.h"
+
+namespace cmp {
+namespace {
+
+// Six records cannot justify any split under MDL, so pruning is disabled
+// for the hand-checkable loan example.
+BuilderOptions NoPrune() {
+  BuilderOptions o;
+  o.prune = false;
+  return o;
+}
+
+TEST(Evaluate, PerfectTreeOnTrainingData) {
+  const Dataset ds = LoanExampleDataset();
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(ds);
+  const Evaluation eval = Evaluate(result.tree, ds);
+  EXPECT_EQ(eval.total, 6);
+  EXPECT_EQ(eval.correct, 6);
+  EXPECT_DOUBLE_EQ(eval.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(eval.ErrorRate(), 0.0);
+}
+
+TEST(Evaluate, ConfusionMatrixRowsSumToClassCounts) {
+  const Dataset ds = LoanExampleDataset();
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(ds);
+  const Evaluation eval = Evaluate(result.tree, ds);
+  const auto counts = ds.ClassCounts();
+  for (ClassId a = 0; a < ds.num_classes(); ++a) {
+    int64_t row = 0;
+    for (ClassId p = 0; p < ds.num_classes(); ++p) {
+      row += eval.confusion[a][p];
+    }
+    EXPECT_EQ(row, counts[a]);
+  }
+}
+
+TEST(Evaluate, ToStringMentionsAccuracy) {
+  const Dataset ds = LoanExampleDataset();
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(ds);
+  const Evaluation eval = Evaluate(result.tree, ds);
+  EXPECT_NE(eval.ToString(ds.schema()).find("accuracy"), std::string::npos);
+}
+
+TEST(TrainTestSplit, PartitionIsExactAndDisjoint) {
+  std::vector<RecordId> train;
+  std::vector<RecordId> test;
+  TrainTestSplit(100, 0.25, 42, &train, &test);
+  EXPECT_EQ(test.size(), 25u);
+  EXPECT_EQ(train.size(), 75u);
+  std::vector<RecordId> all = train;
+  all.insert(all.end(), test.begin(), test.end());
+  std::sort(all.begin(), all.end());
+  for (RecordId i = 0; i < 100; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(TrainTestSplit, Deterministic) {
+  std::vector<RecordId> train1;
+  std::vector<RecordId> test1;
+  std::vector<RecordId> train2;
+  std::vector<RecordId> test2;
+  TrainTestSplit(50, 0.2, 9, &train1, &test1);
+  TrainTestSplit(50, 0.2, 9, &train2, &test2);
+  EXPECT_EQ(train1, train2);
+  EXPECT_EQ(test1, test2);
+}
+
+TEST(TrainTestSplit, DifferentSeedsShuffleDifferently) {
+  std::vector<RecordId> train1;
+  std::vector<RecordId> test1;
+  std::vector<RecordId> train2;
+  std::vector<RecordId> test2;
+  TrainTestSplit(1000, 0.5, 1, &train1, &test1);
+  TrainTestSplit(1000, 0.5, 2, &train2, &test2);
+  EXPECT_NE(test1, test2);
+}
+
+}  // namespace
+}  // namespace cmp

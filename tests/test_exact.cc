@@ -1,0 +1,151 @@
+#include "exact/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "datagen/loan_example.h"
+#include "gini/gini.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+std::vector<RecordId> AllRids(const Dataset& ds) {
+  std::vector<RecordId> rids(ds.num_records());
+  for (RecordId r = 0; r < ds.num_records(); ++r) rids[r] = r;
+  return rids;
+}
+
+TEST(FindBestSplitExact, LoanExampleRootSplit) {
+  // On the Figure 1 data the best univariate root split is age <= 20
+  // (separating the two youngest "No" applicants) or salary-based; it
+  // must strictly improve on the parent gini of 0.5.
+  const Dataset ds = LoanExampleDataset();
+  const ExactSplit best = FindBestSplitExact(ds, AllRids(ds));
+  ASSERT_TRUE(best.valid);
+  EXPECT_LT(best.gini, 0.5);
+}
+
+TEST(FindBestSplitExact, MatchesBruteForceOnRandomData) {
+  // Brute force over every attribute/threshold must agree with the
+  // implementation's best gini.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 300;
+  gen.seed = 17;
+  const Dataset ds = GenerateAgrawal(gen);
+  const std::vector<RecordId> rids = AllRids(ds);
+  const ExactSplit best = FindBestSplitExact(ds, rids);
+  ASSERT_TRUE(best.valid);
+
+  const std::vector<int64_t> totals = ds.ClassCounts();
+  double brute = 1.0;
+  for (AttrId a = 0; a < ds.num_attrs(); ++a) {
+    if (!ds.schema().is_numeric(a)) continue;
+    for (RecordId i : rids) {
+      const double threshold = ds.numeric(a, i);
+      std::vector<int64_t> below(ds.num_classes(), 0);
+      int64_t below_n = 0;
+      for (RecordId r : rids) {
+        if (ds.numeric(a, r) <= threshold) {
+          below[ds.label(r)]++;
+          below_n++;
+        }
+      }
+      if (below_n == 0 || below_n == ds.num_records()) continue;
+      brute = std::min(brute, BoundaryGini(below, totals));
+    }
+  }
+  EXPECT_LE(best.gini, brute + 1e-12);
+}
+
+TEST(FindBestSplitExact, PureSetHasNoUsefulSplit) {
+  Dataset ds(LoanExampleSchema());
+  for (int i = 0; i < 10; ++i) {
+    ds.Append({static_cast<double>(i), 100.0 * i, 0.0}, {}, 1);
+  }
+  const ExactSplit best = FindBestSplitExact(ds, AllRids(ds));
+  // A split may exist but cannot improve on gini 0.
+  if (best.valid) {
+    EXPECT_DOUBLE_EQ(best.gini, 0.0);
+  }
+}
+
+TEST(ExactBuilder, PerfectOnSeparableData) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;  // pure age bands
+  gen.num_records = 5000;
+  gen.seed = 21;
+  const Dataset ds = GenerateAgrawal(gen);
+  ExactBuilder builder;
+  const BuildResult result = builder.Build(ds);
+  EXPECT_GT(Evaluate(result.tree, ds).Accuracy(), 0.999);
+  // F1 needs only two age splits.
+  EXPECT_LE(result.tree.Depth(), 4);
+}
+
+TEST(ExactBuilder, RespectsMaxDepth) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF7;
+  gen.num_records = 3000;
+  gen.seed = 25;
+  const Dataset ds = GenerateAgrawal(gen);
+  BuilderOptions options;
+  options.max_depth = 3;
+  ExactBuilder builder(options);
+  const BuildResult result = builder.Build(ds);
+  EXPECT_LE(result.tree.Depth(), 3);
+}
+
+TEST(ExactBuilder, RespectsMinSplitRecords) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 1000;
+  gen.seed = 27;
+  const Dataset ds = GenerateAgrawal(gen);
+  BuilderOptions options;
+  options.min_split_records = 400;
+  options.prune = false;
+  ExactBuilder builder(options);
+  const BuildResult result = builder.Build(ds);
+  // Any internal node must have had >= 400 records.
+  for (NodeId id = 0; id < result.tree.num_nodes(); ++id) {
+    const TreeNode& n = result.tree.node(id);
+    if (!n.is_leaf) {
+      int64_t total = 0;
+      for (int64_t c : n.class_counts) total += c;
+      EXPECT_GE(total, 400);
+    }
+  }
+}
+
+TEST(ExactBuilder, UsesCategoricalSplitsWhenDiscriminative) {
+  // Build a dataset where only the categorical attribute matters.
+  Schema schema({{"noise", AttrKind::kNumeric, 0},
+                 {"key", AttrKind::kCategorical, 4}},
+                {"no", "yes"});
+  Dataset ds(schema);
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t key = static_cast<int32_t>(rng.UniformInt(0, 3));
+    ds.Append({rng.Uniform(0, 1)}, {key}, key < 2 ? 0 : 1);
+  }
+  ExactBuilder builder;
+  const BuildResult result = builder.Build(ds);
+  ASSERT_FALSE(result.tree.node(0).is_leaf);
+  EXPECT_EQ(result.tree.node(0).split.kind, Split::Kind::kCategorical);
+  EXPECT_DOUBLE_EQ(Evaluate(result.tree, ds).Accuracy(), 1.0);
+}
+
+TEST(BuildExactSubtree, EmptyRidsMakesLeaf) {
+  const Dataset ds = LoanExampleDataset();
+  DecisionTree tree(ds.schema());
+  TreeNode root;
+  root.class_counts = {0, 0};
+  const NodeId root_id = tree.AddNode(root);
+  BuildExactSubtree(ds, {}, BuilderOptions{}, &tree, root_id);
+  EXPECT_TRUE(tree.node(root_id).is_leaf);
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,116 @@
+#include "tree/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "datagen/loan_example.h"
+#include "exact/exact.h"
+#include "tree/crossval.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+BuilderOptions NoPrune() {
+  BuilderOptions o;
+  o.prune = false;
+  return o;
+}
+
+TEST(Explain, PathEndsAtClassifiedLeaf) {
+  const Dataset ds = LoanExampleDataset();
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(ds);
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    const Explanation why = Explain(result.tree, ds, r);
+    EXPECT_EQ(why.predicted, result.tree.Classify(ds, r));
+    EXPECT_EQ(why.leaf, result.tree.LeafOf(ds, r));
+    EXPECT_EQ(static_cast<int>(why.path.size()),
+              result.tree.node(why.leaf).depth);
+  }
+}
+
+TEST(Explain, RenderingContainsTestsAndPrediction) {
+  const Dataset ds = LoanExampleDataset();
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(ds);
+  const Explanation why = Explain(result.tree, ds, 1);  // approved record
+  const std::string text = why.ToString(ds.schema());
+  EXPECT_NE(text.find("=> Yes"), std::string::npos);
+  EXPECT_NE(text.find("["), std::string::npos);
+}
+
+TEST(Explain, SingleLeafTree) {
+  DecisionTree tree(LoanExampleSchema());
+  TreeNode leaf;
+  leaf.leaf_class = 1;
+  leaf.class_counts = {0, 5};
+  tree.AddNode(leaf);
+  const Dataset ds = LoanExampleDataset();
+  const Explanation why = Explain(tree, ds, 0);
+  EXPECT_TRUE(why.path.empty());
+  EXPECT_EQ(why.predicted, 1);
+}
+
+TEST(ToDot, WellFormedOutput) {
+  const Dataset ds = LoanExampleDataset();
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(ds);
+  const std::string dot = ToDot(result.tree);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("yes"), std::string::npos);
+  // One node statement per tree node.
+  size_t count = 0;
+  for (size_t pos = dot.find("label="); pos != std::string::npos;
+       pos = dot.find("label=", pos + 1)) {
+    // Edge labels also contain "label="; just require at least num_nodes.
+    ++count;
+  }
+  EXPECT_GE(count, static_cast<size_t>(result.tree.num_nodes()));
+}
+
+TEST(CrossValidate, FoldsCoverAllRecordsOnce) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 3000;
+  gen.seed = 233;
+  const Dataset data = GenerateAgrawal(gen);
+  ExactBuilder builder;
+  const CrossValResult cv = CrossValidate(&builder, data, 5, 7);
+  ASSERT_EQ(cv.fold_accuracy.size(), 5u);
+  for (double acc : cv.fold_accuracy) {
+    EXPECT_GT(acc, 0.97);
+    EXPECT_LE(acc, 1.0);
+  }
+  EXPECT_GT(cv.MeanAccuracy(), 0.97);
+  EXPECT_GE(cv.StdDevAccuracy(), 0.0);
+  EXPECT_LT(cv.StdDevAccuracy(), 0.05);
+}
+
+TEST(CrossValidate, DeterministicGivenSeed) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 2000;
+  gen.seed = 235;
+  const Dataset data = GenerateAgrawal(gen);
+  ExactBuilder b1;
+  ExactBuilder b2;
+  const CrossValResult cv1 = CrossValidate(&b1, data, 3, 11);
+  const CrossValResult cv2 = CrossValidate(&b2, data, 3, 11);
+  EXPECT_EQ(cv1.fold_accuracy, cv2.fold_accuracy);
+}
+
+TEST(CrossValidate, AccumulatesStats) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 2000;
+  gen.seed = 237;
+  const Dataset data = GenerateAgrawal(gen);
+  ExactBuilder builder;
+  const CrossValResult cv = CrossValidate(&builder, data, 4, 13);
+  EXPECT_GE(cv.total_stats.dataset_scans, 4);
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,209 @@
+// Randomized robustness suite: every builder must produce a valid,
+// reasonably accurate tree on randomly-shaped datasets — random schemas
+// (numeric / categorical mixes), constant columns, duplicated records,
+// skewed classes, tiny partitions — and the resulting trees must
+// round-trip through serialization and classify deterministically.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "common/random.h"
+#include "exact/exact.h"
+#include "rainforest/rainforest.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+#include "tree/serialize.h"
+
+namespace cmp {
+namespace {
+
+// A random dataset whose label depends (noisily) on a random subset of
+// the attributes; some attributes are constant, some duplicated.
+Dataset RandomDataset(uint64_t seed, int64_t n) {
+  Rng rng(seed);
+  const int num_numeric = 1 + static_cast<int>(rng.UniformInt(0, 3));
+  const int num_cat = static_cast<int>(rng.UniformInt(0, 2));
+  std::vector<AttrInfo> attrs;
+  for (int i = 0; i < num_numeric; ++i) {
+    std::string name = "n";
+    name += std::to_string(i);
+    attrs.push_back({std::move(name), AttrKind::kNumeric, 0});
+  }
+  for (int i = 0; i < num_cat; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    attrs.push_back({std::move(name), AttrKind::kCategorical,
+                     2 + static_cast<int32_t>(rng.UniformInt(0, 6))});
+  }
+  const int num_classes = 2 + static_cast<int>(rng.UniformInt(0, 2));
+  std::vector<std::string> class_names;
+  for (int c = 0; c < num_classes; ++c) {
+    std::string name = "k";
+    name += std::to_string(c);
+    class_names.push_back(std::move(name));
+  }
+  Dataset ds(Schema(std::move(attrs), std::move(class_names)));
+
+  const bool constant_first = rng.Bernoulli(0.3);
+  const double noise = rng.Uniform(0.0, 0.1);
+  std::vector<double> nvals(num_numeric);
+  std::vector<int32_t> cvals(num_cat);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int a = 0; a < num_numeric; ++a) {
+      nvals[a] = constant_first && a == 0 ? 42.0 : rng.Uniform(-10, 10);
+    }
+    for (int a = 0; a < num_cat; ++a) {
+      cvals[a] = static_cast<int32_t>(
+          rng.UniformInt(0, ds.schema().attr(num_numeric + a).cardinality -
+                                1));
+    }
+    // Label: threshold on the last numeric attribute (always non-const),
+    // shifted by the first categorical value if present, plus noise.
+    int label = nvals[num_numeric - 1] > 0 ? 1 : 0;
+    if (num_cat > 0 && cvals[0] == 0) label = 1 - label;
+    if (rng.Bernoulli(noise)) {
+      label = static_cast<int>(rng.UniformInt(0, num_classes - 1));
+    }
+    label = label % num_classes;
+    ds.Append(nvals, cvals, static_cast<ClassId>(label));
+    // Occasionally duplicate the record exactly.
+    if (rng.Bernoulli(0.05)) {
+      ds.Append(nvals, cvals, static_cast<ClassId>(label));
+    }
+  }
+  return ds;
+}
+
+std::vector<std::unique_ptr<TreeBuilder>> AllBuilders() {
+  std::vector<std::unique_ptr<TreeBuilder>> builders;
+  builders.push_back(std::make_unique<CmpBuilder>(CmpSOptions()));
+  builders.push_back(std::make_unique<CmpBuilder>(CmpBOptions()));
+  builders.push_back(std::make_unique<CmpBuilder>(CmpFullOptions()));
+  builders.push_back(std::make_unique<SprintBuilder>());
+  builders.push_back(std::make_unique<SliqBuilder>());
+  builders.push_back(std::make_unique<CloudsBuilder>());
+  builders.push_back(std::make_unique<RainForestBuilder>());
+  builders.push_back(std::make_unique<ExactBuilder>());
+  return builders;
+}
+
+// Checks structural sanity of a tree: children linkage, reachable class
+// counts, consistent depths.
+void CheckTreeInvariants(const DecisionTree& tree) {
+  ASSERT_GT(tree.num_nodes(), 0);
+  std::vector<std::pair<NodeId, int>> stack = {{0, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.node(id);
+    if (n.is_leaf) {
+      EXPECT_GE(n.leaf_class, 0);
+      EXPECT_LT(n.leaf_class, tree.schema().num_classes());
+    } else {
+      ASSERT_NE(n.left, kInvalidNode);
+      ASSERT_NE(n.right, kInvalidNode);
+      ASSERT_LT(n.left, tree.num_nodes());
+      ASSERT_LT(n.right, tree.num_nodes());
+      ASSERT_NE(n.left, id);
+      ASSERT_NE(n.right, id);
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, AllBuildersSurviveRandomData) {
+  const Dataset ds = RandomDataset(1000 + GetParam(), 1500);
+  for (auto& builder : AllBuilders()) {
+    const BuildResult result = builder->Build(ds);
+    CheckTreeInvariants(result.tree);
+    // The concept is learnable up to its noise level; require a weak
+    // but real signal and determinism.
+    const Evaluation eval = Evaluate(result.tree, ds);
+    EXPECT_GT(eval.Accuracy(), 0.5) << builder->name();
+    // Classification is deterministic.
+    for (RecordId r = 0; r < 20 && r < ds.num_records(); ++r) {
+      EXPECT_EQ(result.tree.Classify(ds, r), result.tree.Classify(ds, r));
+    }
+    // Serialization round-trips classifications.
+    DecisionTree loaded;
+    ASSERT_TRUE(DeserializeTree(SerializeTree(result.tree), &loaded))
+        << builder->name();
+    for (RecordId r = 0; r < 50 && r < ds.num_records(); ++r) {
+      EXPECT_EQ(loaded.Classify(ds, r), result.tree.Classify(ds, r))
+          << builder->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 8));
+
+TEST(FuzzEdge, AllRecordsIdentical) {
+  Schema schema({{"x", AttrKind::kNumeric, 0}}, {"a", "b"});
+  Dataset ds(schema);
+  for (int i = 0; i < 100; ++i) {
+    ds.Append({1.0}, {}, i % 2);
+  }
+  for (auto& builder : AllBuilders()) {
+    const BuildResult result = builder->Build(ds);
+    CheckTreeInvariants(result.tree);
+    // No split can separate identical records; every builder must cope
+    // (a single leaf predicting either class).
+    EXPECT_EQ(result.tree.NumLeaves(), 1) << builder->name();
+  }
+}
+
+TEST(FuzzEdge, SingleRecord) {
+  Schema schema({{"x", AttrKind::kNumeric, 0}}, {"a", "b"});
+  Dataset ds(schema);
+  ds.Append({3.0}, {}, 1);
+  for (auto& builder : AllBuilders()) {
+    const BuildResult result = builder->Build(ds);
+    CheckTreeInvariants(result.tree);
+    EXPECT_EQ(result.tree.Classify(ds, 0), 1) << builder->name();
+  }
+}
+
+TEST(FuzzEdge, HeavilySkewedClasses) {
+  Schema schema({{"x", AttrKind::kNumeric, 0}}, {"common", "rare"});
+  Dataset ds(schema);
+  Rng rng(51);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Uniform(0, 1);
+    ds.Append({x}, {}, x > 0.999 ? 1 : 0);
+  }
+  for (auto& builder : AllBuilders()) {
+    const BuildResult result = builder->Build(ds);
+    CheckTreeInvariants(result.tree);
+    EXPECT_GT(Evaluate(result.tree, ds).Accuracy(), 0.99)
+        << builder->name();
+  }
+}
+
+TEST(FuzzEdge, CategoricalOnlySchema) {
+  Schema schema({{"c0", AttrKind::kCategorical, 4},
+                 {"c1", AttrKind::kCategorical, 3}},
+                {"a", "b"});
+  Dataset ds(schema);
+  Rng rng(53);
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t c0 = static_cast<int32_t>(rng.UniformInt(0, 3));
+    const int32_t c1 = static_cast<int32_t>(rng.UniformInt(0, 2));
+    ds.Append({}, {c0, c1}, (c0 < 2) == (c1 == 0) ? 0 : 1);
+  }
+  for (auto& builder : AllBuilders()) {
+    const BuildResult result = builder->Build(ds);
+    CheckTreeInvariants(result.tree);
+    EXPECT_GT(Evaluate(result.tree, ds).Accuracy(), 0.95)
+        << builder->name();
+  }
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,86 @@
+#include "gini/gini.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmp {
+namespace {
+
+TEST(Gini, EmptySetIsZero) {
+  const std::vector<int64_t> counts;
+  EXPECT_DOUBLE_EQ(Gini(counts), 0.0);
+}
+
+TEST(Gini, PureSetIsZero) {
+  const std::vector<int64_t> counts = {10, 0, 0};
+  EXPECT_DOUBLE_EQ(Gini(counts), 0.0);
+}
+
+TEST(Gini, TwoClassBalanced) {
+  const std::vector<int64_t> counts = {5, 5};
+  EXPECT_DOUBLE_EQ(Gini(counts), 0.5);
+}
+
+TEST(Gini, ThreeClassUniformIsTwoThirds) {
+  const std::vector<int64_t> counts = {4, 4, 4};
+  EXPECT_NEAR(Gini(counts), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Gini, MatchesHandComputation) {
+  // p = (0.7, 0.3): gini = 1 - 0.49 - 0.09 = 0.42.
+  const std::vector<int64_t> counts = {7, 3};
+  EXPECT_NEAR(Gini(counts), 0.42, 1e-12);
+}
+
+TEST(SplitGini, WeightedAverageOfSides) {
+  const std::vector<int64_t> left = {4, 0};   // pure, gini 0
+  const std::vector<int64_t> right = {3, 3};  // gini 0.5
+  // 4/10 * 0 + 6/10 * 0.5 = 0.3.
+  EXPECT_NEAR(SplitGini(left, right), 0.3, 1e-12);
+}
+
+TEST(SplitGini, PerfectSplitIsZero) {
+  const std::vector<int64_t> left = {5, 0};
+  const std::vector<int64_t> right = {0, 7};
+  EXPECT_DOUBLE_EQ(SplitGini(left, right), 0.0);
+}
+
+TEST(SplitGini, EmptySideEqualsPlainGini) {
+  const std::vector<int64_t> left = {0, 0};
+  const std::vector<int64_t> right = {6, 2};
+  EXPECT_NEAR(SplitGini(left, right), Gini(right), 1e-12);
+}
+
+TEST(SplitGini3, ReducesToTwoWayWhenThirdEmpty) {
+  const std::vector<int64_t> a = {4, 1};
+  const std::vector<int64_t> b = {2, 5};
+  const std::vector<int64_t> empty = {0, 0};
+  EXPECT_NEAR(SplitGini3(a, b, empty), SplitGini(a, b), 1e-12);
+}
+
+TEST(SplitGini3, ThreeWayWeighted) {
+  const std::vector<int64_t> a = {2, 0};
+  const std::vector<int64_t> b = {0, 2};
+  const std::vector<int64_t> c = {1, 1};
+  // 2/6*0 + 2/6*0 + 2/6*0.5.
+  EXPECT_NEAR(SplitGini3(a, b, c), 1.0 / 6.0, 1e-12);
+}
+
+TEST(BoundaryGini, EqualsSplitGiniOfComplement) {
+  const std::vector<int64_t> below = {3, 1};
+  const std::vector<int64_t> totals = {5, 6};
+  const std::vector<int64_t> above = {2, 5};
+  EXPECT_NEAR(BoundaryGini(below, totals), SplitGini(below, above), 1e-12);
+}
+
+TEST(BoundaryGini, LoanExampleFromPaper) {
+  // Figure 1: split (age < 25) separates 2 No-records from the rest
+  // {1 No, 3 Yes}: gini^D = 2/6*0 + 4/6*(1 - (1/4)^2 - (3/4)^2) = 0.25.
+  const std::vector<int64_t> below = {2, 0};  // {No, Yes} below age 25
+  const std::vector<int64_t> totals = {3, 3};
+  EXPECT_NEAR(BoundaryGini(below, totals), 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace cmp

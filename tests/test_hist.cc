@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/histogram1d.h"
+#include "hist/histogram2d.h"
+
+namespace cmp {
+namespace {
+
+TEST(Histogram1D, AddAndCount) {
+  Histogram1D h(4, 2);
+  h.Add(0, 1);
+  h.Add(0, 1);
+  h.Add(3, 0, 5);
+  EXPECT_EQ(h.count(0, 1), 2);
+  EXPECT_EQ(h.count(0, 0), 0);
+  EXPECT_EQ(h.count(3, 0), 5);
+}
+
+TEST(Histogram1D, Totals) {
+  Histogram1D h(3, 2);
+  h.Add(0, 0, 2);
+  h.Add(1, 1, 3);
+  h.Add(2, 0, 4);
+  EXPECT_EQ(h.IntervalTotal(0), 2);
+  EXPECT_EQ(h.IntervalTotal(1), 3);
+  EXPECT_EQ(h.ClassTotals(), (std::vector<int64_t>{6, 3}));
+  EXPECT_EQ(h.Total(), 9);
+}
+
+TEST(Histogram1D, PrefixBefore) {
+  Histogram1D h(3, 2);
+  h.Add(0, 0, 1);
+  h.Add(1, 1, 2);
+  h.Add(2, 0, 4);
+  EXPECT_EQ(h.PrefixBefore(0), (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(h.PrefixBefore(2), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(h.PrefixBefore(3), (std::vector<int64_t>{5, 2}));
+}
+
+TEST(Histogram1D, Merge) {
+  Histogram1D a(2, 2);
+  a.Add(0, 0, 1);
+  Histogram1D b(2, 2);
+  b.Add(0, 0, 2);
+  b.Add(1, 1, 3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(0, 0), 3);
+  EXPECT_EQ(a.count(1, 1), 3);
+}
+
+TEST(HistogramMatrix, AddAndCell) {
+  HistogramMatrix m(3, 4, 2);
+  m.Add(1, 2, 0);
+  m.Add(1, 2, 0);
+  m.Add(1, 2, 1, 7);
+  EXPECT_EQ(m.count(1, 2, 0), 2);
+  EXPECT_EQ(m.count(1, 2, 1), 7);
+  const int64_t* cell = m.cell(1, 2);
+  EXPECT_EQ(cell[0], 2);
+  EXPECT_EQ(cell[1], 7);
+}
+
+TEST(HistogramMatrix, MarginalsAgreeWithDirectCounts) {
+  Rng rng(31);
+  const int qx = 6;
+  const int qy = 5;
+  const int nc = 3;
+  HistogramMatrix m(qx, qy, nc);
+  Histogram1D direct_x(qx, nc);
+  Histogram1D direct_y(qy, nc);
+  for (int i = 0; i < 1000; ++i) {
+    const int x = static_cast<int>(rng.UniformInt(0, qx - 1));
+    const int y = static_cast<int>(rng.UniformInt(0, qy - 1));
+    const ClassId c = static_cast<ClassId>(rng.UniformInt(0, nc - 1));
+    m.Add(x, y, c);
+    direct_x.Add(x, c);
+    direct_y.Add(y, c);
+  }
+  const Histogram1D mx = m.MarginalX();
+  const Histogram1D my = m.MarginalY();
+  for (int x = 0; x < qx; ++x) {
+    for (int c = 0; c < nc; ++c) {
+      EXPECT_EQ(mx.count(x, c), direct_x.count(x, c));
+    }
+  }
+  for (int y = 0; y < qy; ++y) {
+    for (int c = 0; c < nc; ++c) {
+      EXPECT_EQ(my.count(y, c), direct_y.count(y, c));
+    }
+  }
+}
+
+TEST(HistogramMatrix, RestrictedMarginals) {
+  HistogramMatrix m(4, 3, 2);
+  m.Add(0, 0, 0, 1);
+  m.Add(1, 1, 0, 2);
+  m.Add(2, 2, 1, 3);
+  m.Add(3, 0, 1, 4);
+  // X marginal over columns [1, 3): rows are local (0 = global 1).
+  const Histogram1D mx = m.MarginalX(1, 3);
+  EXPECT_EQ(mx.num_intervals(), 2);
+  EXPECT_EQ(mx.count(0, 0), 2);
+  EXPECT_EQ(mx.count(1, 1), 3);
+  // Y marginal over the same column range.
+  const Histogram1D my = m.MarginalY(1, 3);
+  EXPECT_EQ(my.num_intervals(), 3);
+  EXPECT_EQ(my.count(1, 0), 2);
+  EXPECT_EQ(my.count(2, 1), 3);
+  EXPECT_EQ(my.count(0, 1), 0);  // the (3,0) record is outside the range
+}
+
+TEST(HistogramMatrix, SumOfRestrictedMarginalsEqualsFull) {
+  Rng rng(37);
+  HistogramMatrix m(8, 4, 2);
+  for (int i = 0; i < 500; ++i) {
+    m.Add(static_cast<int>(rng.UniformInt(0, 7)),
+          static_cast<int>(rng.UniformInt(0, 3)),
+          static_cast<ClassId>(rng.UniformInt(0, 1)));
+  }
+  Histogram1D left = m.MarginalY(0, 3);
+  const Histogram1D right = m.MarginalY(3, 8);
+  left.Merge(right);
+  const Histogram1D full = m.MarginalY();
+  for (int y = 0; y < 4; ++y) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_EQ(left.count(y, c), full.count(y, c));
+    }
+  }
+}
+
+TEST(HistogramMatrix, ClassTotalsAndMerge) {
+  HistogramMatrix a(2, 2, 2);
+  a.Add(0, 0, 0, 3);
+  a.Add(1, 1, 1, 4);
+  HistogramMatrix b(2, 2, 2);
+  b.Add(0, 1, 0, 5);
+  a.Merge(b);
+  EXPECT_EQ(a.ClassTotals(), (std::vector<int64_t>{8, 4}));
+  EXPECT_EQ(a.Total(), 12);
+}
+
+}  // namespace
+}  // namespace cmp

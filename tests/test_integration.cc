@@ -1,0 +1,166 @@
+// End-to-end integration: every builder x every Agrawal function must
+// produce an accurate classifier on held-out data, and the cost counters
+// must respect the paper's ordering (CMP scans < CLOUDS scans, CMP memory
+// << RainForest memory, ...).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+enum class Algo { kCmpS, kCmpB, kCmpFull, kSprint, kClouds, kRainForest };
+
+std::unique_ptr<TreeBuilder> Make(Algo algo) {
+  switch (algo) {
+    case Algo::kCmpS:
+      return std::make_unique<CmpBuilder>(CmpSOptions());
+    case Algo::kCmpB:
+      return std::make_unique<CmpBuilder>(CmpBOptions());
+    case Algo::kCmpFull:
+      return std::make_unique<CmpBuilder>(CmpFullOptions());
+    case Algo::kSprint:
+      return std::make_unique<SprintBuilder>();
+    case Algo::kClouds:
+      return std::make_unique<CloudsBuilder>();
+    case Algo::kRainForest:
+      return std::make_unique<RainForestBuilder>();
+  }
+  return nullptr;
+}
+
+struct Case {
+  Algo algo;
+  int function;  // 1..10, or 11 for Function f
+  double min_accuracy;
+};
+
+class BuilderFunctionTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BuilderFunctionTest, HeldOutAccuracy) {
+  const Case& c = GetParam();
+  AgrawalOptions gen;
+  gen.function = static_cast<AgrawalFunction>(c.function);
+  gen.num_records = 16000;
+  gen.seed = 1000 + c.function;
+  const Dataset data = GenerateAgrawal(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 77, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  auto builder = Make(c.algo);
+  const BuildResult result = builder->Build(train);
+  const double acc = Evaluate(result.tree, test).Accuracy();
+  EXPECT_GE(acc, c.min_accuracy)
+      << builder->name() << " on F" << c.function;
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const Algo algo : {Algo::kCmpS, Algo::kCmpB, Algo::kCmpFull,
+                          Algo::kSprint, Algo::kClouds, Algo::kRainForest}) {
+    for (int fn = 1; fn <= 11; ++fn) {
+      // Thresholds: deterministic band concepts learn near-perfectly;
+      // the disposable-income functions (7-10) have fine-grained linear
+      // boundaries that axis-parallel trees approximate.
+      double min_acc = 0.95;
+      if (fn >= 7 && fn <= 10) min_acc = 0.90;
+      cases.push_back({algo, fn, min_acc});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuildersAllFunctions, BuilderFunctionTest,
+    ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      std::string name;
+      switch (info.param.algo) {
+        case Algo::kCmpS: name = "CmpS"; break;
+        case Algo::kCmpB: name = "CmpB"; break;
+        case Algo::kCmpFull: name = "Cmp"; break;
+        case Algo::kSprint: name = "Sprint"; break;
+        case Algo::kClouds: name = "Clouds"; break;
+        case Algo::kRainForest: name = "RainForest"; break;
+      }
+      name += "_F" + std::to_string(info.param.function);
+      return name;
+    });
+
+TEST(CostOrdering, CmpScansBelowCloudsScans) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 40000;
+  gen.seed = 181;
+  const Dataset train = GenerateAgrawal(gen);
+
+  CmpOptions cmp_opts = CmpSOptions();
+  cmp_opts.base.in_memory_threshold = 0;
+  CloudsOptions clouds_opts;
+  clouds_opts.base.in_memory_threshold = 0;
+  CmpBuilder cmp_s(cmp_opts);
+  CloudsBuilder clouds(clouds_opts);
+  const BuildResult cres = cmp_s.Build(train);
+  const BuildResult lres = clouds.Build(train);
+  EXPECT_LT(cres.stats.dataset_scans, lres.stats.dataset_scans);
+}
+
+TEST(CostOrdering, CmpSimulatedTimeBelowSprint) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 40000;
+  gen.seed = 183;
+  const Dataset train = GenerateAgrawal(gen);
+  CmpBuilder cmp_full(CmpFullOptions());
+  SprintBuilder sprint;
+  const DiskModel disk;
+  const double cmp_time =
+      cmp_full.Build(train).stats.SimulatedSeconds(disk);
+  const double sprint_time =
+      sprint.Build(train).stats.SimulatedSeconds(disk);
+  EXPECT_LT(cmp_time, sprint_time / 2);
+}
+
+TEST(CostOrdering, CmpMemoryFarBelowRainForest) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 40000;
+  gen.seed = 185;
+  const Dataset train = GenerateAgrawal(gen);
+  CmpBuilder cmp_full(CmpFullOptions());
+  RainForestBuilder rf;
+  EXPECT_LT(cmp_full.Build(train).stats.peak_memory_bytes,
+            rf.Build(train).stats.peak_memory_bytes / 2);
+}
+
+TEST(CostOrdering, AllBuildersAgreeOnClassDistribution) {
+  // Sanity: whatever the algorithm, the root's recorded class counts are
+  // the dataset's.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF5;
+  gen.num_records = 8000;
+  gen.seed = 187;
+  const Dataset train = GenerateAgrawal(gen);
+  const auto expected = train.ClassCounts();
+  for (const Algo algo : {Algo::kCmpS, Algo::kCmpB, Algo::kCmpFull,
+                          Algo::kSprint, Algo::kClouds, Algo::kRainForest}) {
+    auto builder = Make(algo);
+    const BuildResult result = builder->Build(train);
+    EXPECT_EQ(result.tree.node(0).class_counts, expected)
+        << builder->name();
+  }
+}
+
+}  // namespace
+}  // namespace cmp

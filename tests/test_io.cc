@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.h"
+#include "datagen/agrawal.h"
+#include "io/csv.h"
+#include "io/scan.h"
+#include "io/table_file.h"
+
+namespace cmp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset SmallMixedDataset() {
+  Schema schema({{"x", AttrKind::kNumeric, 0},
+                 {"c", AttrKind::kCategorical, 4},
+                 {"y", AttrKind::kNumeric, 0}},
+                {"a", "b", "c"});
+  Dataset ds(schema);
+  ds.Append({1.25, -7.0}, {3}, 0);
+  ds.Append({-0.5, 1e9}, {0}, 2);
+  ds.Append({3.75, 0.001}, {1}, 1);
+  return ds;
+}
+
+TEST(TableFile, RoundTrip) {
+  const Dataset ds = SmallMixedDataset();
+  const std::string path = TempPath("roundtrip.cmpt");
+  ASSERT_TRUE(SaveTableFile(ds, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadTableFile(path, &loaded));
+  ASSERT_TRUE(loaded.schema() == ds.schema());
+  ASSERT_EQ(loaded.num_records(), ds.num_records());
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded.numeric(0, r), ds.numeric(0, r));
+    EXPECT_EQ(loaded.categorical(1, r), ds.categorical(1, r));
+    EXPECT_DOUBLE_EQ(loaded.numeric(2, r), ds.numeric(2, r));
+    EXPECT_EQ(loaded.label(r), ds.label(r));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableFile, HeaderOnly) {
+  const Dataset ds = SmallMixedDataset();
+  const std::string path = TempPath("header.cmpt");
+  ASSERT_TRUE(SaveTableFile(ds, path));
+  Schema schema;
+  int64_t n = 0;
+  ASSERT_TRUE(ReadTableHeader(path, &schema, &n));
+  EXPECT_TRUE(schema == ds.schema());
+  EXPECT_EQ(n, 3);
+  std::remove(path.c_str());
+}
+
+TEST(TableFile, MissingFileFails) {
+  Dataset out;
+  EXPECT_FALSE(LoadTableFile(TempPath("does_not_exist.cmpt"), &out));
+}
+
+TEST(TableFile, CorruptMagicFails) {
+  const std::string path = TempPath("corrupt.cmpt");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("NOPE not a table file", f);
+    fclose(f);
+  }
+  Dataset out;
+  EXPECT_FALSE(LoadTableFile(path, &out));
+  std::remove(path.c_str());
+}
+
+TEST(TableFile, TruncatedFileFails) {
+  const Dataset ds = GenerateAgrawal(
+      {AgrawalFunction::kF1, /*num_records=*/100, /*seed=*/1, 0.0});
+  const std::string path = TempPath("trunc.cmpt");
+  ASSERT_TRUE(SaveTableFile(ds, path));
+  // Chop the file in half.
+  FILE* f = fopen(path.c_str(), "rb");
+  fseek(f, 0, SEEK_END);
+  const long size = ftell(f);
+  fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  Dataset out;
+  EXPECT_FALSE(LoadTableFile(path, &out));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RoundTrip) {
+  const Dataset ds = SmallMixedDataset();
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(ds, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadCsv(path, ds.schema(), &loaded));
+  ASSERT_EQ(loaded.num_records(), ds.num_records());
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded.numeric(0, r), ds.numeric(0, r));
+    EXPECT_EQ(loaded.categorical(1, r), ds.categorical(1, r));
+    EXPECT_EQ(loaded.label(r), ds.label(r));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, UnknownClassNameFails) {
+  const std::string path = TempPath("badclass.csv");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("x,c,y,class\n1,0,2,zebra\n", f);
+    fclose(f);
+  }
+  Dataset out;
+  EXPECT_FALSE(LoadCsv(path, SmallMixedDataset().schema(), &out));
+  std::remove(path.c_str());
+}
+
+TEST(ScanTracker, ChargesScan) {
+  BuildStats stats;
+  ScanTracker tracker(&stats);
+  const Dataset ds = SmallMixedDataset();
+  tracker.ChargeScan(ds);
+  tracker.ChargeScan(ds);
+  EXPECT_EQ(stats.dataset_scans, 2);
+  EXPECT_EQ(stats.records_read, 6);
+  EXPECT_EQ(stats.bytes_read, 2 * ds.TotalBytes());
+}
+
+TEST(ScanTracker, NullStatsSafe) {
+  ScanTracker tracker(nullptr);
+  const Dataset ds = SmallMixedDataset();
+  tracker.ChargeScan(ds);
+  tracker.ChargeSort(100);
+  tracker.NotePeakMemory(5);  // must not crash
+}
+
+TEST(ScanTracker, SortChargesNLogN) {
+  BuildStats stats;
+  ScanTracker tracker(&stats);
+  tracker.ChargeSort(1024);
+  EXPECT_EQ(stats.sort_comparisons, 1024 * 10);
+  tracker.ChargeSort(1);  // no-op
+  EXPECT_EQ(stats.sort_comparisons, 1024 * 10);
+}
+
+TEST(BuildStats, SimulatedSecondsMonotoneInBytes) {
+  DiskModel model;
+  BuildStats small;
+  small.bytes_read = 1 << 20;
+  BuildStats large;
+  large.bytes_read = 1 << 24;
+  EXPECT_LT(small.SimulatedSeconds(model), large.SimulatedSeconds(model));
+}
+
+TEST(BuildStats, AccumulateSumsAndPeaks) {
+  BuildStats a;
+  a.dataset_scans = 2;
+  a.peak_memory_bytes = 100;
+  BuildStats b;
+  b.dataset_scans = 3;
+  b.peak_memory_bytes = 50;
+  a.Accumulate(b);
+  EXPECT_EQ(a.dataset_scans, 5);
+  EXPECT_EQ(a.peak_memory_bytes, 100);
+}
+
+}  // namespace
+}  // namespace cmp
+
+namespace cmp {
+namespace {
+
+TEST(CsvInfer, MixedColumnsInferred) {
+  const std::string path = TempPath("infer.csv");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs(
+        "age,city,income,approved\n"
+        "25, austin, 50000, no\n"
+        "40, boston, 90000, yes\n"
+        "31, austin, 72000.5, yes\n",
+        f);
+    fclose(f);
+  }
+  Dataset ds;
+  ASSERT_TRUE(LoadCsvInferSchema(path, &ds));
+  EXPECT_EQ(ds.num_records(), 3);
+  EXPECT_EQ(ds.num_attrs(), 3);
+  EXPECT_TRUE(ds.schema().is_numeric(0));
+  EXPECT_FALSE(ds.schema().is_numeric(1));
+  EXPECT_TRUE(ds.schema().is_numeric(2));
+  EXPECT_EQ(ds.schema().attr(1).cardinality, 2);
+  EXPECT_EQ(ds.schema().class_names(),
+            (std::vector<std::string>{"no", "yes"}));
+  EXPECT_EQ(ds.categorical(1, 0), 0);  // austin
+  EXPECT_EQ(ds.categorical(1, 1), 1);  // boston
+  EXPECT_DOUBLE_EQ(ds.numeric(2, 2), 72000.5);
+  EXPECT_EQ(ds.label(1), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvInfer, NumericLookingClassStaysNominal) {
+  const std::string path = TempPath("numclass.csv");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("x,class\n1.0,0\n2.0,1\n3.0,0\n", f);
+    fclose(f);
+  }
+  Dataset ds;
+  ASSERT_TRUE(LoadCsvInferSchema(path, &ds));
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.schema().class_name(0), "0");
+  std::remove(path.c_str());
+}
+
+TEST(CsvInfer, RejectsFreeTextColumns) {
+  const std::string path = TempPath("freetext.csv");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("note,class\n", f);
+    for (int i = 0; i < 500; ++i) {
+      fprintf(f, "unique_note_%d,a\n", i);
+    }
+    fclose(f);
+  }
+  Dataset ds;
+  EXPECT_FALSE(LoadCsvInferSchema(path, &ds, /*max_categorical_card=*/256));
+  std::remove(path.c_str());
+}
+
+TEST(CsvInfer, RejectsRaggedRowsAndEmpty) {
+  const std::string path = TempPath("ragged.csv");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("x,y,class\n1,2,a\n1,a\n", f);
+    fclose(f);
+  }
+  Dataset ds;
+  EXPECT_FALSE(LoadCsvInferSchema(path, &ds));
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("x,y,class\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadCsvInferSchema(path, &ds));
+  std::remove(path.c_str());
+}
+
+TEST(CsvInfer, RoundTripWithSaveCsv) {
+  // SaveCsv output (numeric attrs + named classes) must re-load via
+  // inference with identical values.
+  Schema schema({{"a", AttrKind::kNumeric, 0}, {"b", AttrKind::kNumeric, 0}},
+                {"neg", "pos"});
+  Dataset original(schema);
+  original.Append({1.5, -2.25}, {}, 0);
+  original.Append({3.0, 4.75}, {}, 1);
+  const std::string path = TempPath("savecsv_infer.csv");
+  ASSERT_TRUE(SaveCsv(original, path));
+  Dataset loaded;
+  ASSERT_TRUE(LoadCsvInferSchema(path, &loaded));
+  ASSERT_EQ(loaded.num_records(), 2);
+  EXPECT_DOUBLE_EQ(loaded.numeric(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.numeric(1, 1), 4.75);
+  EXPECT_EQ(loaded.schema().class_name(loaded.label(1)), "pos");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,158 @@
+#include "cmp/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gini/gini.h"
+
+namespace cmp {
+namespace {
+
+// Builds a matrix over [0,100]^2 whose labels follow `label_fn` evaluated
+// at cell centers, with `per_cell` records per cell.
+HistogramMatrix MakeMatrix(const IntervalGrid& gx, const IntervalGrid& gy,
+                           ClassId (*label_fn)(double, double),
+                           int per_cell = 5) {
+  const int qx = gx.num_intervals();
+  const int qy = gy.num_intervals();
+  HistogramMatrix m(qx, qy, 2);
+  auto center = [](const IntervalGrid& g, int i) {
+    const auto& cuts = g.boundaries();
+    const double lo = i == 0 ? g.min_value() : cuts[i - 1];
+    const double hi =
+        i == static_cast<int>(cuts.size()) ? g.max_value() : cuts[i];
+    return (lo + hi) / 2.0;
+  };
+  for (int x = 0; x < qx; ++x) {
+    for (int y = 0; y < qy; ++y) {
+      m.Add(x, y, label_fn(center(gx, x), center(gy, y)), per_cell);
+    }
+  }
+  return m;
+}
+
+IntervalGrid UniformGrid(int q) {
+  std::vector<double> cuts;
+  for (int i = 1; i < q; ++i) {
+    cuts.push_back(100.0 * i / q);
+  }
+  return IntervalGrid::FromBoundaries(std::move(cuts), 0.0, 100.0);
+}
+
+TEST(LinearSplit, FindsDiagonalBoundary) {
+  // Concept: x + y <= 100 -> class 0 (negative slope boundary).
+  const IntervalGrid g = UniformGrid(20);
+  const HistogramMatrix m = MakeMatrix(
+      g, g, +[](double x, double y) -> ClassId {
+        return x + y <= 100.0 ? 0 : 1;
+      });
+  const LinearSplitResult line = FindBestLine(m, g, 0, g, 32);
+  ASSERT_TRUE(line.valid);
+  // The line's gini must be far better than any axis-parallel split on
+  // this concept (which can do no better than ~0.25).
+  EXPECT_LT(line.gini, 0.15);
+  // Coefficients must have the same sign (negative slope boundary) and a
+  // ratio near 1.
+  EXPECT_GT(line.a * line.b, 0.0);
+  EXPECT_NEAR(line.a / line.b, 1.0, 0.4);
+  EXPECT_NEAR(line.c / line.a, 100.0, 25.0);
+}
+
+TEST(LinearSplit, FindsPositiveSlopeBoundary) {
+  // Concept: y >= x -> class 0 (positive slope boundary y - x >= 0).
+  const IntervalGrid g = UniformGrid(20);
+  const HistogramMatrix m = MakeMatrix(
+      g, g, +[](double x, double y) -> ClassId {
+        return y >= x ? 0 : 1;
+      });
+  const LinearSplitResult line = FindBestLine(m, g, 0, g, 32);
+  ASSERT_TRUE(line.valid);
+  EXPECT_LT(line.gini, 0.15);
+  // Opposite-sign coefficients characterize a positive-slope line.
+  EXPECT_LT(line.a * line.b, 0.0);
+}
+
+TEST(LinearSplit, PoorFitOnAxisAlignedConcept) {
+  // Concept: x <= 50 -> class 0. A univariate split is perfect; the best
+  // line cannot be dramatically better than chance on both sides of a
+  // vertical boundary, but more importantly it must never be *invalid*.
+  const IntervalGrid g = UniformGrid(20);
+  const HistogramMatrix m = MakeMatrix(
+      g, g, +[](double x, double /*y*/) -> ClassId {
+        return x <= 50.0 ? 0 : 1;
+      });
+  const LinearSplitResult line = FindBestLine(m, g, 0, g, 32);
+  ASSERT_TRUE(line.valid);
+  // A steep line can approximate the vertical boundary, so the gini may
+  // be low; sanity-check that it is a real partition.
+  EXPECT_GE(line.gini, 0.0);
+  EXPECT_LE(line.gini, 0.5);
+}
+
+TEST(LinearSplit, DegenerateMatrixInvalid) {
+  const IntervalGrid g1 = UniformGrid(1);
+  const IntervalGrid g = UniformGrid(10);
+  HistogramMatrix m(1, 10, 2);
+  EXPECT_FALSE(FindBestLine(m, g1, 0, g, 32).valid);
+}
+
+TEST(LinearSplit, EmptyMatrixInvalid) {
+  const IntervalGrid g = UniformGrid(10);
+  HistogramMatrix m(10, 10, 2);
+  const LinearSplitResult line = FindBestLine(m, g, 0, g, 32);
+  EXPECT_FALSE(line.valid);
+}
+
+TEST(LinearSplit, CoarseningPreservesDetection) {
+  const IntervalGrid g = UniformGrid(100);
+  const HistogramMatrix m = MakeMatrix(
+      g, g, +[](double x, double y) -> ClassId {
+        return x + y <= 100.0 ? 0 : 1;
+      });
+  // Even aggressively coarsened (8x8) the diagonal must be detected.
+  const LinearSplitResult line = FindBestLine(m, g, 0, g, 8);
+  ASSERT_TRUE(line.valid);
+  EXPECT_LT(line.gini, 0.25);
+}
+
+TEST(LinearSplit, GiniConsistentWithManualCellPartition) {
+  // For a returned line, recomputing the 3-way gini by classifying cell
+  // corners must reproduce line.gini when no coarsening happens.
+  const IntervalGrid g = UniformGrid(10);
+  const HistogramMatrix m = MakeMatrix(
+      g, g, +[](double x, double y) -> ClassId {
+        return x + 2 * y <= 150.0 ? 0 : 1;
+      });
+  const LinearSplitResult line = FindBestLine(m, g, 0, g, 10);
+  ASSERT_TRUE(line.valid);
+
+  auto edge = [&](int i) {
+    if (i == 0) return g.min_value();
+    if (i == g.num_intervals()) return g.max_value();
+    return g.boundaries()[i - 1];
+  };
+  std::vector<int64_t> under(2, 0);
+  std::vector<int64_t> above(2, 0);
+  std::vector<int64_t> on(2, 0);
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      const double f_max =
+          line.a * edge(x + 1) + line.b * edge(y + 1) - line.c;
+      const double f_min = line.a * edge(x) + line.b * edge(y) - line.c;
+      std::vector<int64_t>* bucket =
+          f_max <= 0 ? &under : (f_min >= 0 ? &above : &on);
+      for (ClassId c = 0; c < 2; ++c) {
+        (*bucket)[c] += m.count(x, y, c);
+      }
+    }
+  }
+  // Note: the walk uses positive-coefficient classification internally;
+  // for positive-slope results the mirrored geometry classifies cells
+  // identically, so this check holds for either orientation when b > 0.
+  if (line.b > 0) {
+    EXPECT_NEAR(SplitGini3(under, above, on), line.gini, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,108 @@
+// Multi-class coverage: the Agrawal workloads are binary, but the
+// paper's Table 1 datasets have up to 26 classes. These tests run every
+// builder on the multi-class STATLOG stand-ins and check the
+// >2-class-specific machinery (gradient walks over many classes,
+// majority voting, confusion matrices, PUBLIC bounds with many classes).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "datagen/statlog.h"
+#include "exact/exact.h"
+#include "rainforest/rainforest.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+struct McCase {
+  StatlogDataset dataset;
+  double min_accuracy;  // on a 25% held-out split
+};
+
+std::vector<std::unique_ptr<TreeBuilder>> Builders() {
+  std::vector<std::unique_ptr<TreeBuilder>> out;
+  out.push_back(std::make_unique<CmpBuilder>(CmpSOptions()));
+  out.push_back(std::make_unique<CmpBuilder>(CmpBOptions()));
+  out.push_back(std::make_unique<CmpBuilder>(CmpFullOptions()));
+  out.push_back(std::make_unique<SprintBuilder>());
+  out.push_back(std::make_unique<SliqBuilder>());
+  out.push_back(std::make_unique<CloudsBuilder>());
+  out.push_back(std::make_unique<RainForestBuilder>());
+  return out;
+}
+
+class MultiClassTest : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(MultiClassTest, AllBuildersLearnHeldOut) {
+  StatlogOptions gen;
+  gen.dataset = GetParam().dataset;
+  gen.scale = gen.dataset == StatlogDataset::kShuttle ? 0.2 : 0.5;
+  gen.seed = 61;
+  const Dataset data = GenerateStatlog(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 23, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  for (auto& builder : Builders()) {
+    const BuildResult result = builder->Build(train);
+    const Evaluation eval = Evaluate(result.tree, test);
+    EXPECT_GE(eval.Accuracy(), GetParam().min_accuracy)
+        << builder->name() << " on " << StatlogName(GetParam().dataset);
+    // Confusion matrix shape and totals.
+    ASSERT_EQ(static_cast<int>(eval.confusion.size()),
+              data.num_classes());
+    int64_t confusion_total = 0;
+    for (const auto& row : eval.confusion) {
+      for (int64_t v : row) confusion_total += v;
+    }
+    EXPECT_EQ(confusion_total, test.num_records());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statlog, MultiClassTest,
+    ::testing::Values(McCase{StatlogDataset::kSegment, 0.80},
+                      McCase{StatlogDataset::kSatimage, 0.80},
+                      McCase{StatlogDataset::kShuttle, 0.90}),
+    [](const ::testing::TestParamInfo<McCase>& info) {
+      return StatlogName(info.param.dataset);
+    });
+
+TEST(MultiClass, LetterHas26Classes) {
+  // The heaviest case: 26 classes stress the gradient walk (one step per
+  // class) and the PUBLIC bound's class ordering. Train on a reduced
+  // sample for speed; every class must still be predictable.
+  StatlogOptions gen;
+  gen.dataset = StatlogDataset::kLetter;
+  gen.scale = 0.4;
+  gen.seed = 63;
+  const Dataset data = GenerateStatlog(gen);
+  CmpBuilder builder(CmpSOptions());
+  const BuildResult result = builder.Build(data);
+  const Evaluation eval = Evaluate(result.tree, data);
+  EXPECT_GT(eval.Accuracy(), 0.70);
+  // The tree must use more than a handful of leaves to cover 26 classes.
+  EXPECT_GE(result.tree.NumLeaves(), 26);
+}
+
+TEST(MultiClass, MajorityBreaksTiesDeterministically) {
+  // Equal counts across classes: MakeLeaf must pick the lowest class id.
+  DecisionTree tree(Schema({{"x", AttrKind::kNumeric, 0}},
+                           {"a", "b", "c"}));
+  TreeNode node;
+  node.class_counts = {5, 5, 5};
+  const NodeId id = tree.AddNode(node);
+  tree.MakeLeaf(id);
+  EXPECT_EQ(tree.node(id).leaf_class, 0);
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,133 @@
+#include "cmp/pairs.h"
+
+#include <gtest/gtest.h>
+
+#include "cmp/cmp.h"
+#include "common/random.h"
+#include "datagen/agrawal.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+TEST(PairDiscovery, FindsFunctionFRelation) {
+  // Function f's boundary salary + commission = 100,000 involves the
+  // (salary, commission) pair.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kFunctionF;
+  gen.num_records = 20000;
+  gen.seed = 311;
+  const Dataset ds = GenerateAgrawal(gen);
+  const std::vector<PairRelation> rels = DiscoverLinearRelations(ds);
+  ASSERT_FALSE(rels.empty());
+  const AttrId salary = ds.schema().FindAttr("salary");
+  const AttrId commission = ds.schema().FindAttr("commission");
+  bool found = false;
+  for (const PairRelation& rel : rels) {
+    if ((rel.x == salary && rel.y == commission) ||
+        (rel.x == commission && rel.y == salary)) {
+      found = true;
+      EXPECT_LT(rel.gini, rel.base_gini * 0.9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PairDiscovery, RankedBestFirst) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF7;
+  gen.num_records = 20000;
+  gen.seed = 313;
+  const Dataset ds = GenerateAgrawal(gen);
+  const std::vector<PairRelation> rels = DiscoverLinearRelations(ds);
+  for (size_t i = 1; i < rels.size(); ++i) {
+    EXPECT_LE(rels[i - 1].gini, rels[i].gini);
+  }
+}
+
+TEST(PairDiscovery, NoRelationsOnPureNoise) {
+  Schema schema({{"x", AttrKind::kNumeric, 0},
+                 {"y", AttrKind::kNumeric, 0},
+                 {"z", AttrKind::kNumeric, 0}},
+                {"a", "b"});
+  Dataset ds(schema);
+  Rng rng(315);
+  for (int i = 0; i < 10000; ++i) {
+    ds.Append({rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)}, {},
+              static_cast<ClassId>(rng.UniformInt(0, 1)));
+  }
+  const std::vector<PairRelation> rels = DiscoverLinearRelations(ds);
+  EXPECT_TRUE(rels.empty());
+}
+
+TEST(PairDiscovery, HandlesDegenerateInputs) {
+  // One numeric attribute: no pairs.
+  Schema schema({{"x", AttrKind::kNumeric, 0}}, {"a", "b"});
+  Dataset ds(schema);
+  ds.Append({1.0}, {}, 0);
+  EXPECT_TRUE(DiscoverLinearRelations(ds).empty());
+  // Empty dataset.
+  const Dataset empty(AgrawalSchema());
+  EXPECT_TRUE(DiscoverLinearRelations(empty).empty());
+}
+
+TEST(PairDiscovery, ChargesTwoScans) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kFunctionF;
+  gen.num_records = 5000;
+  gen.seed = 317;
+  const Dataset ds = GenerateAgrawal(gen);
+  BuildStats stats;
+  ScanTracker tracker(&stats);
+  DiscoverLinearRelations(ds, {}, &tracker);
+  EXPECT_EQ(stats.dataset_scans, 2);  // quantiling + matrix fill
+}
+
+TEST(AllPairsRoot, HiddenPairFoundOnlyWithExtension) {
+  // Construct a concept whose linear structure lives between two
+  // attributes that the regular shared-X matrices are unlikely to pair
+  // (the discriminative pair involves neither the default X nor the
+  // usual est-argmin): label = (hvalue + 4*loan > 1.2M). Neither hvalue
+  // nor loan splits well univariately.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;  // labels rewritten below
+  gen.num_records = 30000;
+  gen.seed = 319;
+  const Dataset base = GenerateAgrawal(gen);
+  Dataset ds(base.schema());
+  const AttrId hvalue = base.schema().FindAttr("hvalue");
+  const AttrId loan = base.schema().FindAttr("loan");
+  std::vector<double> nvals;
+  std::vector<int32_t> cvals;
+  for (RecordId r = 0; r < base.num_records(); ++r) {
+    nvals.clear();
+    cvals.clear();
+    for (AttrId a = 0; a < base.num_attrs(); ++a) {
+      if (base.schema().is_numeric(a)) {
+        nvals.push_back(base.numeric(a, r));
+      } else {
+        cvals.push_back(base.categorical(a, r));
+      }
+    }
+    const ClassId label =
+        base.numeric(hvalue, r) + 4.0 * base.numeric(loan, r) > 1.2e6 ? 0
+                                                                      : 1;
+    ds.Append(nvals, cvals, label);
+  }
+
+  CmpOptions with = CmpFullOptions();
+  with.all_pairs_root = true;
+  CmpBuilder builder(with);
+  const BuildResult result = builder.Build(ds);
+  ASSERT_FALSE(result.tree.node(0).is_leaf);
+  // The root must be a linear split over the hidden pair.
+  const Split& root = result.tree.node(0).split;
+  EXPECT_EQ(root.kind, Split::Kind::kLinear);
+  const bool pair_match = (root.attr == hvalue && root.attr2 == loan) ||
+                          (root.attr == loan && root.attr2 == hvalue);
+  EXPECT_TRUE(pair_match);
+  EXPECT_GT(Evaluate(result.tree, ds).Accuracy(), 0.97);
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,178 @@
+// Cross-builder cost-accounting and structural properties, parameterized
+// over every builder: the counters the figure harnesses rely on must
+// obey basic conservation laws, and the produced trees must respect the
+// shared BuilderOptions contract.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "rainforest/rainforest.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+enum class Algo { kCmpS, kCmpB, kCmpFull, kSprint, kSliq, kClouds, kRf };
+
+std::unique_ptr<TreeBuilder> Make(Algo algo, const BuilderOptions& base) {
+  switch (algo) {
+    case Algo::kCmpS: {
+      CmpOptions o = CmpSOptions();
+      o.base = base;
+      return std::make_unique<CmpBuilder>(o);
+    }
+    case Algo::kCmpB: {
+      CmpOptions o = CmpBOptions();
+      o.base = base;
+      return std::make_unique<CmpBuilder>(o);
+    }
+    case Algo::kCmpFull: {
+      CmpOptions o = CmpFullOptions();
+      o.base = base;
+      return std::make_unique<CmpBuilder>(o);
+    }
+    case Algo::kSprint: {
+      SprintOptions o;
+      o.base = base;
+      return std::make_unique<SprintBuilder>(o);
+    }
+    case Algo::kSliq: {
+      SliqOptions o;
+      o.base = base;
+      return std::make_unique<SliqBuilder>(o);
+    }
+    case Algo::kClouds: {
+      CloudsOptions o;
+      o.base = base;
+      return std::make_unique<CloudsBuilder>(o);
+    }
+    case Algo::kRf: {
+      RainForestOptions o;
+      o.base = base;
+      return std::make_unique<RainForestBuilder>(o);
+    }
+  }
+  return nullptr;
+}
+
+const char* Name(Algo algo) {
+  switch (algo) {
+    case Algo::kCmpS: return "CmpS";
+    case Algo::kCmpB: return "CmpB";
+    case Algo::kCmpFull: return "Cmp";
+    case Algo::kSprint: return "Sprint";
+    case Algo::kSliq: return "Sliq";
+    case Algo::kClouds: return "Clouds";
+    case Algo::kRf: return "RainForest";
+  }
+  return "?";
+}
+
+class BuilderPropertyTest : public ::testing::TestWithParam<Algo> {
+ protected:
+  static Dataset MakeData(int64_t n) {
+    AgrawalOptions gen;
+    gen.function = AgrawalFunction::kF2;
+    gen.num_records = n;
+    gen.seed = 701;
+    return GenerateAgrawal(gen);
+  }
+};
+
+TEST_P(BuilderPropertyTest, StatsConservationLaws) {
+  const Dataset train = MakeData(15000);
+  auto builder = Make(GetParam(), BuilderOptions{});
+  const BuildResult result = builder->Build(train);
+  const BuildStats& s = result.stats;
+
+  EXPECT_GT(s.dataset_scans, 0) << Name(GetParam());
+  EXPECT_GT(s.records_read, 0);
+  EXPECT_GT(s.bytes_read, 0);
+  EXPECT_GE(s.peak_memory_bytes, 0);
+  EXPECT_EQ(s.tree_nodes, result.tree.num_nodes());
+  EXPECT_EQ(s.tree_depth, result.tree.Depth());
+  EXPECT_GE(s.wall_seconds, 0.0);
+  // Simulated time is finite, positive, and monotone in the model's
+  // bandwidth.
+  DiskModel fast;
+  DiskModel slow;
+  slow.scan_bandwidth = fast.scan_bandwidth / 4;
+  EXPECT_GT(s.SimulatedSeconds(fast), 0.0);
+  EXPECT_GT(s.SimulatedSeconds(slow), s.SimulatedSeconds(fast));
+}
+
+TEST_P(BuilderPropertyTest, LeafCountsPartitionTrainingSet) {
+  // Route every training record to its leaf; the leaf population sizes
+  // derived from the tree must sum to the dataset size.
+  const Dataset train = MakeData(8000);
+  BuilderOptions base;
+  base.prune = false;  // pruning rewrites counts by merging, still exact
+  auto builder = Make(GetParam(), base);
+  const BuildResult result = builder->Build(train);
+  std::vector<int64_t> arrived(result.tree.num_nodes(), 0);
+  for (RecordId r = 0; r < train.num_records(); ++r) {
+    arrived[result.tree.LeafOf(train, r)]++;
+  }
+  int64_t total = 0;
+  for (NodeId id = 0; id < result.tree.num_nodes(); ++id) {
+    if (result.tree.node(id).is_leaf) total += arrived[id];
+  }
+  EXPECT_EQ(total, train.num_records()) << Name(GetParam());
+}
+
+TEST_P(BuilderPropertyTest, MaxDepthHonored) {
+  const Dataset train = MakeData(10000);
+  BuilderOptions base;
+  base.max_depth = 4;
+  auto builder = Make(GetParam(), base);
+  const BuildResult result = builder->Build(train);
+  EXPECT_LE(result.tree.Depth(), 4) << Name(GetParam());
+}
+
+TEST_P(BuilderPropertyTest, DeterministicAcrossRuns) {
+  const Dataset train = MakeData(6000);
+  auto b1 = Make(GetParam(), BuilderOptions{});
+  auto b2 = Make(GetParam(), BuilderOptions{});
+  const BuildResult r1 = b1->Build(train);
+  const BuildResult r2 = b2->Build(train);
+  EXPECT_EQ(r1.tree.num_nodes(), r2.tree.num_nodes()) << Name(GetParam());
+  for (RecordId r = 0; r < train.num_records(); r += 97) {
+    EXPECT_EQ(r1.tree.Classify(train, r), r2.tree.Classify(train, r));
+  }
+}
+
+TEST_P(BuilderPropertyTest, InternalNodeCountsEqualChildSums) {
+  const Dataset train = MakeData(8000);
+  auto builder = Make(GetParam(), BuilderOptions{});
+  const BuildResult result = builder->Build(train);
+  for (NodeId id = 0; id < result.tree.num_nodes(); ++id) {
+    const TreeNode& n = result.tree.node(id);
+    if (n.is_leaf) continue;
+    const TreeNode& l = result.tree.node(n.left);
+    const TreeNode& r = result.tree.node(n.right);
+    ASSERT_EQ(n.class_counts.size(), l.class_counts.size());
+    for (size_t c = 0; c < n.class_counts.size(); ++c) {
+      EXPECT_EQ(n.class_counts[c], l.class_counts[c] + r.class_counts[c])
+          << Name(GetParam()) << " node " << id << " class " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilders, BuilderPropertyTest,
+                         ::testing::Values(Algo::kCmpS, Algo::kCmpB,
+                                           Algo::kCmpFull, Algo::kSprint,
+                                           Algo::kSliq, Algo::kClouds,
+                                           Algo::kRf),
+                         [](const ::testing::TestParamInfo<Algo>& info) {
+                           return Name(info.param);
+                         });
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,103 @@
+#include "pruning/mdl.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+TEST(MdlLeafCost, PureLeafCostsOneBit) {
+  const std::vector<int64_t> counts = {50, 0};
+  EXPECT_DOUBLE_EQ(MdlLeafCost(counts), 1.0);
+}
+
+TEST(MdlLeafCost, ErrorsCostOneBitEach) {
+  const std::vector<int64_t> counts = {30, 12};
+  EXPECT_DOUBLE_EQ(MdlLeafCost(counts), 13.0);
+}
+
+TEST(PublicLowerBound, SmallForTwoClasses) {
+  // With two classes, one split can in principle separate them: the
+  // bound carries no error term, only structure cost.
+  const std::vector<int64_t> counts = {100, 100};
+  const double bound = PublicLowerBound(counts, 9);
+  EXPECT_NEAR(bound, 2.0 + 1.0 + 1.0 + std::log2(9.0), 1e-9);
+}
+
+TEST(PublicLowerBound, ChargesMinorityClassesWithFewSplits) {
+  // Three classes, one tiny: with s=1 the smallest class is all errors,
+  // with s=2 structure costs more. The bound takes the min.
+  const std::vector<int64_t> counts = {100, 100, 3};
+  const double split_cost = 1.0 + std::log2(4.0);
+  const double s1 = 2.0 + 1.0 + split_cost + 3.0;
+  const double s2 = 4.0 + 1.0 + 2 * split_cost;
+  EXPECT_NEAR(PublicLowerBound(counts, 4), std::min(s1, s2), 1e-9);
+}
+
+TEST(ShouldPruneBeforeExpand, PrunesNearPureNodes) {
+  // 2 errors: leaf costs 3 bits, any subtree costs >= ~6.2 bits.
+  const std::vector<int64_t> nearly_pure = {1000, 2};
+  EXPECT_TRUE(ShouldPruneBeforeExpand(nearly_pure, 9));
+}
+
+TEST(ShouldPruneBeforeExpand, KeepsMixedNodes) {
+  const std::vector<int64_t> mixed = {500, 500};
+  EXPECT_FALSE(ShouldPruneBeforeExpand(mixed, 9));
+}
+
+TEST(PruneTreeMdl, ShrinksNoisyTree) {
+  // A perturbed dataset grows spurious branches; MDL pruning must remove
+  // some without hurting held-out accuracy much.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 8000;
+  gen.seed = 31;
+  gen.perturbation = 0.08;
+  const Dataset data = GenerateAgrawal(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.3, 2, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  BuilderOptions no_prune;
+  no_prune.prune = false;
+  ExactBuilder unpruned_builder(no_prune);
+  BuildResult unpruned = unpruned_builder.Build(train);
+  const double acc_before = Evaluate(unpruned.tree, test).Accuracy();
+  const int nodes_before = unpruned.tree.num_nodes();
+
+  const int removed = PruneTreeMdl(&unpruned.tree);
+  const double acc_after = Evaluate(unpruned.tree, test).Accuracy();
+
+  EXPECT_GT(removed, 0);
+  EXPECT_LT(unpruned.tree.num_nodes(), nodes_before);
+  EXPECT_GT(acc_after, acc_before - 0.02);
+}
+
+TEST(PruneTreeMdl, IdempotentOnPrunedTree) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 4000;
+  gen.seed = 33;
+  const Dataset train = GenerateAgrawal(gen);
+  ExactBuilder builder;
+  BuildResult result = builder.Build(train);  // prunes internally
+  EXPECT_EQ(PruneTreeMdl(&result.tree), 0);
+}
+
+TEST(PruneTreeMdl, LeafOnlyTreeUntouched) {
+  DecisionTree tree(AgrawalSchema());
+  TreeNode leaf;
+  leaf.leaf_class = 0;
+  leaf.class_counts = {10, 0};
+  tree.AddNode(leaf);
+  EXPECT_EQ(PruneTreeMdl(&tree), 0);
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,108 @@
+#include "hist/quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cmp {
+namespace {
+
+TEST(IntervalGrid, EmptyValues) {
+  const IntervalGrid grid = IntervalGrid::EqualDepth({}, 10);
+  EXPECT_EQ(grid.num_intervals(), 1);
+}
+
+TEST(IntervalGrid, SingleIntervalRequested) {
+  const IntervalGrid grid = IntervalGrid::EqualDepth({1, 2, 3}, 1);
+  EXPECT_EQ(grid.num_intervals(), 1);
+  EXPECT_EQ(grid.IntervalOf(2.0), 0);
+}
+
+TEST(IntervalGrid, UniformValuesBalancedDepth) {
+  std::vector<double> values(1000);
+  Rng rng(5);
+  for (auto& v : values) v = rng.Uniform(0, 100);
+  const int q = 10;
+  const IntervalGrid grid = IntervalGrid::EqualDepth(values, q);
+  ASSERT_EQ(grid.num_intervals(), q);
+  std::vector<int64_t> depth(q, 0);
+  for (double v : values) depth[grid.IntervalOf(v)]++;
+  for (int i = 0; i < q; ++i) {
+    EXPECT_GE(depth[i], 50) << "interval " << i;
+    EXPECT_LE(depth[i], 200) << "interval " << i;
+  }
+}
+
+TEST(IntervalGrid, IntervalOfRespectsHalfOpenConvention) {
+  // Interval i covers (b_i-1, b_i]: a value equal to a cut belongs to the
+  // interval below it.
+  const IntervalGrid grid = IntervalGrid::FromBoundaries({10.0, 20.0});
+  EXPECT_EQ(grid.num_intervals(), 3);
+  EXPECT_EQ(grid.IntervalOf(5.0), 0);
+  EXPECT_EQ(grid.IntervalOf(10.0), 0);
+  EXPECT_EQ(grid.IntervalOf(10.5), 1);
+  EXPECT_EQ(grid.IntervalOf(20.0), 1);
+  EXPECT_EQ(grid.IntervalOf(25.0), 2);
+}
+
+TEST(IntervalGrid, HeavyTiesCollapseCuts) {
+  // 90% of the mass at one value: most quantile cuts coincide and must
+  // be deduplicated, not repeated.
+  std::vector<double> values(100, 42.0);
+  for (int i = 0; i < 10; ++i) values.push_back(100.0 + i);
+  const IntervalGrid grid = IntervalGrid::EqualDepth(values, 10);
+  EXPECT_LT(grid.num_intervals(), 10);
+  const auto& cuts = grid.boundaries();
+  EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_LT(cuts[i - 1], cuts[i]);
+  }
+}
+
+TEST(IntervalGrid, AllValuesIdentical) {
+  const std::vector<double> values(50, 7.0);
+  const IntervalGrid grid = IntervalGrid::EqualDepth(values, 8);
+  EXPECT_EQ(grid.num_intervals(), 1);
+  EXPECT_EQ(grid.IntervalOf(7.0), 0);
+}
+
+TEST(IntervalGrid, MinMaxRecorded) {
+  const IntervalGrid grid = IntervalGrid::EqualDepth({3, 1, 4, 1, 5}, 3);
+  EXPECT_DOUBLE_EQ(grid.min_value(), 1.0);
+  EXPECT_DOUBLE_EQ(grid.max_value(), 5.0);
+}
+
+TEST(IntervalGrid, LastIntervalNonEmpty) {
+  // The maximum value must not sit on a cut (which would empty the last
+  // interval).
+  std::vector<double> values;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Uniform(0, 1));
+  const IntervalGrid grid = IntervalGrid::EqualDepth(values, 20);
+  std::vector<int64_t> depth(grid.num_intervals(), 0);
+  for (double v : values) depth[grid.IntervalOf(v)]++;
+  EXPECT_GT(depth.back(), 0);
+}
+
+class GridDepthPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridDepthPropertyTest, EveryIntervalNonEmptyOnContinuousData) {
+  Rng rng(GetParam());
+  std::vector<double> values(2000);
+  for (auto& v : values) v = rng.Gaussian(0, 10);
+  const IntervalGrid grid = IntervalGrid::EqualDepth(values, 50);
+  std::vector<int64_t> depth(grid.num_intervals(), 0);
+  for (double v : values) depth[grid.IntervalOf(v)]++;
+  for (int i = 0; i < grid.num_intervals(); ++i) {
+    EXPECT_GT(depth[i], 0) << "interval " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridDepthPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cmp

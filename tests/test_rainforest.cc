@@ -1,0 +1,114 @@
+#include "rainforest/rainforest.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+RainForestOptions NoSwitchOptions() {
+  RainForestOptions o;
+  // Shrink the AVC buffer so RF-Hybrid cannot pull the whole dataset
+  // into memory and must actually aggregate AVC-groups per level.
+  o.avc_buffer_entries = 200000;
+  o.base.in_memory_threshold = 0;
+  return o;
+}
+
+TEST(RainForest, HighAccuracyOnF2) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 20000;
+  gen.seed = 121;
+  const Dataset data = GenerateAgrawal(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 8, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  RainForestBuilder builder;
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, test).Accuracy(), 0.97);
+}
+
+TEST(RainForest, AvcSplitsMatchExactBuilder) {
+  // AVC-groups preserve every distinct value, so RainForest's splits are
+  // exact: the root split must equal the exact builder's.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF7;
+  gen.num_records = 5000;
+  gen.seed = 123;
+  const Dataset train = GenerateAgrawal(gen);
+
+  RainForestBuilder rf(NoSwitchOptions());
+  const BuildResult rres = rf.Build(train);
+  ExactBuilder exact;
+  const BuildResult eres = exact.Build(train);
+
+  ASSERT_FALSE(rres.tree.node(0).is_leaf);
+  ASSERT_FALSE(eres.tree.node(0).is_leaf);
+  EXPECT_EQ(rres.tree.node(0).split.attr, eres.tree.node(0).split.attr);
+  if (rres.tree.node(0).split.kind == Split::Kind::kNumeric) {
+    EXPECT_DOUBLE_EQ(rres.tree.node(0).split.threshold,
+                     eres.tree.node(0).split.threshold);
+  }
+}
+
+TEST(RainForest, FixedBufferDominatesMemory) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 10000;
+  gen.seed = 125;
+  const Dataset train = GenerateAgrawal(gen);
+  RainForestBuilder builder;  // default 2.5M-entry buffer
+  const BuildResult result = builder.Build(train);
+  // 2.5M entries * 4 bytes * 2 classes = 20 MB (the paper's Figure 19).
+  EXPECT_EQ(result.stats.peak_memory_bytes, 2500000ll * 4 * 2);
+}
+
+TEST(RainForest, SmallBufferForcesMultipleBatches) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF7;
+  gen.num_records = 30000;
+  gen.seed = 127;
+  const Dataset train = GenerateAgrawal(gen);
+
+  RainForestOptions small = NoSwitchOptions();
+  small.avc_buffer_entries = 50000;  // < records * attrs at lower levels
+  RainForestBuilder constrained(small);
+  const BuildResult cres = constrained.Build(train);
+
+  RainForestOptions big;
+  big.base.in_memory_threshold = 0;
+  big.avc_buffer_entries = 100000000;
+  RainForestBuilder roomy(big);
+  const BuildResult rres = roomy.Build(train);
+
+  EXPECT_GT(cres.stats.dataset_scans, rres.stats.dataset_scans);
+}
+
+TEST(RainForest, FewScansWithRoomyBuffer) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 20000;
+  gen.seed = 129;
+  const Dataset train = GenerateAgrawal(gen);
+  RainForestBuilder builder;  // defaults: whole dataset fits the buffer
+  const BuildResult result = builder.Build(train);
+  EXPECT_LE(result.stats.dataset_scans, 2);
+}
+
+TEST(RainForest, EmptyDataset) {
+  const Dataset empty(AgrawalSchema());
+  RainForestBuilder builder;
+  const BuildResult result = builder.Build(empty);
+  EXPECT_EQ(result.tree.num_nodes(), 1);
+  EXPECT_TRUE(result.tree.node(0).is_leaf);
+}
+
+}  // namespace
+}  // namespace cmp

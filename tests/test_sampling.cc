@@ -1,0 +1,96 @@
+#include "sampling/windowing.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+Dataset MakeData(AgrawalFunction f, int64_t n, uint64_t seed) {
+  AgrawalOptions gen;
+  gen.function = f;
+  gen.num_records = n;
+  gen.seed = seed;
+  return GenerateAgrawal(gen);
+}
+
+TEST(Windowing, ConvergesOnSimpleConcept) {
+  const Dataset data = MakeData(AgrawalFunction::kF1, 20000, 221);
+  WindowingOptions o;
+  o.initial_fraction = 0.05;
+  WindowingBuilder builder(std::make_unique<ExactBuilder>(), o);
+  const BuildResult result = builder.Build(data);
+  EXPECT_GT(Evaluate(result.tree, data).Accuracy(), 0.99);
+}
+
+TEST(Windowing, ReasonableOnF2) {
+  const Dataset data = MakeData(AgrawalFunction::kF2, 20000, 223);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 16, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+  WindowingBuilder builder(std::make_unique<ExactBuilder>());
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, test).Accuracy(), 0.95);
+}
+
+TEST(Windowing, ChargesOneScanPerIteration) {
+  const Dataset data = MakeData(AgrawalFunction::kF2, 10000, 225);
+  WindowingOptions o;
+  o.max_iterations = 3;
+  o.target_error = 0.0;  // never early-stop on error
+  WindowingBuilder builder(std::make_unique<ExactBuilder>(), o);
+  const BuildResult result = builder.Build(data);
+  // Sample draw + one misclassification scan per iteration (plus the
+  // inner builds' own charges).
+  EXPECT_GE(result.stats.dataset_scans, 1 + 3);
+}
+
+TEST(Windowing, NameMentionsInner) {
+  WindowingBuilder builder(std::make_unique<ExactBuilder>());
+  EXPECT_EQ(builder.name(), "Windowing(Exact)");
+}
+
+TEST(Sampled, TrainsOnFraction) {
+  const Dataset data = MakeData(AgrawalFunction::kF2, 20000, 227);
+  SampledBuilder builder(std::make_unique<ExactBuilder>(), 0.1);
+  const BuildResult result = builder.Build(data);
+  // Accuracy on the full data suffers a little but stays sane — the
+  // "approximate approaches lose accuracy" premise of the paper.
+  const double acc = Evaluate(result.tree, data).Accuracy();
+  EXPECT_GT(acc, 0.90);
+}
+
+TEST(Sampled, LessAccurateThanFullTraining) {
+  const Dataset data = MakeData(AgrawalFunction::kF5, 20000, 229);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.3, 18, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  ExactBuilder full;
+  SampledBuilder sampled(std::make_unique<ExactBuilder>(), 0.02);
+  const double acc_full = Evaluate(full.Build(train).tree, test).Accuracy();
+  const double acc_sample =
+      Evaluate(sampled.Build(train).tree, test).Accuracy();
+  EXPECT_LE(acc_sample, acc_full + 0.005);
+}
+
+TEST(Sampled, WorksWithCmpInner) {
+  const Dataset data = MakeData(AgrawalFunction::kF2, 30000, 231);
+  SampledBuilder builder(
+      std::make_unique<CmpBuilder>(CmpFullOptions()), 0.5);
+  const BuildResult result = builder.Build(data);
+  EXPECT_GT(Evaluate(result.tree, data).Accuracy(), 0.95);
+}
+
+}  // namespace
+}  // namespace cmp

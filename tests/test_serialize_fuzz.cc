@@ -1,0 +1,98 @@
+// Robustness of the tree text format: every truncation and a barrage of
+// random single-character corruptions of a valid serialization must be
+// either rejected cleanly or produce a tree that classifies without
+// crashing — never undefined behavior.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "tree/serialize.h"
+
+namespace cmp {
+namespace {
+
+std::string ValidSerialization() {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 2000;
+  gen.seed = 71;
+  const Dataset ds = GenerateAgrawal(gen);
+  ExactBuilder builder;
+  const BuildResult result = builder.Build(ds);
+  return SerializeTree(result.tree);
+}
+
+TEST(SerializeFuzz, EveryPrefixRejectedOrValid) {
+  const std::string text = ValidSerialization();
+  // Step through prefixes (by ~37 bytes to keep the test quick).
+  for (size_t len = 0; len < text.size(); len += 37) {
+    DecisionTree out;
+    const bool ok = DeserializeTree(text.substr(0, len), &out);
+    // Truncations that cut inside the node list must fail; a successful
+    // parse may only happen if the prefix happens to be a complete
+    // document (it never is, since node count is declared up front).
+    EXPECT_FALSE(ok) << "prefix length " << len;
+  }
+}
+
+TEST(SerializeFuzz, RandomCorruptionsNeverCrash) {
+  const std::string text = ValidSerialization();
+  Rng rng(73);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = text;
+    const size_t pos = rng.UniformInt(0, corrupted.size() - 1);
+    corrupted[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    DecisionTree out;
+    // Must not crash; result validity is unspecified, but if it parses,
+    // basic invariants hold.
+    if (DeserializeTree(corrupted, &out)) {
+      EXPECT_GT(out.num_nodes(), 0);
+    }
+  }
+}
+
+TEST(SerializeFuzz, RandomLineDeletionRejectedOrSane) {
+  const std::string text = ValidSerialization();
+  Rng rng(79);
+  std::vector<std::string> lines;
+  {
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      lines.push_back(text.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t victim = rng.UniformInt(0, lines.size() - 1);
+    std::string mutated;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (i == victim) continue;
+      mutated += lines[i];
+      mutated += '\n';
+    }
+    DecisionTree out;
+    if (DeserializeTree(mutated, &out)) {
+      EXPECT_GT(out.num_nodes(), 0);
+    }
+  }
+}
+
+TEST(SerializeFuzz, GarbageBlobsRejected) {
+  Rng rng(83);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string blob;
+    const int len = static_cast<int>(rng.UniformInt(0, 500));
+    for (int i = 0; i < len; ++i) {
+      blob += static_cast<char>(rng.UniformInt(1, 255));
+    }
+    DecisionTree out;
+    EXPECT_FALSE(DeserializeTree(blob, &out));
+  }
+}
+
+}  // namespace
+}  // namespace cmp

@@ -1,0 +1,121 @@
+#include "sliq/sliq.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "sprint/sprint.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+SliqOptions NoSwitchOptions() {
+  SliqOptions o;
+  o.base.in_memory_threshold = 0;
+  return o;
+}
+
+TEST(Sliq, HighAccuracyOnF2) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 20000;
+  gen.seed = 211;
+  const Dataset data = GenerateAgrawal(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 14, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  SliqBuilder builder;
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, test).Accuracy(), 0.97);
+}
+
+TEST(Sliq, SameRootSplitAsExact) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 5000;
+  gen.seed = 213;
+  const Dataset train = GenerateAgrawal(gen);
+
+  SliqBuilder sliq(NoSwitchOptions());
+  const BuildResult sres = sliq.Build(train);
+  ExactBuilder exact;
+  const BuildResult eres = exact.Build(train);
+
+  ASSERT_FALSE(sres.tree.node(0).is_leaf);
+  ASSERT_FALSE(eres.tree.node(0).is_leaf);
+  EXPECT_EQ(sres.tree.node(0).split.attr, eres.tree.node(0).split.attr);
+  if (sres.tree.node(0).split.kind == Split::Kind::kNumeric) {
+    EXPECT_DOUBLE_EQ(sres.tree.node(0).split.threshold,
+                     eres.tree.node(0).split.threshold);
+  }
+}
+
+TEST(Sliq, SameTreeQualityAsSprint) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF7;
+  gen.num_records = 12000;
+  gen.seed = 215;
+  const Dataset train = GenerateAgrawal(gen);
+  SliqBuilder sliq;
+  SprintBuilder sprint;
+  const double a_sliq = Evaluate(sliq.Build(train).tree, train).Accuracy();
+  const double a_sprint =
+      Evaluate(sprint.Build(train).tree, train).Accuracy();
+  EXPECT_NEAR(a_sliq, a_sprint, 0.01);
+}
+
+TEST(Sliq, WritesFarLessThanSprint) {
+  // SLIQ never partitions its attribute lists; SPRINT rewrites every
+  // list at every split.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 20000;
+  gen.seed = 217;
+  const Dataset train = GenerateAgrawal(gen);
+  SliqBuilder sliq(NoSwitchOptions());
+  SprintOptions sprint_opts;
+  sprint_opts.base.in_memory_threshold = 0;
+  SprintBuilder sprint(sprint_opts);
+  const BuildResult sliq_res = sliq.Build(train);
+  const BuildResult sprint_res = sprint.Build(train);
+  EXPECT_LT(sliq_res.stats.bytes_written,
+            sprint_res.stats.bytes_written / 2);
+}
+
+TEST(Sliq, ClassListCountedInMemory) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 10000;
+  gen.seed = 219;
+  const Dataset train = GenerateAgrawal(gen);
+  SliqBuilder builder;
+  const BuildResult result = builder.Build(train);
+  // At least the class list (4 bytes per record).
+  EXPECT_GE(result.stats.peak_memory_bytes, train.num_records() * 4);
+}
+
+TEST(Sliq, EmptyAndPureDatasets) {
+  const Dataset empty(AgrawalSchema());
+  SliqBuilder builder;
+  EXPECT_EQ(builder.Build(empty).tree.num_nodes(), 1);
+
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 300;
+  const Dataset src = GenerateAgrawal(gen);
+  std::vector<RecordId> rids;
+  for (RecordId r = 0; r < src.num_records(); ++r) {
+    if (src.label(r) == 1) rids.push_back(r);
+  }
+  const Dataset pure = src.Subset(rids);
+  const BuildResult result = builder.Build(pure);
+  EXPECT_TRUE(result.tree.node(0).is_leaf);
+  EXPECT_EQ(result.tree.node(0).leaf_class, 1);
+}
+
+}  // namespace
+}  // namespace cmp

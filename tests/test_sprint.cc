@@ -1,0 +1,116 @@
+#include "sprint/sprint.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "tree/evaluate.h"
+
+namespace cmp {
+namespace {
+
+SprintOptions NoSwitchOptions() {
+  SprintOptions o;
+  // Disable the in-memory shortcut so the attribute-list machinery is
+  // exercised down to small nodes.
+  o.base.in_memory_threshold = 0;
+  return o;
+}
+
+TEST(Sprint, HighAccuracyOnF2) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 20000;
+  gen.seed = 101;
+  const Dataset data = GenerateAgrawal(gen);
+  std::vector<RecordId> train_ids;
+  std::vector<RecordId> test_ids;
+  TrainTestSplit(data.num_records(), 0.25, 4, &train_ids, &test_ids);
+  const Dataset train = data.Subset(train_ids);
+  const Dataset test = data.Subset(test_ids);
+
+  SprintBuilder builder;
+  const BuildResult result = builder.Build(train);
+  EXPECT_GT(Evaluate(result.tree, test).Accuracy(), 0.97);
+}
+
+TEST(Sprint, SameRootSplitAsExactBuilder) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 5000;
+  gen.seed = 103;
+  const Dataset train = GenerateAgrawal(gen);
+
+  SprintBuilder sprint(NoSwitchOptions());
+  const BuildResult sres = sprint.Build(train);
+  ExactBuilder exact;
+  const BuildResult eres = exact.Build(train);
+
+  ASSERT_FALSE(sres.tree.node(0).is_leaf);
+  ASSERT_FALSE(eres.tree.node(0).is_leaf);
+  EXPECT_EQ(sres.tree.node(0).split.attr, eres.tree.node(0).split.attr);
+  if (sres.tree.node(0).split.kind == Split::Kind::kNumeric) {
+    EXPECT_DOUBLE_EQ(sres.tree.node(0).split.threshold,
+                     eres.tree.node(0).split.threshold);
+  }
+}
+
+TEST(Sprint, ChargesPresortAndPerLevelTraffic) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF7;
+  gen.num_records = 10000;
+  gen.seed = 105;
+  const Dataset train = GenerateAgrawal(gen);
+  SprintBuilder builder(NoSwitchOptions());
+  const BuildResult result = builder.Build(train);
+  // Presort scan + one list pass per level.
+  EXPECT_GE(result.stats.dataset_scans, 3);
+  // Attribute lists were materialized at least once.
+  EXPECT_GE(result.stats.bytes_written,
+            train.num_records() * 9 * 20);
+  EXPECT_GT(result.stats.sort_comparisons, 0);
+}
+
+TEST(Sprint, EmptyDatasetYieldsSingleLeaf) {
+  const Dataset empty(AgrawalSchema());
+  SprintBuilder builder;
+  const BuildResult result = builder.Build(empty);
+  EXPECT_EQ(result.tree.num_nodes(), 1);
+  EXPECT_TRUE(result.tree.node(0).is_leaf);
+}
+
+TEST(Sprint, PureDatasetYieldsSingleLeaf) {
+  Dataset ds(AgrawalSchema());
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 500;
+  const Dataset src = GenerateAgrawal(gen);
+  // Keep only class-0 records.
+  std::vector<RecordId> rids;
+  for (RecordId r = 0; r < src.num_records(); ++r) {
+    if (src.label(r) == 0) rids.push_back(r);
+  }
+  const Dataset pure = src.Subset(rids);
+  SprintBuilder builder;
+  const BuildResult result = builder.Build(pure);
+  EXPECT_TRUE(result.tree.node(0).is_leaf);
+  EXPECT_EQ(result.tree.node(0).leaf_class, 0);
+}
+
+TEST(Sprint, InMemorySwitchDoesNotChangeAccuracyMuch) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 8000;
+  gen.seed = 107;
+  const Dataset train = GenerateAgrawal(gen);
+
+  SprintBuilder with_switch;  // default threshold 4096
+  SprintBuilder without_switch(NoSwitchOptions());
+  const double a1 = Evaluate(with_switch.Build(train).tree, train).Accuracy();
+  const double a2 =
+      Evaluate(without_switch.Build(train).tree, train).Accuracy();
+  EXPECT_NEAR(a1, a2, 0.01);
+}
+
+}  // namespace
+}  // namespace cmp

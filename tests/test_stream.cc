@@ -1,0 +1,135 @@
+#include "io/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/agrawal.h"
+#include "hist/grids.h"
+#include "hist/histogram1d.h"
+#include "io/table_file.h"
+
+namespace cmp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AgrawalOptions gen;
+    gen.function = AgrawalFunction::kF2;
+    gen.num_records = 5000;
+    gen.seed = 801;
+    original_ = GenerateAgrawal(gen);
+    path_ = TempPath("stream.cmpt");
+    ASSERT_TRUE(SaveTableFile(original_, path_));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Dataset original_;
+  std::string path_;
+};
+
+TEST_F(StreamTest, StreamsEveryRecordInOrder) {
+  auto scanner = TableScanner::Open(path_, /*block_records=*/700);
+  ASSERT_NE(scanner, nullptr);
+  EXPECT_EQ(scanner->num_records(), original_.num_records());
+  EXPECT_TRUE(scanner->schema() == original_.schema());
+
+  Dataset block;
+  RecordId global = 0;
+  while (scanner->NextBlock(&block)) {
+    for (RecordId i = 0; i < block.num_records(); ++i, ++global) {
+      for (AttrId a = 0; a < original_.num_attrs(); ++a) {
+        if (original_.schema().is_numeric(a)) {
+          ASSERT_DOUBLE_EQ(block.numeric(a, i),
+                           original_.numeric(a, global));
+        } else {
+          ASSERT_EQ(block.categorical(a, i),
+                    original_.categorical(a, global));
+        }
+      }
+      ASSERT_EQ(block.label(i), original_.label(global));
+    }
+  }
+  EXPECT_EQ(global, original_.num_records());
+}
+
+TEST_F(StreamTest, BlockSizesBoundedAndExact) {
+  auto scanner = TableScanner::Open(path_, 999);
+  ASSERT_NE(scanner, nullptr);
+  Dataset block;
+  int64_t total = 0;
+  int blocks = 0;
+  while (scanner->NextBlock(&block)) {
+    EXPECT_LE(block.num_records(), 999);
+    total += block.num_records();
+    ++blocks;
+  }
+  EXPECT_EQ(total, 5000);
+  EXPECT_EQ(blocks, 6);  // 5*999 + 5 remainder
+}
+
+TEST_F(StreamTest, ResetAllowsSecondPass) {
+  auto scanner = TableScanner::Open(path_, 2048);
+  ASSERT_NE(scanner, nullptr);
+  Dataset block;
+  int64_t first_pass = 0;
+  while (scanner->NextBlock(&block)) first_pass += block.num_records();
+  scanner->Reset();
+  int64_t second_pass = 0;
+  while (scanner->NextBlock(&block)) second_pass += block.num_records();
+  EXPECT_EQ(first_pass, second_pass);
+}
+
+TEST_F(StreamTest, StreamedHistogramMatchesInMemory) {
+  // The paper's core access pattern: build an interval class histogram
+  // in one streaming pass and compare against the in-memory result.
+  const auto grids = ComputeEqualDepthGrids(original_, 50, nullptr);
+  const AttrId salary = original_.schema().FindAttr("salary");
+
+  Histogram1D in_memory(grids[salary].num_intervals(), 2);
+  for (RecordId r = 0; r < original_.num_records(); ++r) {
+    in_memory.Add(grids[salary].IntervalOf(original_.numeric(salary, r)),
+                  original_.label(r));
+  }
+
+  auto scanner = TableScanner::Open(path_, 512);
+  ASSERT_NE(scanner, nullptr);
+  Histogram1D streamed(grids[salary].num_intervals(), 2);
+  Dataset block;
+  while (scanner->NextBlock(&block)) {
+    for (RecordId i = 0; i < block.num_records(); ++i) {
+      streamed.Add(grids[salary].IntervalOf(block.numeric(salary, i)),
+                   block.label(i));
+    }
+  }
+  for (int i = 0; i < streamed.num_intervals(); ++i) {
+    for (ClassId c = 0; c < 2; ++c) {
+      EXPECT_EQ(streamed.count(i, c), in_memory.count(i, c));
+    }
+  }
+}
+
+TEST(Stream, OpenFailsOnMissingOrBadFile) {
+  EXPECT_EQ(TableScanner::Open("/does/not/exist.cmpt"), nullptr);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/garbage.cmpt";
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("garbage", f);
+    fclose(f);
+  }
+  EXPECT_EQ(TableScanner::Open(path), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Stream, ZeroBlockSizeRejected) {
+  EXPECT_EQ(TableScanner::Open("/tmp/whatever.cmpt", 0), nullptr);
+}
+
+}  // namespace
+}  // namespace cmp

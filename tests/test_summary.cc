@@ -1,0 +1,121 @@
+#include "common/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/agrawal.h"
+#include "datagen/loan_example.h"
+#include "tree/importance.h"
+
+#include "cmp/cmp.h"
+#include "exact/exact.h"
+
+namespace cmp {
+namespace {
+
+TEST(Summarize, LoanExampleStats) {
+  const Dataset ds = LoanExampleDataset();
+  const DatasetSummary s = Summarize(ds);
+  EXPECT_EQ(s.records, 6);
+  EXPECT_EQ(s.class_counts, (std::vector<int64_t>{3, 3}));
+  ASSERT_EQ(s.attrs.size(), 3u);
+  // age: 18..68, mean (18+60+43+68+32+20)/6 = 40.1666...
+  EXPECT_DOUBLE_EQ(s.attrs[0].min, 18.0);
+  EXPECT_DOUBLE_EQ(s.attrs[0].max, 68.0);
+  EXPECT_NEAR(s.attrs[0].mean, 40.1667, 1e-3);
+  EXPECT_EQ(s.attrs[0].distinct, 6);
+}
+
+TEST(Summarize, CategoricalDistinctCounts) {
+  Schema schema({{"c", AttrKind::kCategorical, 5}}, {"a", "b"});
+  Dataset ds(schema);
+  ds.Append({}, {0}, 0);
+  ds.Append({}, {0}, 1);
+  ds.Append({}, {3}, 0);
+  const DatasetSummary s = Summarize(ds);
+  EXPECT_EQ(s.attrs[0].distinct, 2);
+  EXPECT_EQ(s.attrs[0].cardinality, 5);
+}
+
+TEST(Summarize, RenderingMentionsEveryAttribute) {
+  AgrawalOptions gen;
+  gen.num_records = 500;
+  gen.seed = 401;
+  const Dataset ds = GenerateAgrawal(gen);
+  const std::string text = Summarize(ds).ToString(ds.schema());
+  for (AttrId a = 0; a < ds.num_attrs(); ++a) {
+    EXPECT_NE(text.find(ds.schema().attr(a).name), std::string::npos);
+  }
+}
+
+TEST(Summarize, DistinctCapRespected) {
+  Schema schema({{"x", AttrKind::kNumeric, 0}}, {"a", "b"});
+  Dataset ds(schema);
+  for (int i = 0; i < 1000; ++i) {
+    ds.Append({static_cast<double>(i)}, {}, 0);
+  }
+  // Need both classes to be a valid dataset? Only class 0 used; fine.
+  const DatasetSummary s = Summarize(ds, /*distinct_cap=*/100);
+  EXPECT_EQ(s.attrs[0].distinct, 100);
+}
+
+TEST(GiniImportance, ConcentratesOnDiscriminativeAttrs) {
+  // F1 depends only on age.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = 10000;
+  gen.seed = 403;
+  const Dataset ds = GenerateAgrawal(gen);
+  ExactBuilder builder;
+  const BuildResult result = builder.Build(ds);
+  const std::vector<double> imp = GiniImportance(result.tree);
+  const AttrId age = ds.schema().FindAttr("age");
+  EXPECT_GT(imp[age], 0.9);
+  double total = 0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GiniImportance, LinearSplitsCreditBothAttrs) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kFunctionF;
+  gen.num_records = 30000;
+  gen.seed = 405;
+  const Dataset ds = GenerateAgrawal(gen);
+  CmpBuilder builder(CmpFullOptions());
+  const BuildResult result = builder.Build(ds);
+  ASSERT_EQ(result.tree.node(0).split.kind, Split::Kind::kLinear);
+  const std::vector<double> imp = GiniImportance(result.tree);
+  const AttrId salary = ds.schema().FindAttr("salary");
+  const AttrId commission = ds.schema().FindAttr("commission");
+  EXPECT_GT(imp[salary], 0.1);
+  EXPECT_GT(imp[commission], 0.1);
+}
+
+TEST(GiniImportance, SingleLeafAllZero) {
+  DecisionTree tree(LoanExampleSchema());
+  TreeNode leaf;
+  leaf.leaf_class = 0;
+  leaf.class_counts = {5, 0};
+  tree.AddNode(leaf);
+  const std::vector<double> imp = GiniImportance(tree);
+  for (double v : imp) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ImportanceToString, SortedDescending) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 8000;
+  gen.seed = 407;
+  const Dataset ds = GenerateAgrawal(gen);
+  ExactBuilder builder;
+  const BuildResult result = builder.Build(ds);
+  const std::vector<double> imp = GiniImportance(result.tree);
+  const std::string text = ImportanceToString(result.tree, imp);
+  // salary and age dominate F2; both must appear before any zero rows
+  // (zero rows are omitted entirely).
+  EXPECT_NE(text.find("salary"), std::string::npos);
+  EXPECT_NE(text.find("age"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmp

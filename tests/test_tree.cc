@@ -1,0 +1,181 @@
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/loan_example.h"
+#include "tree/serialize.h"
+#include "tree/split.h"
+
+namespace cmp {
+namespace {
+
+// Builds the paper's Figure 1(b) tree by hand:
+//   age < 25           -> Declined
+//   salary + commission < 65,000 -> Declined else Approved.
+DecisionTree PaperLoanTree() {
+  DecisionTree tree(LoanExampleSchema());
+  TreeNode root;
+  root.is_leaf = false;
+  root.split = Split::Numeric(/*age*/ 0, 24.999);
+  root.class_counts = {3, 3};
+  const NodeId root_id = tree.AddNode(root);
+
+  TreeNode declined_young;
+  declined_young.leaf_class = 0;
+  declined_young.class_counts = {2, 0};
+  declined_young.depth = 1;
+  TreeNode inner;
+  inner.is_leaf = false;
+  inner.split = Split::Linear(/*salary*/ 1, /*commission*/ 2, 1.0, 1.0,
+                              64999.0);
+  inner.class_counts = {1, 3};
+  inner.depth = 1;
+  const NodeId left = tree.AddNode(declined_young);
+  const NodeId mid = tree.AddNode(inner);
+  tree.mutable_node(root_id).left = left;
+  tree.mutable_node(root_id).right = mid;
+
+  TreeNode declined_low;
+  declined_low.leaf_class = 0;
+  declined_low.class_counts = {1, 0};
+  declined_low.depth = 2;
+  TreeNode approved;
+  approved.leaf_class = 1;
+  approved.class_counts = {0, 3};
+  approved.depth = 2;
+  const NodeId l2 = tree.AddNode(declined_low);
+  const NodeId r2 = tree.AddNode(approved);
+  tree.mutable_node(mid).left = l2;
+  tree.mutable_node(mid).right = r2;
+  return tree;
+}
+
+TEST(Split, NumericRouting) {
+  const Dataset ds = LoanExampleDataset();
+  const Split s = Split::Numeric(/*age*/ 0, 30.0);
+  EXPECT_TRUE(s.RoutesLeft(ds, 0));   // age 18
+  EXPECT_FALSE(s.RoutesLeft(ds, 1));  // age 60
+}
+
+TEST(Split, NumericThresholdInclusive) {
+  Dataset ds(LoanExampleSchema());
+  ds.Append({30.0, 0, 0}, {}, 0);
+  const Split s = Split::Numeric(0, 30.0);
+  EXPECT_TRUE(s.RoutesLeft(ds, 0));  // v <= threshold goes left
+}
+
+TEST(Split, LinearRouting) {
+  const Dataset ds = LoanExampleDataset();
+  // salary + commission <= 65,000.
+  const Split s = Split::Linear(1, 2, 1.0, 1.0, 65000.0);
+  EXPECT_TRUE(s.RoutesLeft(ds, 0));   // 20,000 + 0
+  EXPECT_FALSE(s.RoutesLeft(ds, 1));  // 70,000 + 20,000
+}
+
+TEST(Split, CategoricalRouting) {
+  Schema schema({{"c", AttrKind::kCategorical, 3}}, {"x", "y"});
+  Dataset ds(schema);
+  ds.Append({}, {0}, 0);
+  ds.Append({}, {1}, 0);
+  ds.Append({}, {2}, 1);
+  const Split s = Split::Categorical(0, {1, 0, 1});
+  EXPECT_TRUE(s.RoutesLeft(ds, 0));
+  EXPECT_FALSE(s.RoutesLeft(ds, 1));
+  EXPECT_TRUE(s.RoutesLeft(ds, 2));
+}
+
+TEST(Split, ToStringRendering) {
+  const Schema schema = LoanExampleSchema();
+  EXPECT_EQ(Split::Numeric(0, 25).ToString(schema), "age <= 25");
+  EXPECT_EQ(Split::Linear(1, 2, 1, 1, 65000).ToString(schema),
+            "1*salary + 1*commission <= 65000");
+  Schema cat_schema({{"c", AttrKind::kCategorical, 3}}, {"x", "y"});
+  EXPECT_EQ(Split::Categorical(0, {1, 0, 1}).ToString(cat_schema),
+            "c in {0,2}");
+}
+
+TEST(DecisionTree, ClassifiesLoanExamplePerfectly) {
+  const Dataset ds = LoanExampleDataset();
+  const DecisionTree tree = PaperLoanTree();
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    EXPECT_EQ(tree.Classify(ds, r), ds.label(r)) << "record " << r;
+  }
+}
+
+TEST(DecisionTree, CountsAndDepth) {
+  const DecisionTree tree = PaperLoanTree();
+  EXPECT_EQ(tree.num_nodes(), 5);
+  EXPECT_EQ(tree.NumLeaves(), 3);
+  EXPECT_EQ(tree.Depth(), 2);
+}
+
+TEST(DecisionTree, MakeLeafUsesMajority) {
+  DecisionTree tree = PaperLoanTree();
+  tree.MakeLeaf(0);
+  EXPECT_TRUE(tree.node(0).is_leaf);
+  // Root counts are {3,3}: ties break to the lower class id.
+  EXPECT_EQ(tree.node(0).leaf_class, 0);
+}
+
+TEST(DecisionTree, CompactRemovesUnreachable) {
+  DecisionTree tree = PaperLoanTree();
+  tree.MakeLeaf(2);  // prune the inner node's subtree
+  tree.Compact();
+  EXPECT_EQ(tree.num_nodes(), 3);
+  EXPECT_EQ(tree.NumLeaves(), 2);
+  // Classification still works.
+  const Dataset ds = LoanExampleDataset();
+  EXPECT_EQ(tree.Classify(ds, 0), 0);
+}
+
+TEST(DecisionTree, ToStringContainsSplitsAndLeaves) {
+  const DecisionTree tree = PaperLoanTree();
+  const std::string s = tree.ToString();
+  EXPECT_NE(s.find("age <= 24.999"), std::string::npos);
+  EXPECT_NE(s.find("leaf: No"), std::string::npos);
+  EXPECT_NE(s.find("leaf: Yes"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripPreservesClassification) {
+  const DecisionTree tree = PaperLoanTree();
+  const std::string text = SerializeTree(tree);
+  DecisionTree loaded;
+  ASSERT_TRUE(DeserializeTree(text, &loaded));
+  ASSERT_EQ(loaded.num_nodes(), tree.num_nodes());
+  const Dataset ds = LoanExampleDataset();
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    EXPECT_EQ(loaded.Classify(ds, r), tree.Classify(ds, r));
+  }
+  EXPECT_TRUE(loaded.schema() == tree.schema());
+}
+
+TEST(Serialize, RejectsGarbage) {
+  DecisionTree out;
+  EXPECT_FALSE(DeserializeTree("not a tree", &out));
+  EXPECT_FALSE(DeserializeTree("", &out));
+  EXPECT_FALSE(DeserializeTree("cmp-tree 99\n", &out));
+}
+
+TEST(Serialize, RoundTripExactThresholds) {
+  DecisionTree tree(LoanExampleSchema());
+  TreeNode root;
+  root.is_leaf = false;
+  root.split = Split::Numeric(0, 0.1 + 0.2);  // not exactly representable
+  root.class_counts = {1, 1};
+  tree.AddNode(root);
+  TreeNode l;
+  l.leaf_class = 0;
+  l.class_counts = {1, 0};
+  TreeNode r;
+  r.leaf_class = 1;
+  r.class_counts = {0, 1};
+  tree.mutable_node(0).left = tree.AddNode(l);
+  tree.mutable_node(0).right = tree.AddNode(r);
+
+  DecisionTree loaded;
+  ASSERT_TRUE(DeserializeTree(SerializeTree(tree), &loaded));
+  EXPECT_EQ(loaded.node(0).split.threshold, tree.node(0).split.threshold);
+}
+
+}  // namespace
+}  // namespace cmp
