@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_17.dir/bench_fig16_17.cc.o"
+  "CMakeFiles/bench_fig16_17.dir/bench_fig16_17.cc.o.d"
+  "bench_fig16_17"
+  "bench_fig16_17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_classifiers.dir/compare_classifiers.cpp.o"
+  "CMakeFiles/compare_classifiers.dir/compare_classifiers.cpp.o.d"
+  "compare_classifiers"
+  "compare_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

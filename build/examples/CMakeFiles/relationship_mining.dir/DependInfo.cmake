@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/relationship_mining.cpp" "examples/CMakeFiles/relationship_mining.dir/relationship_mining.cpp.o" "gcc" "examples/CMakeFiles/relationship_mining.dir/relationship_mining.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clouds/CMakeFiles/cmp_clouds.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/cmp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/cmp_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/cmp_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cmp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/rainforest/CMakeFiles/cmp_rainforest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/cmp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sliq/CMakeFiles/cmp_sliq.dir/DependInfo.cmake"
+  "/root/repo/build/src/sprint/CMakeFiles/cmp_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/cmp_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/cmp_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/gini/CMakeFiles/cmp_gini.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/cmp_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

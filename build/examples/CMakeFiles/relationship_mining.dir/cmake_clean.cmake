@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relationship_mining.dir/relationship_mining.cpp.o"
+  "CMakeFiles/relationship_mining.dir/relationship_mining.cpp.o.d"
+  "relationship_mining"
+  "relationship_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relationship_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for relationship_mining.
+# This may be replaced when dependencies are built.

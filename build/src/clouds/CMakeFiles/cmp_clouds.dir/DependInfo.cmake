@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clouds/clouds.cc" "src/clouds/CMakeFiles/cmp_clouds.dir/clouds.cc.o" "gcc" "src/clouds/CMakeFiles/cmp_clouds.dir/clouds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/cmp_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/gini/CMakeFiles/cmp_gini.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/cmp_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/cmp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/cmp_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/cmp_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

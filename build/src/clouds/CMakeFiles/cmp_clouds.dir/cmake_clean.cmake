@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_clouds.dir/clouds.cc.o"
+  "CMakeFiles/cmp_clouds.dir/clouds.cc.o.d"
+  "libcmp_clouds.a"
+  "libcmp_clouds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_clouds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

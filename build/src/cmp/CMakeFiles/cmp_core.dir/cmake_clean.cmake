@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_core.dir/bundle.cc.o"
+  "CMakeFiles/cmp_core.dir/bundle.cc.o.d"
+  "CMakeFiles/cmp_core.dir/cmp.cc.o"
+  "CMakeFiles/cmp_core.dir/cmp.cc.o.d"
+  "CMakeFiles/cmp_core.dir/linear.cc.o"
+  "CMakeFiles/cmp_core.dir/linear.cc.o.d"
+  "CMakeFiles/cmp_core.dir/pairs.cc.o"
+  "CMakeFiles/cmp_core.dir/pairs.cc.o.d"
+  "libcmp_core.a"
+  "libcmp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

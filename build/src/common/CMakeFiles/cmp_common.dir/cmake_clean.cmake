@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_common.dir/dataset.cc.o"
+  "CMakeFiles/cmp_common.dir/dataset.cc.o.d"
+  "CMakeFiles/cmp_common.dir/random.cc.o"
+  "CMakeFiles/cmp_common.dir/random.cc.o.d"
+  "CMakeFiles/cmp_common.dir/schema.cc.o"
+  "CMakeFiles/cmp_common.dir/schema.cc.o.d"
+  "CMakeFiles/cmp_common.dir/stats.cc.o"
+  "CMakeFiles/cmp_common.dir/stats.cc.o.d"
+  "CMakeFiles/cmp_common.dir/summary.cc.o"
+  "CMakeFiles/cmp_common.dir/summary.cc.o.d"
+  "libcmp_common.a"
+  "libcmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

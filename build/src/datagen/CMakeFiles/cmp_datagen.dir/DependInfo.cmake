@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/agrawal.cc" "src/datagen/CMakeFiles/cmp_datagen.dir/agrawal.cc.o" "gcc" "src/datagen/CMakeFiles/cmp_datagen.dir/agrawal.cc.o.d"
+  "/root/repo/src/datagen/loan_example.cc" "src/datagen/CMakeFiles/cmp_datagen.dir/loan_example.cc.o" "gcc" "src/datagen/CMakeFiles/cmp_datagen.dir/loan_example.cc.o.d"
+  "/root/repo/src/datagen/statlog.cc" "src/datagen/CMakeFiles/cmp_datagen.dir/statlog.cc.o" "gcc" "src/datagen/CMakeFiles/cmp_datagen.dir/statlog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

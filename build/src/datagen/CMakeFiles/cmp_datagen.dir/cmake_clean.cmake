@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_datagen.dir/agrawal.cc.o"
+  "CMakeFiles/cmp_datagen.dir/agrawal.cc.o.d"
+  "CMakeFiles/cmp_datagen.dir/loan_example.cc.o"
+  "CMakeFiles/cmp_datagen.dir/loan_example.cc.o.d"
+  "CMakeFiles/cmp_datagen.dir/statlog.cc.o"
+  "CMakeFiles/cmp_datagen.dir/statlog.cc.o.d"
+  "libcmp_datagen.a"
+  "libcmp_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

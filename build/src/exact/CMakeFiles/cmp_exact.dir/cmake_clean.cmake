@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_exact.dir/exact.cc.o"
+  "CMakeFiles/cmp_exact.dir/exact.cc.o.d"
+  "libcmp_exact.a"
+  "libcmp_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

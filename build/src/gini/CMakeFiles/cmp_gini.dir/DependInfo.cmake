@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gini/categorical.cc" "src/gini/CMakeFiles/cmp_gini.dir/categorical.cc.o" "gcc" "src/gini/CMakeFiles/cmp_gini.dir/categorical.cc.o.d"
+  "/root/repo/src/gini/estimator.cc" "src/gini/CMakeFiles/cmp_gini.dir/estimator.cc.o" "gcc" "src/gini/CMakeFiles/cmp_gini.dir/estimator.cc.o.d"
+  "/root/repo/src/gini/gini.cc" "src/gini/CMakeFiles/cmp_gini.dir/gini.cc.o" "gcc" "src/gini/CMakeFiles/cmp_gini.dir/gini.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/cmp_hist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

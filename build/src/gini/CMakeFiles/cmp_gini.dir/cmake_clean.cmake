@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_gini.dir/categorical.cc.o"
+  "CMakeFiles/cmp_gini.dir/categorical.cc.o.d"
+  "CMakeFiles/cmp_gini.dir/estimator.cc.o"
+  "CMakeFiles/cmp_gini.dir/estimator.cc.o.d"
+  "CMakeFiles/cmp_gini.dir/gini.cc.o"
+  "CMakeFiles/cmp_gini.dir/gini.cc.o.d"
+  "libcmp_gini.a"
+  "libcmp_gini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_gini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hist/grids.cc" "src/hist/CMakeFiles/cmp_hist.dir/grids.cc.o" "gcc" "src/hist/CMakeFiles/cmp_hist.dir/grids.cc.o.d"
+  "/root/repo/src/hist/histogram1d.cc" "src/hist/CMakeFiles/cmp_hist.dir/histogram1d.cc.o" "gcc" "src/hist/CMakeFiles/cmp_hist.dir/histogram1d.cc.o.d"
+  "/root/repo/src/hist/histogram2d.cc" "src/hist/CMakeFiles/cmp_hist.dir/histogram2d.cc.o" "gcc" "src/hist/CMakeFiles/cmp_hist.dir/histogram2d.cc.o.d"
+  "/root/repo/src/hist/quantiles.cc" "src/hist/CMakeFiles/cmp_hist.dir/quantiles.cc.o" "gcc" "src/hist/CMakeFiles/cmp_hist.dir/quantiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

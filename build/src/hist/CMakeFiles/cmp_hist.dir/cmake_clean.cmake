@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_hist.dir/grids.cc.o"
+  "CMakeFiles/cmp_hist.dir/grids.cc.o.d"
+  "CMakeFiles/cmp_hist.dir/histogram1d.cc.o"
+  "CMakeFiles/cmp_hist.dir/histogram1d.cc.o.d"
+  "CMakeFiles/cmp_hist.dir/histogram2d.cc.o"
+  "CMakeFiles/cmp_hist.dir/histogram2d.cc.o.d"
+  "CMakeFiles/cmp_hist.dir/quantiles.cc.o"
+  "CMakeFiles/cmp_hist.dir/quantiles.cc.o.d"
+  "libcmp_hist.a"
+  "libcmp_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/arff.cc" "src/io/CMakeFiles/cmp_io.dir/arff.cc.o" "gcc" "src/io/CMakeFiles/cmp_io.dir/arff.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/cmp_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/cmp_io.dir/csv.cc.o.d"
+  "/root/repo/src/io/stream.cc" "src/io/CMakeFiles/cmp_io.dir/stream.cc.o" "gcc" "src/io/CMakeFiles/cmp_io.dir/stream.cc.o.d"
+  "/root/repo/src/io/table_file.cc" "src/io/CMakeFiles/cmp_io.dir/table_file.cc.o" "gcc" "src/io/CMakeFiles/cmp_io.dir/table_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_io.dir/arff.cc.o"
+  "CMakeFiles/cmp_io.dir/arff.cc.o.d"
+  "CMakeFiles/cmp_io.dir/csv.cc.o"
+  "CMakeFiles/cmp_io.dir/csv.cc.o.d"
+  "CMakeFiles/cmp_io.dir/stream.cc.o"
+  "CMakeFiles/cmp_io.dir/stream.cc.o.d"
+  "CMakeFiles/cmp_io.dir/table_file.cc.o"
+  "CMakeFiles/cmp_io.dir/table_file.cc.o.d"
+  "libcmp_io.a"
+  "libcmp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_pruning.dir/mdl.cc.o"
+  "CMakeFiles/cmp_pruning.dir/mdl.cc.o.d"
+  "libcmp_pruning.a"
+  "libcmp_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

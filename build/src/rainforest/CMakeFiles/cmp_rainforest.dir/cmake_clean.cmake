@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_rainforest.dir/rainforest.cc.o"
+  "CMakeFiles/cmp_rainforest.dir/rainforest.cc.o.d"
+  "libcmp_rainforest.a"
+  "libcmp_rainforest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_rainforest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

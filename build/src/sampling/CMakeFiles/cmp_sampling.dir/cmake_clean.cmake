@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_sampling.dir/windowing.cc.o"
+  "CMakeFiles/cmp_sampling.dir/windowing.cc.o.d"
+  "libcmp_sampling.a"
+  "libcmp_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

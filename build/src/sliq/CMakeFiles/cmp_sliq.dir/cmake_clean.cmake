@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_sliq.dir/sliq.cc.o"
+  "CMakeFiles/cmp_sliq.dir/sliq.cc.o.d"
+  "libcmp_sliq.a"
+  "libcmp_sliq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_sliq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

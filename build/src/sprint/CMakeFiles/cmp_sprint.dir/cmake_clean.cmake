@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_sprint.dir/sprint.cc.o"
+  "CMakeFiles/cmp_sprint.dir/sprint.cc.o.d"
+  "libcmp_sprint.a"
+  "libcmp_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmptool.dir/cmptool.cc.o"
+  "CMakeFiles/cmptool.dir/cmptool.cc.o.d"
+  "cmptool"
+  "cmptool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmptool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/crossval.cc" "src/tree/CMakeFiles/cmp_tree.dir/crossval.cc.o" "gcc" "src/tree/CMakeFiles/cmp_tree.dir/crossval.cc.o.d"
+  "/root/repo/src/tree/evaluate.cc" "src/tree/CMakeFiles/cmp_tree.dir/evaluate.cc.o" "gcc" "src/tree/CMakeFiles/cmp_tree.dir/evaluate.cc.o.d"
+  "/root/repo/src/tree/explain.cc" "src/tree/CMakeFiles/cmp_tree.dir/explain.cc.o" "gcc" "src/tree/CMakeFiles/cmp_tree.dir/explain.cc.o.d"
+  "/root/repo/src/tree/importance.cc" "src/tree/CMakeFiles/cmp_tree.dir/importance.cc.o" "gcc" "src/tree/CMakeFiles/cmp_tree.dir/importance.cc.o.d"
+  "/root/repo/src/tree/serialize.cc" "src/tree/CMakeFiles/cmp_tree.dir/serialize.cc.o" "gcc" "src/tree/CMakeFiles/cmp_tree.dir/serialize.cc.o.d"
+  "/root/repo/src/tree/split.cc" "src/tree/CMakeFiles/cmp_tree.dir/split.cc.o" "gcc" "src/tree/CMakeFiles/cmp_tree.dir/split.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/tree/CMakeFiles/cmp_tree.dir/tree.cc.o" "gcc" "src/tree/CMakeFiles/cmp_tree.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gini/CMakeFiles/cmp_gini.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/cmp_hist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_tree.dir/crossval.cc.o"
+  "CMakeFiles/cmp_tree.dir/crossval.cc.o.d"
+  "CMakeFiles/cmp_tree.dir/evaluate.cc.o"
+  "CMakeFiles/cmp_tree.dir/evaluate.cc.o.d"
+  "CMakeFiles/cmp_tree.dir/explain.cc.o"
+  "CMakeFiles/cmp_tree.dir/explain.cc.o.d"
+  "CMakeFiles/cmp_tree.dir/importance.cc.o"
+  "CMakeFiles/cmp_tree.dir/importance.cc.o.d"
+  "CMakeFiles/cmp_tree.dir/serialize.cc.o"
+  "CMakeFiles/cmp_tree.dir/serialize.cc.o.d"
+  "CMakeFiles/cmp_tree.dir/split.cc.o"
+  "CMakeFiles/cmp_tree.dir/split.cc.o.d"
+  "CMakeFiles/cmp_tree.dir/tree.cc.o"
+  "CMakeFiles/cmp_tree.dir/tree.cc.o.d"
+  "libcmp_tree.a"
+  "libcmp_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arff.dir/test_arff.cc.o"
+  "CMakeFiles/test_arff.dir/test_arff.cc.o.d"
+  "test_arff"
+  "test_arff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bundle.dir/test_bundle.cc.o"
+  "CMakeFiles/test_bundle.dir/test_bundle.cc.o.d"
+  "test_bundle"
+  "test_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

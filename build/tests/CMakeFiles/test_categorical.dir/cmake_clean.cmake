@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_categorical.dir/test_categorical.cc.o"
+  "CMakeFiles/test_categorical.dir/test_categorical.cc.o.d"
+  "test_categorical"
+  "test_categorical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clouds.dir/test_clouds.cc.o"
+  "CMakeFiles/test_clouds.dir/test_clouds.cc.o.d"
+  "test_clouds"
+  "test_clouds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clouds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

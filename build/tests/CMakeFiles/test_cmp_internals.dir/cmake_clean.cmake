@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmp_internals.dir/test_cmp_internals.cc.o"
+  "CMakeFiles/test_cmp_internals.dir/test_cmp_internals.cc.o.d"
+  "test_cmp_internals"
+  "test_cmp_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmp_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

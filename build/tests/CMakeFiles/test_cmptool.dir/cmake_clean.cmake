@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmptool.dir/test_cmptool.cc.o"
+  "CMakeFiles/test_cmptool.dir/test_cmptool.cc.o.d"
+  "test_cmptool"
+  "test_cmptool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmptool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimator_multiclass.dir/test_estimator_multiclass.cc.o"
+  "CMakeFiles/test_estimator_multiclass.dir/test_estimator_multiclass.cc.o.d"
+  "test_estimator_multiclass"
+  "test_estimator_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimator_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exactness.dir/test_exactness.cc.o"
+  "CMakeFiles/test_exactness.dir/test_exactness.cc.o.d"
+  "test_exactness"
+  "test_exactness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exactness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

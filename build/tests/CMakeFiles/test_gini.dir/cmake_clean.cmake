@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gini.dir/test_gini.cc.o"
+  "CMakeFiles/test_gini.dir/test_gini.cc.o.d"
+  "test_gini"
+  "test_gini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grids.dir/test_grids.cc.o"
+  "CMakeFiles/test_grids.dir/test_grids.cc.o.d"
+  "test_grids"
+  "test_grids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

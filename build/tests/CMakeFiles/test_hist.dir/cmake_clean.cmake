@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hist.dir/test_hist.cc.o"
+  "CMakeFiles/test_hist.dir/test_hist.cc.o.d"
+  "test_hist"
+  "test_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pairs.dir/test_pairs.cc.o"
+  "CMakeFiles/test_pairs.dir/test_pairs.cc.o.d"
+  "test_pairs"
+  "test_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

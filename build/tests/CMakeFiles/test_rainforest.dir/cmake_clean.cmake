@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rainforest.dir/test_rainforest.cc.o"
+  "CMakeFiles/test_rainforest.dir/test_rainforest.cc.o.d"
+  "test_rainforest"
+  "test_rainforest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rainforest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

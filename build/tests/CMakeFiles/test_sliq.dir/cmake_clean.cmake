@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sliq.dir/test_sliq.cc.o"
+  "CMakeFiles/test_sliq.dir/test_sliq.cc.o.d"
+  "test_sliq"
+  "test_sliq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sliq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sprint.dir/test_sprint.cc.o"
+  "CMakeFiles/test_sprint.dir/test_sprint.cc.o.d"
+  "test_sprint"
+  "test_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
