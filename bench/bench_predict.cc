@@ -1,0 +1,160 @@
+// bench_predict: rows/sec of the inference paths, the first entry of the
+// serving-performance trajectory.
+//
+// Measures, on an Agrawal-generated test set against a CMP-trained tree:
+//   interpreted   DecisionTree::Classify per record (the training-side
+//                 pointer-chase the compiled layout replaces)
+//   compiled      CompiledTree + BatchPredictor, single thread
+//   compiled-mt   BatchPredictor across a ThreadPool (1, 2, 4 threads)
+//   ensemble      EnsemblePredictor majority-voting 5 cross-val trees
+//
+// Results go to stdout as a table and to BENCH_predict.json (or argv[1])
+// for trend tracking. CMP_BENCH_SCALE scales the scored record count
+// (default 0.1 => 100k rows).
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cmp/cmp.h"
+#include "common/timer.h"
+#include "datagen/agrawal.h"
+#include "infer/batch_predictor.h"
+#include "infer/compiled_tree.h"
+#include "infer/ensemble.h"
+#include "tree/crossval.h"
+#include "tree/evaluate.h"
+
+namespace {
+
+using cmp::BatchPredictor;
+using cmp::CompiledTree;
+using cmp::Dataset;
+using cmp::DecisionTree;
+using cmp::PredictOptions;
+
+// Runs `fn` (which scores the full dataset once) until at least
+// `min_seconds` have elapsed, returning rows scored per second.
+double MeasureRowsPerSec(int64_t rows_per_pass,
+                         const std::function<void()>& fn,
+                         double min_seconds = 0.3) {
+  fn();  // warm-up pass (page in columns, prime caches)
+  int64_t passes = 0;
+  cmp::Timer timer;
+  do {
+    fn();
+    ++passes;
+  } while (timer.Seconds() < min_seconds);
+  return static_cast<double>(rows_per_pass * passes) / timer.Seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_predict.json";
+  const int64_t train_n = std::max<int64_t>(
+      static_cast<int64_t>(1000000 * cmp::bench::Scale()), 20000);
+  const int64_t score_n = std::max<int64_t>(
+      static_cast<int64_t>(1000000 * cmp::bench::Scale()), 20000);
+
+  // Function 7 with perturbation noise and no pruning gives a
+  // serving-scale tree (tens of thousands of nodes at the default scale)
+  // rather than the paper's pocket-sized pruned trees; that is the regime
+  // a batch scorer exists for, and the one where the interpreted tree's
+  // fat nodes fall out of cache.
+  cmp::AgrawalOptions gen;
+  gen.function = cmp::AgrawalFunction::kF7;
+  gen.perturbation = 0.3;
+  gen.num_records = train_n;
+  gen.seed = 7;
+  const Dataset train = cmp::GenerateAgrawal(gen);
+  gen.num_records = score_n;
+  gen.seed = 8;
+  const Dataset test = cmp::GenerateAgrawal(gen);
+
+  cmp::CmpOptions tree_opts = cmp::CmpFullOptions();
+  tree_opts.base.prune = false;
+  cmp::CmpBuilder builder(tree_opts);
+  DecisionTree tree = builder.Build(train).tree;
+  const CompiledTree compiled = CompiledTree::Compile(tree);
+  std::cout << "tree: " << tree.num_nodes() << " nodes ("
+            << compiled.num_leaves() << " leaves), scoring " << score_n
+            << " records, accuracy "
+            << cmp::Evaluate(tree, test).Accuracy() << "\n\n";
+
+  volatile int64_t sink = 0;  // defeats dead-code elimination
+  const double interpreted = MeasureRowsPerSec(score_n, [&] {
+    int64_t acc = 0;
+    for (cmp::RecordId r = 0; r < test.num_records(); ++r) {
+      acc += tree.Classify(test, r);
+    }
+    sink = sink + acc;
+  });
+
+  std::vector<std::pair<int, double>> threaded;  // (threads, rows/sec)
+  for (const int threads : {1, 2, 4}) {
+    PredictOptions opts;
+    opts.num_threads = threads;
+    const BatchPredictor predictor(&compiled, opts);
+    cmp::ThreadPool pool(threads);
+    threaded.emplace_back(threads, MeasureRowsPerSec(score_n, [&] {
+      sink = sink + predictor.Predict(test, &pool).labels.back();
+    }));
+  }
+  const double compiled_st = threaded.front().second;
+  const double compiled_mt =
+      std::max_element(threaded.begin(), threaded.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       })
+          ->second;
+
+  cmp::CmpBuilder fold_builder(cmp::CmpFullOptions());
+  const cmp::CrossValResult cv =
+      cmp::CrossValidate(&fold_builder, train, 5, 1, /*keep_trees=*/true);
+  const cmp::EnsemblePredictor ensemble =
+      cmp::EnsemblePredictor::Compile(cv.trees);
+  const double ensemble_rps = MeasureRowsPerSec(score_n, [&] {
+    sink = sink + ensemble.Predict(test).labels.back();
+  });
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "config            rows/sec\n";
+  std::cout << "interpreted       " << static_cast<int64_t>(interpreted)
+            << "\n";
+  for (const auto& [threads, rps] : threaded) {
+    std::cout << "compiled x" << threads << "       "
+              << static_cast<int64_t>(rps) << "\n";
+  }
+  std::cout << "ensemble(5) x1    " << static_cast<int64_t>(ensemble_rps)
+            << "\n\n";
+  std::cout << "compiled/interpreted speedup: " << compiled_st / interpreted
+            << "\n";
+  std::cout << "multithread scaling (best/x1): " << compiled_mt / compiled_st
+            << " on " << hw << " hardware thread(s)\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"predict\",\n"
+       << "  \"rows\": " << score_n << ",\n"
+       << "  \"tree_nodes\": " << tree.num_nodes() << ",\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"interpreted_rows_per_sec\": " << interpreted << ",\n"
+       << "  \"compiled_rows_per_sec\": " << compiled_st << ",\n";
+  for (const auto& [threads, rps] : threaded) {
+    json << "  \"compiled_mt" << threads << "_rows_per_sec\": " << rps
+         << ",\n";
+  }
+  json << "  \"ensemble5_rows_per_sec\": " << ensemble_rps << ",\n"
+       << "  \"compiled_speedup\": " << compiled_st / interpreted << ",\n"
+       << "  \"mt_scaling\": " << compiled_mt / compiled_st << "\n"
+       << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef CMP_COMMON_THREAD_POOL_H_
+#define CMP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cmp {
+
+/// A fixed-size pool of worker threads with a shared task queue.
+///
+/// This is the library's only threading primitive: batch inference
+/// partitions row blocks across it, and future subsystems (parallel
+/// builders, concurrent serving) are expected to reuse it rather than
+/// spawn ad-hoc threads. Tasks are arbitrary `void()` callables; the
+/// pool never touches Dataset or tree state itself, so any
+/// synchronization of shared results is the caller's job (ParallelFor
+/// hands each worker a disjoint index range precisely so callers can
+/// write to pre-sized output arrays without locks).
+///
+/// With `num_threads <= 1` the pool starts no workers and runs every
+/// task inline on the calling thread, which keeps single-threaded
+/// callers allocation- and lock-free and makes thread-count sweeps in
+/// benchmarks uniform.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 for an inline pool).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Tasks may not themselves call Submit/ParallelFor
+  /// on the same pool (no work-stealing; a waiting task would deadlock).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Splits `[0, n)` into contiguous chunks of at most `grain` elements,
+  /// runs `fn(begin, end)` for each chunk across the pool, and blocks
+  /// until all chunks are done. `grain <= 0` picks one chunk per worker.
+  void ParallelFor(int64_t n, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  int64_t pending_ = 0;  // queued + currently executing tasks
+  bool stop_ = false;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,96 @@
+#include "infer/batch_predictor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace cmp {
+
+BatchPredictor::BatchPredictor(const CompiledTree* tree, PredictOptions opts)
+    : tree_(tree), opts_(opts) {
+  assert(tree_ != nullptr && !tree_->empty());
+  if (opts_.block_size <= 0) opts_.block_size = 2048;
+  opts_.top_k = std::clamp(opts_.top_k, 1, tree_->num_classes());
+}
+
+template <typename LeafBlockFn>
+BatchResult BatchPredictor::Run(int64_t n, ThreadPool* pool,
+                                const LeafBlockFn& fill_leaves) const {
+  BatchResult out;
+  const int32_t nc = tree_->num_classes();
+  const int k = opts_.top_k;
+  const bool abstain = opts_.abstain_threshold > 0.0;
+  out.labels.assign(static_cast<size_t>(n), kInvalidClass);
+  if (opts_.want_probs) {
+    out.probs.assign(static_cast<size_t>(n) * static_cast<size_t>(nc), 0.0f);
+  }
+  if (k > 1) {
+    out.topk.assign(static_cast<size_t>(n) * static_cast<size_t>(k),
+                    kInvalidClass);
+  }
+
+  // Each block writes disjoint ranges of the pre-sized outputs, so the
+  // workers need no synchronization beyond ParallelFor's completion.
+  auto score_block = [&](int64_t begin, int64_t end) {
+    std::vector<ClassId> order(static_cast<size_t>(nc));
+    std::vector<int32_t> leaves(static_cast<size_t>(end - begin));
+    fill_leaves(begin, end, leaves.data());
+    for (int64_t i = begin; i < end; ++i) {
+      const int32_t leaf = leaves[i - begin];
+      const ClassId cls = tree_->leaf_class(leaf);
+      const float* probs = tree_->leaf_probs(leaf);
+      if (opts_.want_probs) {
+        std::copy(probs, probs + nc,
+                  out.probs.begin() + static_cast<size_t>(i) * nc);
+      }
+      if (k > 1) {
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](ClassId a, ClassId b) {
+          return probs[a] != probs[b] ? probs[a] > probs[b] : a < b;
+        });
+        std::copy(order.begin(), order.begin() + k,
+                  out.topk.begin() + static_cast<size_t>(i) * k);
+      }
+      out.labels[i] =
+          abstain && probs[cls] < opts_.abstain_threshold ? kInvalidClass
+                                                          : cls;
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(n, opts_.block_size, score_block);
+  } else {
+    ThreadPool local(opts_.num_threads);
+    local.ParallelFor(n, opts_.block_size, score_block);
+  }
+  if (abstain) {
+    out.num_abstained = std::count(out.labels.begin(), out.labels.end(),
+                                   kInvalidClass);
+  }
+  return out;
+}
+
+BatchResult BatchPredictor::Predict(const Dataset& ds) const {
+  return Predict(ds, nullptr);
+}
+
+BatchResult BatchPredictor::Predict(const Dataset& ds, ThreadPool* pool) const {
+  const CompiledTree* tree = tree_;
+  return Run(ds.num_records(), pool,
+             [tree, &ds](int64_t begin, int64_t end, int32_t* out) {
+               tree->LeafIndicesOf(ds, begin, end, out);
+             });
+}
+
+BatchResult BatchPredictor::PredictRaw(const double* numeric,
+                                       const int32_t* categorical,
+                                       int64_t n) const {
+  const CompiledTree* tree = tree_;
+  return Run(n, nullptr,
+             [tree, numeric, categorical](int64_t begin, int64_t end,
+                                          int32_t* out) {
+               tree->LeafIndicesOfRows(numeric, categorical, begin, end, out);
+             });
+}
+
+}  // namespace cmp

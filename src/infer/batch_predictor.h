@@ -1,0 +1,81 @@
+#ifndef CMP_INFER_BATCH_PREDICTOR_H_
+#define CMP_INFER_BATCH_PREDICTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "infer/compiled_tree.h"
+
+namespace cmp {
+
+/// Knobs for batch scoring.
+struct PredictOptions {
+  /// Worker threads; 1 scores on the calling thread, 0 means
+  /// std::thread::hardware_concurrency.
+  int num_threads = 1;
+  /// Rows per work unit handed to the thread pool.
+  int64_t block_size = 2048;
+  /// Fill BatchResult::probs with per-row class probabilities.
+  bool want_probs = false;
+  /// When > 1, fill BatchResult::topk with the `top_k` most probable
+  /// classes per row, most probable first (ties broken by lower class id).
+  int top_k = 1;
+  /// Abstain (predict kInvalidClass) when the probability of the
+  /// predicted class is below this. 0 never abstains.
+  double abstain_threshold = 0.0;
+};
+
+/// Output of a batch scoring run over n rows.
+struct BatchResult {
+  /// Predicted class per row; kInvalidClass where the predictor abstained.
+  std::vector<ClassId> labels;
+  /// n x num_classes row-major probabilities (empty unless want_probs).
+  std::vector<float> probs;
+  /// n x top_k class ids (empty unless top_k > 1), ordered by descending
+  /// probability (ties broken by lower class id). Abstention blanks
+  /// labels[i] but not these.
+  std::vector<ClassId> topk;
+  /// Rows on which the predictor abstained.
+  int64_t num_abstained = 0;
+};
+
+/// Scores datasets (or raw dense rows) against one CompiledTree in row
+/// blocks, optionally fanned out across a ThreadPool. The predictor
+/// borrows the tree; the tree must outlive it.
+class BatchPredictor {
+ public:
+  explicit BatchPredictor(const CompiledTree* tree, PredictOptions opts = {});
+
+  const PredictOptions& options() const { return opts_; }
+  const CompiledTree& tree() const { return *tree_; }
+
+  /// Scores every record of `ds` (whose schema must match the tree's)
+  /// using an internally owned pool of options().num_threads workers.
+  BatchResult Predict(const Dataset& ds) const;
+
+  /// Same, but shares a caller-owned pool (its thread count wins).
+  BatchResult Predict(const Dataset& ds, ThreadPool* pool) const;
+
+  /// Scores `n` raw dense rows. Both arrays are row-major, one slot per
+  /// schema attribute: numeric[i * num_attrs + a] for numeric attribute
+  /// `a` of row i, likewise `categorical`; only the slot matching each
+  /// attribute's kind is read. `categorical` may be null for all-numeric
+  /// schemas.
+  BatchResult PredictRaw(const double* numeric, const int32_t* categorical,
+                         int64_t n) const;
+
+ private:
+  template <typename LeafBlockFn>
+  BatchResult Run(int64_t n, ThreadPool* pool,
+                  const LeafBlockFn& fill_leaves) const;
+
+  const CompiledTree* tree_;
+  PredictOptions opts_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_INFER_BATCH_PREDICTOR_H_

@@ -1,0 +1,126 @@
+#include "infer/compiled_tree.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cmp {
+
+namespace {
+
+/// True if `t` survives a round trip through float, so the inline
+/// float-threshold compare `x <= (double)(float)t` partitions doubles
+/// exactly where `x <= t` does.
+bool FloatRoundTrips(double t) {
+  if (!std::isfinite(t) || std::abs(t) > std::numeric_limits<float>::max()) {
+    return false;
+  }
+  return static_cast<double>(static_cast<float>(t)) == t;
+}
+
+}  // namespace
+
+CompiledTree CompiledTree::Compile(const DecisionTree& tree) {
+  CompiledTree out;
+  out.schema_ = tree.schema();
+  out.num_classes_ = std::max<int32_t>(tree.schema().num_classes(), 1);
+  if (tree.empty()) return out;
+
+  // Emit nodes in depth-first preorder (left child adjacent to parent);
+  // only reachable nodes are visited, so MakeLeaf garbage is dropped.
+  struct Frame {
+    NodeId src;
+    int32_t parent;  // compiled id whose child slot to patch, -1 for root
+    bool is_left;
+  };
+  std::vector<Frame> stack = {{0, -1, false}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const int32_t id = static_cast<int32_t>(out.attr_.size());
+    if (f.parent >= 0) {
+      out.children_[2 * f.parent + (f.is_left ? 0 : 1)] = id;
+    }
+    out.attr_.push_back(kLeaf);
+    out.threshold_.push_back(0.0f);
+    out.children_.push_back(kInvalidNode);
+    out.children_.push_back(kInvalidNode);
+
+    const TreeNode& n = tree.node(f.src);
+    if (n.is_leaf) {
+      const int32_t leaf_index = static_cast<int32_t>(out.leaf_class_.size());
+      ClassId cls = n.leaf_class;
+      if (cls < 0 || cls >= out.num_classes_) cls = 0;
+      out.leaf_class_.push_back(cls);
+      out.children_[2 * id] = cls;
+      out.children_[2 * id + 1] = leaf_index;
+
+      // Normalize the training class counts into probabilities; a leaf
+      // with no recorded counts keeps full confidence in its class.
+      double total = 0.0;
+      for (size_t c = 0;
+           c < n.class_counts.size() &&
+           c < static_cast<size_t>(out.num_classes_);
+           ++c) {
+        total += static_cast<double>(n.class_counts[c]);
+      }
+      for (int32_t c = 0; c < out.num_classes_; ++c) {
+        float p;
+        if (total > 0.0) {
+          const int64_t cnt =
+              c < static_cast<int32_t>(n.class_counts.size())
+                  ? n.class_counts[c]
+                  : 0;
+          p = static_cast<float>(static_cast<double>(cnt) / total);
+        } else {
+          p = c == cls ? 1.0f : 0.0f;
+        }
+        out.leaf_probs_.push_back(p);
+      }
+      continue;
+    }
+
+    const Split& s = n.split;
+    switch (s.kind) {
+      case Split::Kind::kNumeric:
+        if (s.attr <= std::numeric_limits<int16_t>::max() &&
+            FloatRoundTrips(s.threshold)) {
+          out.attr_[id] = static_cast<int16_t>(s.attr);
+          out.threshold_[id] = static_cast<float>(s.threshold);
+        } else {
+          const int32_t idx = static_cast<int32_t>(out.wide_splits_.size());
+          out.wide_splits_.push_back(WideSplit{s.attr, s.threshold});
+          out.attr_[id] = kWide;
+          out.threshold_[id] = std::bit_cast<float>(idx);
+        }
+        break;
+      case Split::Kind::kCategorical: {
+        const int32_t idx = static_cast<int32_t>(out.cat_splits_.size());
+        CatSplit cs;
+        cs.attr = s.attr;
+        cs.offset = static_cast<int32_t>(out.cat_bits_.size());
+        cs.card = static_cast<int32_t>(s.left_subset.size());
+        out.cat_splits_.push_back(cs);
+        out.cat_bits_.insert(out.cat_bits_.end(), s.left_subset.begin(),
+                             s.left_subset.end());
+        out.attr_[id] = kCat;
+        out.threshold_[id] = std::bit_cast<float>(idx);
+        break;
+      }
+      case Split::Kind::kLinear: {
+        const int32_t idx = static_cast<int32_t>(out.lin_splits_.size());
+        out.lin_splits_.push_back(LinSplit{s.attr, s.attr2, s.a, s.b, s.c});
+        out.attr_[id] = kLin;
+        out.threshold_[id] = std::bit_cast<float>(idx);
+        break;
+      }
+    }
+    assert(n.left != kInvalidNode && n.right != kInvalidNode);
+    // Right first so the left child is emitted next (preorder adjacency).
+    stack.push_back(Frame{n.right, id, false});
+    stack.push_back(Frame{n.left, id, true});
+  }
+  return out;
+}
+
+}  // namespace cmp

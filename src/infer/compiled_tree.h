@@ -1,0 +1,288 @@
+#ifndef CMP_INFER_COMPILED_TREE_H_
+#define CMP_INFER_COMPILED_TREE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/schema.h"
+#include "common/types.h"
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// An immutable, cache-friendly compilation of a DecisionTree for batch
+/// scoring.
+///
+/// The training-side DecisionTree is an array of fat TreeNode structs,
+/// each dragging a Split (with its own heap-allocated categorical subset)
+/// and a heap-allocated class_counts vector through cache on every
+/// descent. CompiledTree re-lays the same tree out as structure-of-arrays:
+/// three contiguous hot arrays (`int16 attr`, `float threshold`,
+/// `int32 left/right`) drive the descent loop, and everything rare —
+/// categorical subsets, linear-combination splits, thresholds that do not
+/// round-trip through float — lives in small side tables reached through a
+/// sentinel in `attr`. Nodes are stored in depth-first preorder so the
+/// left child of node i is node i+1.
+///
+/// Predictions are bit-exact with DecisionTree::Classify: numeric
+/// comparisons stay in double (an inline float threshold is only used
+/// when widening it back to double reproduces the trained threshold
+/// exactly; otherwise the split is routed to the wide side table), and
+/// linear-split coefficients are kept in double.
+///
+/// Per-node encoding, for node i (children interleaved so one indexed
+/// load `children[2i + went_right]` replaces a branchy select — descent
+/// direction becomes a data dependency, not a branch to mispredict):
+///   attr[i] >= 0      numeric split on attribute attr[i]:
+///                     value <= (double)threshold[i] routes left
+///   attr[i] == kLeaf  leaf: children[2i] is the ClassId, children[2i+1]
+///                     the leaf index into the probability table
+///   attr[i] == kCat   categorical split: threshold[i] bit-casts to an
+///                     index into cat_splits()
+///   attr[i] == kLin   linear split a*x + b*y <= c: threshold[i]
+///                     bit-casts to an index into lin_splits()
+///   attr[i] == kWide  numeric split whose double threshold (or >int16
+///                     attribute id) does not fit inline: threshold[i]
+///                     bit-casts to an index into wide_splits()
+class CompiledTree {
+ public:
+  static constexpr int16_t kLeaf = -1;
+  static constexpr int16_t kCat = -2;
+  static constexpr int16_t kLin = -3;
+  static constexpr int16_t kWide = -4;
+
+  /// Categorical side entry: attribute plus a [offset, offset+card) slice
+  /// of the shared membership-bit pool; bit v set routes value v left.
+  struct CatSplit {
+    int32_t attr = 0;
+    int32_t offset = 0;
+    int32_t card = 0;
+  };
+
+  /// Linear side entry: a*x + b*y <= c routes left (coefficients in
+  /// double to match Split::RoutesLeft bit for bit).
+  struct LinSplit {
+    int32_t x = 0;
+    int32_t y = 0;
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+  };
+
+  /// Numeric side entry for thresholds float cannot represent.
+  struct WideSplit {
+    int32_t attr = 0;
+    double threshold = 0.0;
+  };
+
+  CompiledTree() = default;
+
+  /// Compiles `tree` (which must be non-empty) into the flat layout.
+  /// Unreachable nodes are dropped; leaf class counts are normalized into
+  /// per-class probabilities (a leaf with no recorded counts gets
+  /// probability 1 on its predicted class).
+  static CompiledTree Compile(const DecisionTree& tree);
+
+  bool empty() const { return attr_.empty(); }
+  int num_nodes() const { return static_cast<int>(attr_.size()); }
+  int num_leaves() const {
+    return static_cast<int>(leaf_probs_.size()) / std::max(num_classes_, 1);
+  }
+  int32_t num_classes() const { return num_classes_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Index (into the leaf tables) of the leaf record `r` of `ds` lands in.
+  int32_t LeafIndexOf(const Dataset& ds, RecordId r) const {
+    return Descend(DatasetRow{&ds, r});
+  }
+
+  /// Batch descent: fills `out[0 .. end-begin)` with the leaf index of
+  /// records [begin, end) of `ds`. Rows descend in interleaved lanes of
+  /// kLanes so their independent node/column loads overlap in the memory
+  /// pipeline — this is where batch scoring beats a per-row loop, not in
+  /// instruction count.
+  void LeafIndicesOf(const Dataset& ds, RecordId begin, RecordId end,
+                     int32_t* out) const {
+    DescendRange(begin, end, out,
+                 [&ds](RecordId r) { return DatasetRow{&ds, r}; });
+  }
+
+  /// Same over raw dense rows (layout as in LeafIndexOfRow, rows
+  /// row-major with one slot per schema attribute).
+  void LeafIndicesOfRows(const double* numeric, const int32_t* categorical,
+                         int64_t begin, int64_t end, int32_t* out) const {
+    const int32_t na = schema_.num_attrs();
+    DescendRange(begin, end, out, [=](int64_t i) {
+      return RawRow{numeric + i * na,
+                    categorical == nullptr ? nullptr : categorical + i * na};
+    });
+  }
+
+  /// Same descent over a raw dense row: both arrays are indexed by AttrId
+  /// and sized schema().num_attrs(); only the slot matching each
+  /// attribute's kind is ever read. `categorical` may be null for an
+  /// all-numeric schema.
+  int32_t LeafIndexOfRow(const double* numeric,
+                         const int32_t* categorical) const {
+    return Descend(RawRow{numeric, categorical});
+  }
+
+  /// Predicted class for record `r` of `ds`; identical to
+  /// DecisionTree::Classify on the source tree.
+  ClassId Predict(const Dataset& ds, RecordId r) const {
+    return leaf_class(LeafIndexOf(ds, r));
+  }
+
+  ClassId PredictRow(const double* numeric, const int32_t* categorical) const {
+    return leaf_class(LeafIndexOfRow(numeric, categorical));
+  }
+
+  /// Majority class of leaf `leaf_index`.
+  ClassId leaf_class(int32_t leaf_index) const {
+    return leaf_class_[leaf_index];
+  }
+
+  /// `num_classes()` training-frequency probabilities for leaf
+  /// `leaf_index`; non-negative, summing to 1.
+  const float* leaf_probs(int32_t leaf_index) const {
+    return leaf_probs_.data() +
+           static_cast<size_t>(leaf_index) * static_cast<size_t>(num_classes_);
+  }
+
+  const std::vector<CatSplit>& cat_splits() const { return cat_splits_; }
+  const std::vector<LinSplit>& lin_splits() const { return lin_splits_; }
+  const std::vector<WideSplit>& wide_splits() const { return wide_splits_; }
+
+  /// Rows descended in lockstep by the batch path.
+  static constexpr int kLanes = 8;
+
+ private:
+  struct DatasetRow {
+    const Dataset* ds;
+    RecordId r;
+    double Numeric(int32_t a) const { return ds->numeric(a, r); }
+    int32_t Categorical(int32_t a) const { return ds->categorical(a, r); }
+  };
+  struct RawRow {
+    const double* numeric;
+    const int32_t* categorical;
+    double Numeric(int32_t a) const { return numeric[a]; }
+    int32_t Categorical(int32_t a) const { return categorical[a]; }
+  };
+
+  static int32_t SideIndex(float threshold) {
+    return std::bit_cast<int32_t>(threshold);
+  }
+
+  /// One descent step of lane `id`; leaves hold still, so lanes that
+  /// finish early are harmless no-ops until the whole gang is done. The
+  /// child select is arithmetic (`2*id + went_right`), never a branch:
+  /// only the split-kind dispatch branches, and that is near-perfectly
+  /// predicted on trees dominated by one split kind. NaN feature values
+  /// fail `<=` and route right, matching Split::RoutesLeft.
+  template <typename Row>
+  int32_t Step(int32_t id, const Row& row) const {
+    const int16_t a = attr_[id];
+    double x, t;
+    if (a >= 0) {
+      x = row.Numeric(a);
+      t = static_cast<double>(threshold_[id]);
+    } else if (a == kLeaf) {
+      return id;
+    } else if (a == kWide) {
+      const WideSplit& s = wide_splits_[SideIndex(threshold_[id])];
+      x = row.Numeric(s.attr);
+      t = s.threshold;
+    } else if (a == kLin) {
+      const LinSplit& s = lin_splits_[SideIndex(threshold_[id])];
+      x = s.a * row.Numeric(s.x) + s.b * row.Numeric(s.y);
+      t = s.c;
+    } else {
+      const CatSplit& s = cat_splits_[SideIndex(threshold_[id])];
+      const int32_t v = row.Categorical(s.attr);
+      const bool in_left = v >= 0 && v < s.card && cat_bits_[s.offset + v];
+      return children_[2 * id + static_cast<int32_t>(!in_left)];
+    }
+    return children_[2 * id + static_cast<int32_t>(!(x <= t))];
+  }
+
+  /// Single-row descent, used by Predict and for batch remainders.
+  template <typename Row>
+  int32_t Descend(const Row& row) const {
+    int32_t id = 0;
+    while (attr_[id] != kLeaf) id = Step(id, row);
+    return children_[2 * id + 1];
+  }
+
+  /// Gang descent: kLanes rows walk the tree concurrently. Each lane's
+  /// step is a short chain of dependent loads ending in a branchless
+  /// select, so the lanes' chains overlap in the memory pipeline instead
+  /// of serializing behind one row's cache misses. A lane that reaches a
+  /// leaf immediately refills with the next row (no lockstep: short
+  /// descents never wait for deep ones), until the range runs dry and the
+  /// last in-flight lanes drain scalar.
+  template <typename Index, typename RowAt>
+  void DescendRange(Index begin, Index end, int32_t* out,
+                    const RowAt& row_at) const {
+    if (end - begin < static_cast<Index>(kLanes)) {
+      for (Index i = begin; i < end; ++i) out[i - begin] = Descend(row_at(i));
+      return;
+    }
+    int32_t ids[kLanes];
+    Index rows[kLanes];
+    Index next = begin;
+    for (int l = 0; l < kLanes; ++l) {
+      ids[l] = 0;
+      rows[l] = next++;
+    }
+    bool done_lane[kLanes] = {};
+    int retired = 0;  // lanes that found the range dry on refill
+    while (retired == 0) {
+      for (int l = 0; l < kLanes; ++l) ids[l] = Step(ids[l], row_at(rows[l]));
+      for (int l = 0; l < kLanes; ++l) {
+        if (attr_[ids[l]] != kLeaf) continue;
+        out[rows[l] - begin] = children_[2 * ids[l] + 1];
+        if (next < end) {
+          ids[l] = 0;
+          rows[l] = next++;
+        } else {
+          done_lane[l] = true;
+          ++retired;
+        }
+      }
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      if (done_lane[l]) continue;
+      int32_t id = ids[l];
+      while (attr_[id] != kLeaf) id = Step(id, row_at(rows[l]));
+      out[rows[l] - begin] = children_[2 * id + 1];
+    }
+  }
+
+  Schema schema_;
+  int32_t num_classes_ = 0;
+
+  // Hot structure-of-arrays node storage (preorder, root at 0). Children
+  // are interleaved: children_[2i] left, children_[2i+1] right — for
+  // leaves, the class id and the leaf-table index respectively.
+  std::vector<int16_t> attr_;
+  std::vector<float> threshold_;
+  std::vector<int32_t> children_;
+
+  // Cold side tables.
+  std::vector<CatSplit> cat_splits_;
+  std::vector<uint8_t> cat_bits_;
+  std::vector<LinSplit> lin_splits_;
+  std::vector<WideSplit> wide_splits_;
+
+  // Leaf payload, indexed by leaf index.
+  std::vector<ClassId> leaf_class_;
+  std::vector<float> leaf_probs_;  // num_leaves x num_classes, row-major
+};
+
+}  // namespace cmp
+
+#endif  // CMP_INFER_COMPILED_TREE_H_

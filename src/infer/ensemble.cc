@@ -1,0 +1,101 @@
+#include "infer/ensemble.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace cmp {
+
+EnsemblePredictor::EnsemblePredictor(std::vector<CompiledTree> trees,
+                                     VoteKind vote)
+    : trees_(std::move(trees)), vote_(vote) {
+  assert(!trees_.empty());
+  for (const CompiledTree& t : trees_) {
+    assert(!t.empty());
+    assert(t.num_classes() == trees_.front().num_classes());
+    (void)t;
+  }
+}
+
+EnsemblePredictor EnsemblePredictor::Compile(
+    const std::vector<DecisionTree>& trees, VoteKind vote) {
+  std::vector<CompiledTree> compiled;
+  compiled.reserve(trees.size());
+  for (const DecisionTree& t : trees) {
+    compiled.push_back(CompiledTree::Compile(t));
+  }
+  return EnsemblePredictor(std::move(compiled), vote);
+}
+
+BatchResult EnsemblePredictor::Predict(const Dataset& ds,
+                                       const PredictOptions& opts,
+                                       ThreadPool* pool) const {
+  const int64_t n = ds.num_records();
+  const int32_t nc = num_classes();
+  const int k = std::clamp(opts.top_k, 1, nc);
+  const bool abstain = opts.abstain_threshold > 0.0;
+
+  BatchResult out;
+  out.labels.assign(static_cast<size_t>(n), kInvalidClass);
+  if (opts.want_probs) {
+    out.probs.assign(static_cast<size_t>(n) * static_cast<size_t>(nc), 0.0f);
+  }
+  if (k > 1) {
+    out.topk.assign(static_cast<size_t>(n) * static_cast<size_t>(k),
+                    kInvalidClass);
+  }
+
+  auto score_block = [&](int64_t begin, int64_t end) {
+    std::vector<double> acc(static_cast<size_t>(nc));
+    std::vector<ClassId> order(static_cast<size_t>(nc));
+    for (int64_t i = begin; i < end; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (const CompiledTree& t : trees_) {
+        const int32_t leaf = t.LeafIndexOf(ds, i);
+        if (vote_ == VoteKind::kMajority) {
+          acc[t.leaf_class(leaf)] += 1.0;
+        } else {
+          const float* p = t.leaf_probs(leaf);
+          for (int32_t c = 0; c < nc; ++c) acc[c] += p[c];
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(trees_.size());
+      ClassId best = 0;
+      for (ClassId c = 1; c < nc; ++c) {
+        if (acc[c] > acc[best]) best = c;
+      }
+      if (opts.want_probs) {
+        for (int32_t c = 0; c < nc; ++c) {
+          out.probs[static_cast<size_t>(i) * nc + c] =
+              static_cast<float>(acc[c] * inv);
+        }
+      }
+      if (k > 1) {
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](ClassId a, ClassId b) {
+          return acc[a] != acc[b] ? acc[a] > acc[b] : a < b;
+        });
+        std::copy(order.begin(), order.begin() + k,
+                  out.topk.begin() + static_cast<size_t>(i) * k);
+      }
+      out.labels[i] =
+          abstain && acc[best] * inv < opts.abstain_threshold ? kInvalidClass
+                                                              : best;
+    }
+  };
+
+  const int64_t block = opts.block_size > 0 ? opts.block_size : 2048;
+  if (pool != nullptr) {
+    pool->ParallelFor(n, block, score_block);
+  } else {
+    ThreadPool local(opts.num_threads);
+    local.ParallelFor(n, block, score_block);
+  }
+  if (abstain) {
+    out.num_abstained = std::count(out.labels.begin(), out.labels.end(),
+                                   kInvalidClass);
+  }
+  return out;
+}
+
+}  // namespace cmp

@@ -1,0 +1,63 @@
+#ifndef CMP_INFER_ENSEMBLE_H_
+#define CMP_INFER_ENSEMBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/thread_pool.h"
+#include "infer/batch_predictor.h"
+#include "infer/compiled_tree.h"
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// How an ensemble combines its member trees' opinions on a row.
+enum class VoteKind {
+  /// One hard vote per tree for its predicted class; ties go to the
+  /// lower class id. Reported probabilities are vote fractions.
+  kMajority,
+  /// Average of the trees' leaf probability vectors; the predicted class
+  /// is its argmax (ties to the lower class id).
+  kAverageProb,
+};
+
+/// Batch scorer over a fixed set of CompiledTrees sharing one schema —
+/// e.g. the k per-fold trees a cross-validation run leaves behind, bagged
+/// trees, or the same tree trained at different interval budgets.
+///
+/// Scoring follows BatchPredictor's contract (labels, optional probs,
+/// top-k, abstain-below-confidence, row blocks across a ThreadPool);
+/// "probability of the predicted class" for abstention is the combined
+/// vote fraction / averaged probability, so an ensemble abstains exactly
+/// when its members genuinely disagree.
+class EnsemblePredictor {
+ public:
+  /// Takes ownership of pre-compiled trees (at least one; all must agree
+  /// on the number of classes).
+  explicit EnsemblePredictor(std::vector<CompiledTree> trees,
+                             VoteKind vote = VoteKind::kMajority);
+
+  /// Compiles and wraps interpreted trees in one go.
+  static EnsemblePredictor Compile(const std::vector<DecisionTree>& trees,
+                                   VoteKind vote = VoteKind::kMajority);
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  VoteKind vote() const { return vote_; }
+  int32_t num_classes() const { return trees_.front().num_classes(); }
+  const Schema& schema() const { return trees_.front().schema(); }
+
+  /// Scores every record of `ds`. PredictOptions semantics match
+  /// BatchPredictor; pass a pool to share threads with other work, else
+  /// an internal pool of opts.num_threads workers is used.
+  BatchResult Predict(const Dataset& ds, const PredictOptions& opts = {},
+                      ThreadPool* pool = nullptr) const;
+
+ private:
+  std::vector<CompiledTree> trees_;
+  VoteKind vote_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_INFER_ENSEMBLE_H_

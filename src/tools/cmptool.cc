@@ -5,15 +5,20 @@
 //   train --data data.cmpt --algo cmp|cmp-b|cmp-s|sprint|clouds|rainforest
 //         --out tree.txt [--intervals 100] [--no-prune]
 //   eval  --data data.cmpt --tree tree.txt
+//   predict --data data.cmpt --tree tree.txt --out preds.csv
 //   show  --tree tree.txt
 //
 // All file formats are this library's own (table_file.h, serialize.h).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "clouds/clouds.h"
 #include "common/summary.h"
@@ -22,6 +27,10 @@
 #include "exact/exact.h"
 #include "io/arff.h"
 #include "io/csv.h"
+#include "common/timer.h"
+#include "infer/batch_predictor.h"
+#include "infer/compiled_tree.h"
+#include "infer/ensemble.h"
 #include "io/table_file.h"
 #include "rainforest/rainforest.h"
 #include "sampling/windowing.h"
@@ -45,6 +54,9 @@ int Usage() {
       " <cmp|cmp-b|cmp-s|sprint|sliq|clouds|rainforest|exact|windowing|sampled>"
       " [--intervals Q] [--no-prune] --out FILE\n"
       "  cmptool eval  --data FILE --tree FILE\n"
+      "  cmptool predict --data FILE --tree FILE[,FILE...] [--out FILE]\n"
+      "                [--threads N] [--block B] [--probs] [--top-k K]\n"
+      "                [--abstain P] [--vote majority|prob]\n"
       "  cmptool show  --tree FILE\n"
       "  cmptool dot   --tree FILE\n"
       "  cmptool explain --data FILE --tree FILE --record N\n"
@@ -214,6 +226,133 @@ int CmdEval(int argc, char** argv) {
   return 0;
 }
 
+// Batch scoring through the compiled inference path: one tree gives a
+// BatchPredictor, a comma-separated list gives a voting ensemble.
+// Predictions go to --out as CSV (stdout when omitted, with the summary
+// moved to stderr so the two streams stay separable).
+int CmdPredict(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  const std::string tree_arg = GetFlag(argc, argv, "--tree");
+  const std::string out_path = GetFlag(argc, argv, "--out");
+  if (data.empty() || tree_arg.empty()) return Usage();
+
+  cmp::Dataset ds;
+  if (!LoadAnyDataset(data, &ds)) {
+    std::cerr << "failed to read " << data << "\n";
+    return 1;
+  }
+
+  std::vector<cmp::DecisionTree> trees;
+  std::stringstream paths(tree_arg);
+  for (std::string path; std::getline(paths, path, ',');) {
+    cmp::DecisionTree tree;
+    if (!cmp::LoadTree(path, &tree)) {
+      std::cerr << "failed to read " << path << "\n";
+      return 1;
+    }
+    trees.push_back(std::move(tree));
+  }
+
+  cmp::PredictOptions opts;
+  opts.num_threads = std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
+  opts.block_size = std::atoll(GetFlag(argc, argv, "--block", "2048").c_str());
+  opts.want_probs = HasFlag(argc, argv, "--probs");
+  opts.top_k = std::atoi(GetFlag(argc, argv, "--top-k", "1").c_str());
+  opts.abstain_threshold =
+      std::atof(GetFlag(argc, argv, "--abstain", "0").c_str());
+  const std::string vote_name = GetFlag(argc, argv, "--vote", "majority");
+  if (vote_name != "majority" && vote_name != "prob") {
+    std::cerr << "unknown vote kind " << vote_name << "\n";
+    return 2;
+  }
+
+  const cmp::Schema& model_schema = trees.front().schema();
+  // The predictors clamp top_k to the class count internally; clamp here
+  // too so the CSV writer below indexes the returned topk table with the
+  // same k the predictor sized it with.
+  opts.top_k = std::min(opts.top_k, model_schema.num_classes());
+  cmp::Timer timer;
+  cmp::BatchResult result;
+  if (trees.size() == 1) {
+    const cmp::CompiledTree compiled = cmp::CompiledTree::Compile(trees[0]);
+    result = cmp::BatchPredictor(&compiled, opts).Predict(ds);
+  } else {
+    const cmp::EnsemblePredictor ensemble = cmp::EnsemblePredictor::Compile(
+        trees, vote_name == "prob" ? cmp::VoteKind::kAverageProb
+                                   : cmp::VoteKind::kMajority);
+    result = ensemble.Predict(ds, opts);
+  }
+  const double seconds = timer.Seconds();
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 1;
+    }
+  }
+  std::ostream& csv = out_path.empty() ? std::cout : file;
+  std::ostream& summary = out_path.empty() ? std::cerr : std::cout;
+
+  auto class_name = [&model_schema](cmp::ClassId c) -> std::string {
+    if (c == cmp::kInvalidClass) return "?";
+    return c < model_schema.num_classes()
+               ? model_schema.class_name(c)
+               : "class" + std::to_string(c);
+  };
+
+  csv << "record,actual,predicted,correct";
+  if (opts.want_probs) {
+    for (cmp::ClassId c = 0; c < model_schema.num_classes(); ++c) {
+      csv << ",prob_" << model_schema.class_name(c);
+    }
+  }
+  if (opts.top_k > 1) {
+    for (int k = 0; k < opts.top_k; ++k) csv << ",top" << (k + 1);
+  }
+  csv << '\n';
+  const int32_t nc = model_schema.num_classes();
+  int64_t correct = 0;
+  for (cmp::RecordId r = 0; r < ds.num_records(); ++r) {
+    const cmp::ClassId actual = ds.label(r);
+    const cmp::ClassId predicted = result.labels[r];
+    if (actual == predicted) ++correct;
+    csv << r << ',' << ds.schema().class_name(actual) << ','
+        << class_name(predicted) << ',' << (actual == predicted ? 1 : 0);
+    if (opts.want_probs) {
+      for (int32_t c = 0; c < nc; ++c) {
+        csv << ',' << result.probs[static_cast<size_t>(r) * nc + c];
+      }
+    }
+    if (opts.top_k > 1) {
+      for (int k = 0; k < opts.top_k; ++k) {
+        csv << ',' << class_name(result.topk[static_cast<size_t>(r) *
+                                             opts.top_k + k]);
+      }
+    }
+    csv << '\n';
+  }
+
+  const double accuracy =
+      ds.num_records() == 0
+          ? 0.0
+          : static_cast<double>(correct) /
+                static_cast<double>(ds.num_records());
+  char acc_buf[32];
+  std::snprintf(acc_buf, sizeof(acc_buf), "%.4f", accuracy);
+  summary << "accuracy: " << acc_buf << " (" << correct << "/"
+          << ds.num_records() << ")\n";
+  if (result.num_abstained > 0) {
+    summary << "abstained: " << result.num_abstained << "\n";
+  }
+  summary << "scored " << ds.num_records() << " records with "
+          << trees.size() << " tree(s) in " << seconds << "s ("
+          << static_cast<int64_t>(ds.num_records() / std::max(seconds, 1e-9))
+          << " rows/s, " << opts.num_threads << " thread(s))\n";
+  return 0;
+}
+
 int CmdDot(int argc, char** argv) {
   const std::string tree_path = GetFlag(argc, argv, "--tree");
   if (tree_path.empty()) return Usage();
@@ -297,6 +436,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
   if (cmd == "train") return CmdTrain(argc - 2, argv + 2);
   if (cmd == "eval") return CmdEval(argc - 2, argv + 2);
+  if (cmd == "predict") return CmdPredict(argc - 2, argv + 2);
   if (cmd == "show") return CmdShow(argc - 2, argv + 2);
   if (cmd == "dot") return CmdDot(argc - 2, argv + 2);
   if (cmd == "explain") return CmdExplain(argc - 2, argv + 2);

@@ -24,7 +24,7 @@ double CrossValResult::StdDevAccuracy() const {
 }
 
 CrossValResult CrossValidate(TreeBuilder* builder, const Dataset& data,
-                             int folds, uint64_t seed) {
+                             int folds, uint64_t seed, bool keep_trees) {
   assert(folds >= 2);
   CrossValResult out;
   const int64_t n = data.num_records();
@@ -48,9 +48,10 @@ CrossValResult CrossValidate(TreeBuilder* builder, const Dataset& data,
     }
     const Dataset train = data.Subset(train_ids);
     const Dataset test = data.Subset(test_ids);
-    const BuildResult result = builder->Build(train);
+    BuildResult result = builder->Build(train);
     out.total_stats.Accumulate(result.stats);
     out.fold_accuracy.push_back(Evaluate(result.tree, test).Accuracy());
+    if (keep_trees) out.trees.push_back(std::move(result.tree));
   }
   return out;
 }

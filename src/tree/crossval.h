@@ -15,6 +15,10 @@ struct CrossValResult {
   std::vector<double> fold_accuracy;
   /// Training cost counters accumulated across folds.
   BuildStats total_stats;
+  /// The per-fold trees, in fold order — only populated when
+  /// CrossValidate is called with keep_trees, typically to feed an
+  /// EnsemblePredictor (infer/ensemble.h) that votes the k folds.
+  std::vector<DecisionTree> trees;
 
   double MeanAccuracy() const;
   /// Sample standard deviation of the fold accuracies.
@@ -22,9 +26,11 @@ struct CrossValResult {
 };
 
 /// Runs k-fold cross-validation of `builder` on `data` with a
-/// deterministic shuffle.
+/// deterministic shuffle. With `keep_trees` the k fold trees are
+/// returned in CrossValResult::trees instead of being discarded.
 CrossValResult CrossValidate(TreeBuilder* builder, const Dataset& data,
-                             int folds, uint64_t seed = 1);
+                             int folds, uint64_t seed = 1,
+                             bool keep_trees = false);
 
 }  // namespace cmp
 

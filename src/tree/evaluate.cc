@@ -5,19 +5,30 @@
 #include <sstream>
 
 #include "common/random.h"
+#include "infer/batch_predictor.h"
+#include "infer/compiled_tree.h"
 
 namespace cmp {
 
 Evaluation Evaluate(const DecisionTree& tree, const Dataset& ds) {
   Evaluation out;
-  const int nc = ds.num_classes();
+  // The evaluation dataset may carry classes the tree never saw in
+  // training (or vice versa), so the confusion matrix spans both label
+  // spaces and indexing is guarded rather than trusted.
+  const int nc = std::max(ds.num_classes(), tree.schema().num_classes());
   out.confusion.assign(nc, std::vector<int64_t>(nc, 0));
+
+  const CompiledTree compiled = CompiledTree::Compile(tree);
+  const BatchPredictor predictor(&compiled);
+  const BatchResult result = predictor.Predict(ds);
   for (RecordId r = 0; r < ds.num_records(); ++r) {
     const ClassId actual = ds.label(r);
-    const ClassId predicted = tree.Classify(ds, r);
+    const ClassId predicted = result.labels[r];
     out.total++;
     if (actual == predicted) out.correct++;
-    out.confusion[actual][predicted]++;
+    if (actual >= 0 && actual < nc && predicted >= 0 && predicted < nc) {
+      out.confusion[actual][predicted]++;
+    }
   }
   return out;
 }
@@ -26,14 +37,21 @@ std::string Evaluation::ToString(const Schema& schema) const {
   std::ostringstream os;
   os << "accuracy: " << std::fixed << std::setprecision(4) << Accuracy()
      << " (" << correct << "/" << total << ")\n";
+  // The matrix may be wider than the schema when the tree and the
+  // dataset disagree on the class list; unnamed classes get a fallback.
+  const ClassId nc = static_cast<ClassId>(confusion.size());
+  auto name = [&schema](ClassId c) {
+    return c < schema.num_classes() ? schema.class_name(c)
+                                    : "class" + std::to_string(c);
+  };
   os << std::setw(12) << "actual\\pred";
-  for (ClassId c = 0; c < schema.num_classes(); ++c) {
-    os << std::setw(10) << schema.class_name(c);
+  for (ClassId c = 0; c < nc; ++c) {
+    os << std::setw(10) << name(c);
   }
   os << '\n';
-  for (ClassId a = 0; a < schema.num_classes(); ++a) {
-    os << std::setw(12) << schema.class_name(a);
-    for (ClassId p = 0; p < schema.num_classes(); ++p) {
+  for (ClassId a = 0; a < nc; ++a) {
+    os << std::setw(12) << name(a);
+    for (ClassId p = 0; p < nc; ++p) {
       os << std::setw(10) << confusion[a][p];
     }
     os << '\n';

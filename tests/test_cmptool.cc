@@ -99,6 +99,63 @@ TEST_F(CmptoolTest, DotAndExplainAndImportance) {
   EXPECT_FALSE(out.empty());
 }
 
+// Extracts the "accuracy: 0.1234" figure both `eval` and `predict` print.
+std::string AccuracyLine(const std::string& out) {
+  const size_t at = out.find("accuracy: ");
+  EXPECT_NE(at, std::string::npos) << out;
+  if (at == std::string::npos) return "";
+  return out.substr(at, std::string("accuracy: 0.0000").size());
+}
+
+TEST_F(CmptoolTest, PredictRoundTripMatchesEval) {
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp --out " + tree_),
+            0);
+  std::string eval_out;
+  ASSERT_EQ(RunTool("eval --data " + data_ + " --tree " + tree_, &eval_out),
+            0);
+
+  const std::string csv = TempPath("predictions.csv");
+  std::string predict_out;
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + tree_ +
+                " --out " + csv,
+                &predict_out),
+            0);
+  // The compiled batch path must reproduce the interpreted eval accuracy
+  // digit for digit.
+  EXPECT_EQ(AccuracyLine(predict_out), AccuracyLine(eval_out));
+
+  // Header plus one CSV row per record.
+  std::ifstream is(csv);
+  ASSERT_TRUE(is.good());
+  std::string line;
+  int64_t lines = 0;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line.substr(0, 31), "record,actual,predicted,correct");
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 4000);
+  std::remove(csv.c_str());
+
+  // Probabilities, top-k, multithreading and ensembles ride the same path.
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + tree_ +
+                " --probs --top-k 2 --threads 2 --out " + csv,
+                &predict_out),
+            0);
+  EXPECT_EQ(AccuracyLine(predict_out), AccuracyLine(eval_out));
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + tree_ + "," +
+                tree_ + " --vote prob --out " + csv,
+                &predict_out),
+            0);
+  EXPECT_EQ(AccuracyLine(predict_out), AccuracyLine(eval_out));
+
+  // A top-k beyond the class count is clamped, not an out-of-bounds read.
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + tree_ +
+                " --top-k 99 --out " + csv,
+                &predict_out),
+            0);
+  EXPECT_EQ(AccuracyLine(predict_out), AccuracyLine(eval_out));
+  std::remove(csv.c_str());
+}
+
 TEST_F(CmptoolTest, BadInputsFailGracefully) {
   EXPECT_NE(RunTool("train --data /does/not/exist --algo cmp --out " + tree_),
             0);

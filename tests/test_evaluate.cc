@@ -52,6 +52,41 @@ TEST(Evaluate, ToStringMentionsAccuracy) {
   EXPECT_NE(eval.ToString(ds.schema()).find("accuracy"), std::string::npos);
 }
 
+// A model trained on two classes scored against a dataset carrying a
+// third: the confusion matrix must span both label spaces instead of
+// indexing out of bounds, and ToString must not crash on the class the
+// training schema cannot name.
+TEST(Evaluate, ToleratesClassesUnseenAtTraining) {
+  const Schema train_schema({{"x", AttrKind::kNumeric, 0}}, {"no", "yes"});
+  Dataset train(train_schema);
+  for (int i = 0; i < 10; ++i) {
+    train.Append({static_cast<double>(i)}, {}, i < 5 ? 0 : 1);
+  }
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(train);
+
+  const Schema eval_schema({{"x", AttrKind::kNumeric, 0}},
+                           {"no", "yes", "maybe"});
+  Dataset eval_ds(eval_schema);
+  eval_ds.Append({1.0}, {}, 0);
+  eval_ds.Append({9.0}, {}, 1);
+  eval_ds.Append({9.0}, {}, 2);  // class the tree never saw
+
+  const Evaluation eval = Evaluate(result.tree, eval_ds);
+  EXPECT_EQ(eval.total, 3);
+  EXPECT_EQ(eval.correct, 2);
+  ASSERT_EQ(eval.confusion.size(), 3u);
+  ASSERT_EQ(eval.confusion[0].size(), 3u);
+  EXPECT_EQ(eval.confusion[0][0], 1);
+  EXPECT_EQ(eval.confusion[1][1], 1);
+  EXPECT_EQ(eval.confusion[2][1], 1);  // unseen actual, predicted "yes"
+
+  // The training schema only names two classes; the third gets a
+  // fallback name rather than undefined behavior.
+  const std::string text = eval.ToString(train_schema);
+  EXPECT_NE(text.find("class2"), std::string::npos);
+}
+
 TEST(TrainTestSplit, PartitionIsExactAndDisjoint) {
   std::vector<RecordId> train;
   std::vector<RecordId> test;

@@ -1,0 +1,77 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cmp {
+namespace {
+
+TEST(ThreadPool, InlinePoolRunsTasksOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0);
+  int ran = 0;
+  pool.Submit([&ran] { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(ran.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const int64_t n = 10001;
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, 64, [&hits](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForDefaultGrainAndEmptyRange) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, 0, [&sum](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  pool.ParallelFor(0, 8, [](int64_t, int64_t) { FAIL(); });
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace cmp
