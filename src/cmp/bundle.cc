@@ -102,6 +102,28 @@ void HistBundle::Add(const Dataset& ds, const std::vector<IntervalGrid>& grids,
   }
 }
 
+HistBundle HistBundle::CloneEmptyShape() const {
+  HistBundle b;
+  b.bivariate_ = bivariate_;
+  b.x_attr_ = x_attr_;
+  b.x_lo_ = x_lo_;
+  b.x_hi_ = x_hi_;
+  b.schema_ = schema_;
+  b.hists_.resize(hists_.size());
+  for (size_t i = 0; i < hists_.size(); ++i) {
+    b.hists_[i] =
+        Histogram1D(hists_[i].num_intervals(), hists_[i].num_classes());
+  }
+  b.matrices_.resize(matrices_.size());
+  for (size_t i = 0; i < matrices_.size(); ++i) {
+    if (static_cast<AttrId>(i) == x_attr_) continue;
+    const HistogramMatrix& m = matrices_[i];
+    b.matrices_[i] =
+        HistogramMatrix(m.x_intervals(), m.y_intervals(), m.num_classes());
+  }
+  return b;
+}
+
 void HistBundle::MergeSameShape(const HistBundle& other) {
   assert(bivariate_ == other.bivariate_ && x_attr_ == other.x_attr_ &&
          x_lo_ == other.x_lo_ && x_hi_ == other.x_hi_);

@@ -71,6 +71,12 @@ class HistBundle {
   /// have identical shape (same variant, X attribute and X range).
   void MergeSameShape(const HistBundle& other);
 
+  /// An empty bundle of this bundle's exact shape (variant, X attribute,
+  /// X range, histogram/matrix dimensions) with all counts zero. Parallel
+  /// scans accumulate into per-shard clones and MergeSameShape them back
+  /// in deterministic order.
+  HistBundle CloneEmptyShape() const;
+
   /// Per-class record counts of the whole bundle.
   std::vector<int64_t> ClassTotals() const;
 

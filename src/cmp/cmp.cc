@@ -12,6 +12,7 @@
 #include "cmp/bundle.h"
 #include "cmp/linear.h"
 #include "cmp/pairs.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exact/exact.h"
 #include "gini/categorical.h"
@@ -118,6 +119,99 @@ int64_t Pending::MemoryBytes() const {
   return bytes;
 }
 
+// ---------------------------------------------------------------------
+// Per-shard scan state. A parallel scan hands each shard a contiguous,
+// ascending record range and a private empty mirror of every histogram
+// the scan accumulates; the mirrors are merged back in a fixed order.
+// All merged state is integer counts (commutative, exact) or buffers
+// concatenated in ascending-shard = ascending-record order, so the
+// merged result is byte-for-byte the serial scan's — the root of the
+// bit-identical-for-any-thread-count contract.
+
+// Empty structural mirror of `p`: same plan tree, zeroed counts, empty
+// buffers; bundles that accumulate during a scan are cloned empty,
+// derived (pre-filled, bundle_fresh == false) bundles are left empty
+// because RoutePending never touches them.
+std::unique_ptr<Pending> ClonePendingEmpty(const Pending& p, int nc) {
+  auto clone = std::make_unique<Pending>();
+  clone->attr = p.attr;
+  clone->alive = p.alive;
+  clone->segments.resize(p.segments.size());
+  for (size_t i = 0; i < p.segments.size(); ++i) {
+    const Segment& src = p.segments[i];
+    Segment& dst = clone->segments[i];
+    dst.counts.assign(nc, 0);
+    dst.range_lo = src.range_lo;
+    dst.range_hi = src.range_hi;
+    dst.plan = src.plan;
+    dst.bundle_fresh = src.bundle_fresh;
+    switch (src.plan) {
+      case PlanKind::kGrow:
+        if (src.bundle_fresh) dst.bundle = src.bundle.CloneEmptyShape();
+        break;
+      case PlanKind::kPending:
+        dst.sub = ClonePendingEmpty(*src.sub, nc);
+        break;
+      case PlanKind::kExact:
+        dst.exact_split = src.exact_split;
+        dst.exact_left = src.exact_left.CloneEmptyShape();
+        dst.exact_right = src.exact_right.CloneEmptyShape();
+        dst.exact_left_counts.assign(nc, 0);
+        dst.exact_right_counts.assign(nc, 0);
+        break;
+    }
+  }
+  return clone;
+}
+
+void MergePendingInto(Pending* dst, const Pending& src) {
+  dst->buffer.insert(dst->buffer.end(), src.buffer.begin(),
+                     src.buffer.end());
+  for (size_t i = 0; i < dst->segments.size(); ++i) {
+    Segment& d = dst->segments[i];
+    const Segment& s = src.segments[i];
+    for (size_t c = 0; c < d.counts.size(); ++c) d.counts[c] += s.counts[c];
+    switch (d.plan) {
+      case PlanKind::kGrow:
+        if (d.bundle_fresh) d.bundle.MergeSameShape(s.bundle);
+        break;
+      case PlanKind::kPending:
+        MergePendingInto(d.sub.get(), *s.sub);
+        break;
+      case PlanKind::kExact:
+        for (size_t c = 0; c < d.exact_left_counts.size(); ++c) {
+          d.exact_left_counts[c] += s.exact_left_counts[c];
+          d.exact_right_counts[c] += s.exact_right_counts[c];
+        }
+        d.exact_left.MergeSameShape(s.exact_left);
+        d.exact_right.MergeSameShape(s.exact_right);
+        break;
+    }
+  }
+}
+
+// Sorts a pending buffer by (value, rid). The record id tiebreak makes
+// the order a total one — equal-valued records always route to the same
+// side of the resolved split, so the tree is unchanged, but the sorted
+// buffer is now a unique permutation: re-sorting an already-sorted
+// buffer is a no-op, which lets the per-pending sorts run as a parallel
+// pre-pass without perturbing anything downstream.
+void SortBuffer(std::vector<BufferedRecord>* buffer) {
+  std::sort(buffer->begin(), buffer->end(),
+            [](const BufferedRecord& a, const BufferedRecord& b) {
+              return a.value != b.value ? a.value < b.value : a.rid < b.rid;
+            });
+}
+
+// Flattens a pending tree (the top-level split plus any nested
+// sub-pendings) into a work list, so every buffer sort can fan out.
+void CollectPendings(Pending* p, std::vector<Pending*>* out) {
+  out->push_back(p);
+  for (Segment& seg : p->segments) {
+    if (seg.plan == PlanKind::kPending) CollectPendings(seg.sub.get(), out);
+  }
+}
+
 // Per-attribute analysis outcome used for both split selection and
 // prediction.
 struct BundleAnalysis {
@@ -150,11 +244,12 @@ struct BundleAnalysis {
 
 class CmpBuild {
  public:
-  CmpBuild(const Dataset& train, const CmpOptions& options,
+  CmpBuild(const Dataset& train, const CmpOptions& options, ThreadPool* pool,
            BuildResult* result)
       : ds_(train),
         schema_(train.schema()),
         options_(options),
+        pool_(pool),
         result_(result),
         tracker_(&result->stats) {}
 
@@ -238,8 +333,27 @@ class CmpBuild {
   // complete, materializing children / pendings / collect work.
   // `predicted` marks bundles whose X axis was chosen by predictSplit
   // (fresh bundles); derived sub-matrix bundles inherit their X axis and
-  // do not count toward the prediction hit-rate.
-  void GrowNode(NodeId id, HistBundle&& bundle, bool predicted = true);
+  // do not count toward the prediction hit-rate. `pre` optionally hands
+  // in the node's analysis when it was computed ahead of time (frontier
+  // nodes of one level are analyzed in parallel before their serial,
+  // order-preserving application to the tree).
+  void GrowNode(NodeId id, HistBundle&& bundle, bool predicted = true,
+                const BundleAnalysis* pre = nullptr);
+
+  // Whether GrowNode would reach Analyze for a node with these totals
+  // (mirrors its early-out chain); used to skip useless pre-analyses.
+  bool WouldAnalyze(NodeId id, const std::vector<int64_t>& totals) const;
+
+  // Runs the routing loop for records [begin, end) against the given
+  // per-slot scan sinks (the master work lists, or one shard's private
+  // mirrors during a parallel scan).
+  void ScanRange(int64_t begin, int64_t end, int num_nodes,
+                 const std::vector<int>& fresh_slot,
+                 const std::vector<int>& pending_slot,
+                 const std::vector<int>& collect_slot,
+                 std::vector<HistBundle*>& fresh_sink,
+                 std::vector<Pending*>& pending_sink,
+                 std::vector<std::vector<RecordId>*>& collect_sink);
 
   // Builds the Pending structure for a node whose decision is
   // kNumericPending.
@@ -265,6 +379,7 @@ class CmpBuild {
   const Dataset& ds_;
   const Schema& schema_;
   CmpOptions options_;
+  ThreadPool* pool_;  // borrowed, never null (CmpBuilder::Build guarantees)
   BuildResult* result_;
   ScanTracker tracker_;
 
@@ -393,19 +508,29 @@ BundleAnalysis CmpBuild::Analyze(const HistBundle& bundle,
   out.attr_est.assign(schema_.num_attrs(),
                       std::numeric_limits<double>::infinity());
 
-  double best_est = std::numeric_limits<double>::infinity();
-  AttrId best_attr = kInvalidAttr;
-  AttrAnalysis best_an;
-  Histogram1D best_hist;
-  CategoricalSplit best_cat;
-  bool best_is_cat = false;
-
-  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+  // Per-attribute scoring (histogram extraction, boundary scan, interval
+  // estimates, categorical subset search) touches only that attribute's
+  // state, so it fans out across the pool; each slot is written by
+  // exactly one worker. The winner is then reduced serially in ascending
+  // attribute order — the identical comparison chain the serial loop
+  // used, so the chosen attribute (ties included) does not depend on the
+  // thread count.
+  struct AttrResult {
+    bool valid = false;
+    bool is_cat = false;
+    double est = 0.0;
+    AttrAnalysis an;
+    Histogram1D hist;
+    CategoricalSplit cat;
+  };
+  std::vector<AttrResult> results(schema_.num_attrs());
+  auto score_attr = [&](AttrId a) {
+    AttrResult& res = results[a];
     Histogram1D hist = bundle.HistFor(a);
     if (schema_.is_numeric(a)) {
-      if (hist.num_intervals() < 2) continue;
+      if (hist.num_intervals() < 2) return;
       AttrAnalysis an = AnalyzeAttribute(hist);
-      if (an.best_boundary < 0) continue;
+      if (an.best_boundary < 0) return;
       // Clamp the per-interval estimates to intervals that can actually
       // contain an interior split point; a tie bucket's gini cannot drop
       // below its edge boundaries no matter what the gradient walk says.
@@ -418,27 +543,42 @@ BundleAnalysis CmpBuild::Analyze(const HistBundle& bundle,
         }
       }
       out.attr_est[a] = est;
-      if (est < best_est) {
-        best_est = est;
-        best_attr = a;
-        best_an = std::move(an);
-        best_hist = std::move(hist);
-        best_is_cat = false;
-      }
+      res.valid = true;
+      res.est = est;
+      res.an = std::move(an);
+      res.hist = std::move(hist);
     } else {
       const CategoricalSplit cs = BestCategoricalSplit(hist);
-      if (!cs.valid) continue;
+      if (!cs.valid) return;
       out.attr_est[a] = cs.gini;
-      if (cs.gini < best_est) {
-        best_est = cs.gini;
-        best_attr = a;
-        best_cat = cs;
-        best_hist = std::move(hist);
-        best_is_cat = true;
-      }
+      res.valid = true;
+      res.is_cat = true;
+      res.est = cs.gini;
+      res.cat = cs;
+      res.hist = std::move(hist);
+    }
+  };
+  if (pool_->parallelism() > 1 && schema_.num_attrs() > 1) {
+    pool_->ParallelFor(schema_.num_attrs(), 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t a = lo; a < hi; ++a) score_attr(static_cast<AttrId>(a));
+    });
+  } else {
+    for (AttrId a = 0; a < schema_.num_attrs(); ++a) score_attr(a);
+  }
+
+  double best_est = std::numeric_limits<double>::infinity();
+  AttrId best_attr = kInvalidAttr;
+  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+    if (results[a].valid && results[a].est < best_est) {
+      best_est = results[a].est;
+      best_attr = a;
     }
   }
   if (best_attr == kInvalidAttr) return out;  // kNone: leaf
+  AttrAnalysis best_an = std::move(results[best_attr].an);
+  Histogram1D best_hist = std::move(results[best_attr].hist);
+  CategoricalSplit best_cat = results[best_attr].cat;
+  const bool best_is_cat = results[best_attr].is_cat;
 
   // Linear-combination check (CMP full only): when no univariate split is
   // good enough, look for a splitting line in each matrix.
@@ -831,10 +971,7 @@ void CmpBuild::ResolvePending(NodeId id, Pending* p, int depth) {
 
   tracker_.ChargeBuffered(static_cast<int64_t>(p->buffer.size()));
   tracker_.ChargeSort(static_cast<int64_t>(p->buffer.size()));
-  std::sort(p->buffer.begin(), p->buffer.end(),
-            [](const BufferedRecord& a, const BufferedRecord& b) {
-              return a.value < b.value;
-            });
+  SortBuffer(&p->buffer);
 
   // Group buffered records by alive interval (sorted by value => groups
   // are contiguous and ascending).
@@ -983,7 +1120,22 @@ void CmpBuild::ResolvePending(NodeId id, Pending* p, int depth) {
   finish_side(right_id, right_seg);
 }
 
-void CmpBuild::GrowNode(NodeId id, HistBundle&& bundle, bool predicted) {
+bool CmpBuild::WouldAnalyze(NodeId id,
+                            const std::vector<int64_t>& totals) const {
+  const int64_t n = Sum(totals);
+  const int depth = result_->tree.node(id).depth;
+  if (n == 0 || IsPure(totals) || n < options_.base.min_split_records ||
+      depth >= options_.base.max_depth ||
+      (options_.base.prune &&
+       ShouldPruneBeforeExpand(totals, schema_.num_attrs()))) {
+    return false;
+  }
+  return options_.base.in_memory_threshold <= 0 ||
+         n > options_.base.in_memory_threshold;
+}
+
+void CmpBuild::GrowNode(NodeId id, HistBundle&& bundle, bool predicted,
+                        const BundleAnalysis* pre) {
   const std::vector<int64_t> totals = bundle.ClassTotals();
   const int64_t n = Sum(totals);
   // Correct the node's (possibly approximate) metadata with the exact
@@ -1014,7 +1166,8 @@ void CmpBuild::GrowNode(NodeId id, HistBundle&& bundle, bool predicted) {
   // relation at the root that the shared-X matrices cannot see, adopt it
   // when it beats the best univariate split by the usual margin.
   if (id == 0 && !root_relations_.empty()) {
-    const BundleAnalysis probe = Analyze(bundle, totals);
+    const BundleAnalysis probe = pre != nullptr ? *pre
+                                                : Analyze(bundle, totals);
     double best_uni = std::numeric_limits<double>::infinity();
     for (double est : probe.attr_est) best_uni = std::min(best_uni, est);
     const PairRelation& rel = root_relations_.front();
@@ -1042,7 +1195,12 @@ void CmpBuild::GrowNode(NodeId id, HistBundle&& bundle, bool predicted) {
     }
   }
 
-  const BundleAnalysis an = Analyze(bundle, totals);
+  // A pre-computed analysis (parallel frontier phase) substitutes for the
+  // inline call bit-for-bit: Analyze is a pure function of the bundle and
+  // totals.
+  BundleAnalysis local_an;
+  if (pre == nullptr) local_an = Analyze(bundle, totals);
+  const BundleAnalysis& an = pre != nullptr ? *pre : local_an;
 
   // Prediction bookkeeping: a fresh bivariate bundle's X axis was chosen
   // by predictSplit; a hit means the split landed on the X axis.
@@ -1193,6 +1351,39 @@ void CmpBuild::GrowNode(NodeId id, HistBundle&& bundle, bool predicted) {
   }
 }
 
+void CmpBuild::ScanRange(int64_t begin, int64_t end, int num_nodes,
+                         const std::vector<int>& fresh_slot,
+                         const std::vector<int>& pending_slot,
+                         const std::vector<int>& collect_slot,
+                         std::vector<HistBundle*>& fresh_sink,
+                         std::vector<Pending*>& pending_sink,
+                         std::vector<std::vector<RecordId>*>& collect_sink) {
+  for (RecordId r = static_cast<RecordId>(begin); r < end; ++r) {
+    NodeId id = nid_[r];
+    // Descend through every split resolved since the last scan.
+    while (true) {
+      const TreeNode& node = result_->tree.node(id);
+      if (node.is_leaf || node.left == kInvalidNode) break;
+      id = node.split.RoutesLeft(ds_, r) ? node.left : node.right;
+    }
+    nid_[r] = id;
+    if (id < num_nodes) {
+      const int fs = fresh_slot[id];
+      if (fs >= 0) {
+        fresh_sink[fs]->Add(ds_, grids_, r);
+        continue;
+      }
+      const int ps = pending_slot[id];
+      if (ps >= 0) {
+        RoutePending(pending_sink[ps], r);
+        continue;
+      }
+      const int cs = collect_slot[id];
+      if (cs >= 0) collect_sink[cs]->push_back(r);
+    }
+  }
+}
+
 void CmpBuild::Run() {
   Timer timer;
   const int64_t n = ds_.num_records();
@@ -1211,7 +1402,7 @@ void CmpBuild::Run() {
 
   numeric_attrs_ = schema_.NumericAttrs();
   grids_ = ComputeGrids(ds_, options_.intervals, options_.discretization,
-                        &tracker_);
+                        &tracker_, pool_);
   if (options_.all_pairs_root && options_.variant == CmpVariant::kFull) {
     PairDiscoveryOptions pd;
     pd.min_gain = options_.linear_gain;
@@ -1222,7 +1413,7 @@ void CmpBuild::Run() {
   // two distinct training values). Derived from the same sorted pass the
   // quantile construction makes, so no extra scan is charged.
   interior_.assign(schema_.num_attrs(), {});
-  for (AttrId a : numeric_attrs_) {
+  auto mark_interior = [&](AttrId a) {
     std::vector<double> sorted = ds_.numeric_column(a);
     std::sort(sorted.begin(), sorted.end());
     interior_[a].assign(grids_[a].num_intervals(), 0);
@@ -1239,6 +1430,16 @@ void CmpBuild::Run() {
         interior_[a][bi] = 1;
       }
     }
+  };
+  if (pool_->parallelism() > 1 && numeric_attrs_.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(numeric_attrs_.size()), 1,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           mark_interior(numeric_attrs_[i]);
+                         }
+                       });
+  } else {
+    for (AttrId a : numeric_attrs_) mark_interior(a);
   }
 
   nid_.assign(n, root_id);
@@ -1282,28 +1483,87 @@ void CmpBuild::Run() {
       tracker_.NotePeakMemory(mem);
     }
 
-    for (RecordId r = 0; r < n; ++r) {
-      NodeId id = nid_[r];
-      // Descend through every split resolved since the last scan.
-      while (true) {
-        const TreeNode& node = result_->tree.node(id);
-        if (node.is_leaf || node.left == kInvalidNode) break;
-        id = node.split.RoutesLeft(ds_, r) ? node.left : node.right;
-      }
-      nid_[r] = id;
-      if (id < num_nodes) {
-        const int fs = fresh_slot[id];
-        if (fs >= 0) {
-          fresh_[fs].bundle.Add(ds_, grids_, r);
-          continue;
+    // The scan routes each record through the (read-only) tree and
+    // accumulates it into exactly one sink. Shard 0 scans directly into
+    // the master work lists; every other shard gets a private empty
+    // mirror of each sink, scans its own contiguous record range, and is
+    // merged back in shard order below. Integer count merges are exact
+    // and buffer/rid concatenation in shard order reproduces the serial
+    // ascending-record order, so the post-merge state — and therefore
+    // the tree — is bit-identical for any shard count.
+    std::vector<HistBundle*> fresh_sink(fresh_.size());
+    for (size_t i = 0; i < fresh_.size(); ++i) {
+      fresh_sink[i] = &fresh_[i].bundle;
+    }
+    std::vector<Pending*> pending_sink(pending_.size());
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      pending_sink[i] = pending_[i].pending.get();
+    }
+    std::vector<std::vector<RecordId>*> collect_sink(collect_.size());
+    for (size_t i = 0; i < collect_.size(); ++i) {
+      collect_sink[i] = &collect_[i].rids;
+    }
+
+    const int num_shards =
+        static_cast<int>(std::min<int64_t>(pool_->parallelism(), n));
+    if (num_shards <= 1) {
+      ScanRange(0, n, num_nodes, fresh_slot, pending_slot, collect_slot,
+                fresh_sink, pending_sink, collect_sink);
+    } else {
+      struct ScanShard {
+        std::vector<HistBundle> fresh;
+        std::vector<std::unique_ptr<Pending>> pending;
+        std::vector<std::vector<RecordId>> collect;
+      };
+      std::vector<ScanShard> shards(num_shards - 1);  // shard 0 = master
+      const int64_t chunk = (n + num_shards - 1) / num_shards;
+      const int nc = schema_.num_classes();
+      pool_->ParallelFor(num_shards, 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t s = lo; s < hi; ++s) {
+          const int64_t begin = s * chunk;
+          const int64_t end = std::min<int64_t>(n, begin + chunk);
+          if (s == 0) {
+            ScanRange(begin, end, num_nodes, fresh_slot, pending_slot,
+                      collect_slot, fresh_sink, pending_sink, collect_sink);
+            continue;
+          }
+          // Mirrors are cloned here, inside the shard's own task: the
+          // clones read only shape fields the scan never mutates, and
+          // building them on the worker overlaps with shard 0's scan.
+          ScanShard& sh = shards[s - 1];
+          sh.fresh.reserve(fresh_.size());
+          std::vector<HistBundle*> fsink(fresh_.size());
+          for (size_t i = 0; i < fresh_.size(); ++i) {
+            sh.fresh.push_back(fresh_[i].bundle.CloneEmptyShape());
+            fsink[i] = &sh.fresh[i];
+          }
+          sh.pending.reserve(pending_.size());
+          std::vector<Pending*> psink(pending_.size());
+          for (size_t i = 0; i < pending_.size(); ++i) {
+            sh.pending.push_back(
+                ClonePendingEmpty(*pending_[i].pending, nc));
+            psink[i] = sh.pending[i].get();
+          }
+          sh.collect.resize(collect_.size());
+          std::vector<std::vector<RecordId>*> csink(collect_.size());
+          for (size_t i = 0; i < collect_.size(); ++i) {
+            csink[i] = &sh.collect[i];
+          }
+          ScanRange(begin, end, num_nodes, fresh_slot, pending_slot,
+                    collect_slot, fsink, psink, csink);
         }
-        const int ps = pending_slot[id];
-        if (ps >= 0) {
-          RoutePending(pending_[ps].pending.get(), r);
-          continue;
+      });
+      for (ScanShard& sh : shards) {
+        for (size_t i = 0; i < fresh_.size(); ++i) {
+          fresh_[i].bundle.MergeSameShape(sh.fresh[i]);
         }
-        const int cs = collect_slot[id];
-        if (cs >= 0) collect_[cs].rids.push_back(r);
+        for (size_t i = 0; i < pending_.size(); ++i) {
+          MergePendingInto(pending_[i].pending.get(), *sh.pending[i]);
+        }
+        for (size_t i = 0; i < collect_.size(); ++i) {
+          collect_[i].rids.insert(collect_[i].rids.end(),
+                                  sh.collect[i].begin(), sh.collect[i].end());
+        }
       }
     }
 
@@ -1317,11 +1577,41 @@ void CmpBuild::Run() {
       tracker_.NotePeakMemory(buffered * schema_.RecordBytes());
     }
 
-    // Finish small partitions in memory.
-    for (CollectWork& w : collect_) {
-      tracker_.ChargeBuffered(static_cast<int64_t>(w.rids.size()));
-      BuildExactSubtree(ds_, w.rids, options_.base, &result_->tree, w.node,
-                        &tracker_);
+    // Finish small partitions in memory. With several independent
+    // partitions and a real pool, each subtree is built into a private
+    // detached tree (root node copied from the master tree) and grafted
+    // back in work-list order; Graft appends the subtree's nodes in
+    // their local id order, which is exactly the order the serial
+    // in-place build would have appended them, so node ids — and the
+    // serialized tree — match the serial build byte for byte.
+    if (pool_->parallelism() > 1 && collect_.size() > 1) {
+      struct CollectBuild {
+        DecisionTree tree;
+        BuildStats stats;
+      };
+      std::vector<CollectBuild> builds(collect_.size());
+      pool_->ParallelFor(collect_.size(), 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          CollectBuild& b = builds[i];
+          b.tree = DecisionTree(schema_);
+          TreeNode root = result_->tree.node(collect_[i].node);
+          b.tree.AddNode(std::move(root));
+          ScanTracker local(&b.stats);
+          BuildExactSubtree(ds_, collect_[i].rids, options_.base, &b.tree,
+                            0, &local, pool_);
+        }
+      });
+      for (size_t i = 0; i < collect_.size(); ++i) {
+        tracker_.ChargeBuffered(static_cast<int64_t>(collect_[i].rids.size()));
+        result_->stats.Accumulate(builds[i].stats);
+        result_->tree.Graft(collect_[i].node, builds[i].tree);
+      }
+    } else {
+      for (CollectWork& w : collect_) {
+        tracker_.ChargeBuffered(static_cast<int64_t>(w.rids.size()));
+        BuildExactSubtree(ds_, w.rids, options_.base, &result_->tree, w.node,
+                          &tracker_, pool_);
+      }
     }
     collect_.clear();
 
@@ -1329,8 +1619,42 @@ void CmpBuild::Run() {
     next_pending_.clear();
     next_collect_.clear();
 
-    for (FreshWork& w : fresh_) {
-      GrowNode(w.node, std::move(w.bundle));
+    // Frontier phase A: every fresh node's analysis is a pure function
+    // of its (now complete) bundle, so the frontier analyzes in
+    // parallel. Phase B below applies the results serially in work-list
+    // order — node creation order, stats, and tie-breaking are exactly
+    // the serial build's.
+    std::vector<std::unique_ptr<BundleAnalysis>> pre(fresh_.size());
+    if (pool_->parallelism() > 1 && fresh_.size() > 1) {
+      pool_->ParallelFor(fresh_.size(), 1, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const std::vector<int64_t> totals = fresh_[i].bundle.ClassTotals();
+          if (WouldAnalyze(fresh_[i].node, totals)) {
+            pre[i] = std::make_unique<BundleAnalysis>(
+                Analyze(fresh_[i].bundle, totals));
+          }
+        }
+      });
+    }
+    // Pending buffers sort to a unique (value, rid) order, so the sorts
+    // — the bulk of resolution cost — fan out ahead of the serial
+    // resolve walk, which then re-sorts already-sorted buffers for free.
+    if (pool_->parallelism() > 1 && !pending_.empty()) {
+      std::vector<Pending*> all_pendings;
+      for (PendingWork& w : pending_) {
+        CollectPendings(w.pending.get(), &all_pendings);
+      }
+      pool_->ParallelFor(all_pendings.size(), 1,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) {
+                             SortBuffer(&all_pendings[i]->buffer);
+                           }
+                         });
+    }
+
+    for (size_t i = 0; i < fresh_.size(); ++i) {
+      GrowNode(fresh_[i].node, std::move(fresh_[i].bundle),
+               /*predicted=*/true, pre[i].get());
     }
     for (PendingWork& w : pending_) {
       const int depth = result_->tree.node(w.node).depth;
@@ -1355,7 +1679,13 @@ void CmpBuild::Run() {
 
 BuildResult CmpBuilder::Build(const Dataset& train) {
   BuildResult result;
-  CmpBuild build(train, options_, &result);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = pool_;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(options_.base.num_threads);
+    pool = owned.get();
+  }
+  CmpBuild build(train, options_, pool, &result);
   build.Run();
   return result;
 }

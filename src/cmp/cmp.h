@@ -29,15 +29,26 @@ namespace cmp {
 /// can be split in the same round (two or more tree levels per scan).
 /// CMP (full) additionally searches the matrices for linear-combination
 /// splits a*x + b*y <= c.
+class ThreadPool;
+
+/// Construction is parallelized over `options.base.num_threads` workers
+/// (histogram accumulation sharded per thread and merged in attribute
+/// order, per-attribute gini scans fanned out, frontier nodes of one
+/// level analyzed concurrently) with a hard determinism contract: the
+/// built tree is bit-identical for every thread count. An optional
+/// shared ThreadPool avoids oversubscription when training and inference
+/// run in one process; when none is injected, Build creates its own.
 class CmpBuilder : public TreeBuilder {
  public:
-  explicit CmpBuilder(CmpOptions options = {}) : options_(options) {}
+  explicit CmpBuilder(CmpOptions options = {}, ThreadPool* pool = nullptr)
+      : options_(options), pool_(pool) {}
 
   BuildResult Build(const Dataset& train) override;
   std::string name() const override;
 
  private:
   CmpOptions options_;
+  ThreadPool* pool_;  // borrowed; may be null (Build makes a local pool)
 };
 
 /// Convenience factories for the three paper variants.

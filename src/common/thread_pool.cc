@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace cmp {
@@ -27,7 +28,12 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     return;
   }
   {
@@ -39,9 +45,15 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  if (workers_.empty()) return;
   std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  if (!workers_.empty()) {
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::ParallelFor(int64_t n, int64_t grain,
@@ -56,11 +68,66 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain,
             static_cast<int64_t>(workers_.size());
     grain = std::max<int64_t>(grain, 1);
   }
-  for (int64_t begin = 0; begin < n; begin += grain) {
-    const int64_t end = std::min(begin + grain, n);
-    Submit([&fn, begin, end] { fn(begin, end); });
+  auto group = std::make_shared<Group>();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    group->remaining = (n + grain - 1) / grain;
+    for (int64_t begin = 0; begin < n; begin += grain) {
+      const int64_t end = std::min(begin + grain, n);
+      queue_.push([this, group, &fn, begin, end] {
+        std::exception_ptr err;
+        try {
+          fn(begin, end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> guard(mu_);
+        if (err && !group->error) group->error = err;
+        // Group completion must wake helpers whose predicate watches
+        // `remaining`, which only work_ready_ covers.
+        if (--group->remaining == 0) work_ready_.notify_all();
+      });
+      ++pending_;
+    }
   }
-  Wait();
+  work_ready_.notify_all();
+
+  // Help drain the queue until this group's chunks have all finished.
+  // Running other callers' (or nested groups') tasks here is what makes
+  // ParallelFor safe to call from inside tasks: a waiting thread always
+  // makes progress instead of holding a worker slot idle.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (group->remaining != 0) {
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop();
+      lock.unlock();
+      RunTask(task);
+      lock.lock();
+      continue;
+    }
+    work_ready_.wait(lock, [this, &group] {
+      return group->remaining == 0 || !queue_.empty();
+    });
+  }
+  if (group->error) {
+    std::exception_ptr err = group->error;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::RunTask(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    // Group tasks catch internally, so anything landing here came from a
+    // plain Submit(); surface it at the next Wait().
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) all_done_.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -73,11 +140,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--pending_ == 0) all_done_.notify_all();
-    }
+    RunTask(task);
   }
 }
 

@@ -13,27 +13,28 @@ namespace cmp {
 
 ExactSplit FindBestSplitExact(const Dataset& ds,
                               const std::vector<RecordId>& rids,
-                              ScanTracker* tracker) {
-  ExactSplit best;
-  best.gini = std::numeric_limits<double>::infinity();
+                              ScanTracker* tracker, ThreadPool* pool) {
   const Schema& schema = ds.schema();
   const int nc = schema.num_classes();
 
   std::vector<int64_t> totals(nc, 0);
   for (RecordId r : rids) totals[ds.label(r)]++;
 
-  std::vector<std::pair<double, ClassId>> column;
-  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+  // Per-attribute searches are independent; each fills its own slot, and
+  // the winner is reduced serially in ascending attribute order below —
+  // the same tie-breaking the single-threaded loop used, so the chosen
+  // split does not depend on the thread count.
+  std::vector<ExactSplit> per_attr(schema.num_attrs());
+  auto search_attr = [&](AttrId a) {
+    ExactSplit& best = per_attr[a];
+    best.gini = std::numeric_limits<double>::infinity();
     if (schema.is_numeric(a)) {
-      column.clear();
+      std::vector<std::pair<double, ClassId>> column;
       column.reserve(rids.size());
       for (RecordId r : rids) {
         column.emplace_back(ds.numeric(a, r), ds.label(r));
       }
       std::sort(column.begin(), column.end());
-      if (tracker != nullptr) {
-        tracker->ChargeSort(static_cast<int64_t>(column.size()));
-      }
       std::vector<int64_t> below(nc, 0);
       for (size_t i = 0; i + 1 < column.size(); ++i) {
         below[column[i].second]++;
@@ -52,12 +53,28 @@ ExactSplit FindBestSplitExact(const Dataset& ds,
         hist.Add(ds.categorical(a, r), ds.label(r));
       }
       const CategoricalSplit cs = BestCategoricalSplit(hist);
-      if (cs.valid && cs.gini < best.gini) {
+      if (cs.valid) {
         best.gini = cs.gini;
         best.split = Split::Categorical(a, cs.left_subset);
         best.valid = true;
       }
     }
+  };
+  if (pool != nullptr && pool->parallelism() > 1) {
+    pool->ParallelFor(schema.num_attrs(), 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t a = lo; a < hi; ++a) search_attr(static_cast<AttrId>(a));
+    });
+  } else {
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) search_attr(a);
+  }
+
+  ExactSplit best;
+  best.gini = std::numeric_limits<double>::infinity();
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (tracker != nullptr && schema.is_numeric(a)) {
+      tracker->ChargeSort(static_cast<int64_t>(rids.size()));
+    }
+    if (per_attr[a].valid && per_attr[a].gini < best.gini) best = per_attr[a];
   }
   if (!best.valid) best.gini = Gini(totals);
   return best;
@@ -92,7 +109,8 @@ bool IsPure(const std::vector<int64_t>& counts) {
 
 void BuildExactSubtree(const Dataset& ds, const std::vector<RecordId>& rids,
                        const BuilderOptions& options, DecisionTree* tree,
-                       NodeId root_id, ScanTracker* tracker) {
+                       NodeId root_id, ScanTracker* tracker,
+                       ThreadPool* pool) {
   TreeNode& root = tree->mutable_node(root_id);
   const std::vector<int64_t>& counts = root.class_counts;
   const int depth = root.depth;
@@ -104,7 +122,7 @@ void BuildExactSubtree(const Dataset& ds, const std::vector<RecordId>& rids,
       (options.prune &&
        ShouldPruneBeforeExpand(counts, ds.schema().num_attrs()));
   if (!stop) {
-    const ExactSplit best = FindBestSplitExact(ds, rids, tracker);
+    const ExactSplit best = FindBestSplitExact(ds, rids, tracker, pool);
     if (best.valid && best.gini < Gini(counts) - 1e-12) {
       std::vector<RecordId> left_rids;
       std::vector<RecordId> right_rids;
@@ -129,8 +147,10 @@ void BuildExactSubtree(const Dataset& ds, const std::vector<RecordId>& rids,
         node.split = best.split;
         node.left = left_id;
         node.right = right_id;
-        BuildExactSubtree(ds, left_rids, options, tree, left_id, tracker);
-        BuildExactSubtree(ds, right_rids, options, tree, right_id, tracker);
+        BuildExactSubtree(ds, left_rids, options, tree, left_id, tracker,
+                          pool);
+        BuildExactSubtree(ds, right_rids, options, tree, right_id, tracker,
+                          pool);
         return;
       }
     }
@@ -159,7 +179,9 @@ BuildResult ExactBuilder::Build(const Dataset& train) {
   // implementation; as an in-memory reference we charge a single scan
   // (its cost counters are not used in figure reproductions).
   tracker.ChargeScan(train);
-  BuildExactSubtree(train, rids, options_, &result.tree, root_id, &tracker);
+  ThreadPool pool(options_.num_threads);
+  BuildExactSubtree(train, rids, options_, &result.tree, root_id, &tracker,
+                    &pool);
   if (options_.prune) PruneTreeMdl(&result.tree);
 
   result.stats.tree_nodes = result.tree.num_nodes();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/thread_pool.h"
 #include "io/scan.h"
 #include "tree/builder.h"
 #include "tree/split.h"
@@ -22,9 +23,13 @@ struct ExactSplit {
 /// records `rids` of `ds` (numeric: every distinct-value boundary;
 /// categorical: best subset). This is the reference splitter Table 1
 /// compares CMP against. Sort work is charged to `tracker` when provided.
+/// A `pool` fans the per-attribute searches across worker threads; the
+/// winning split is reduced in ascending attribute order afterwards, so
+/// the result is identical for any thread count.
 ExactSplit FindBestSplitExact(const Dataset& ds,
                               const std::vector<RecordId>& rids,
-                              ScanTracker* tracker = nullptr);
+                              ScanTracker* tracker = nullptr,
+                              ThreadPool* pool = nullptr);
 
 /// Recursively grows an exact greedy subtree for `rids` under the node
 /// `root_id` of `tree` (whose class_counts must already describe `rids`).
@@ -34,7 +39,8 @@ ExactSplit FindBestSplitExact(const Dataset& ds,
 /// `options.prune` is set, the PUBLIC(1) stop test.
 void BuildExactSubtree(const Dataset& ds, const std::vector<RecordId>& rids,
                        const BuilderOptions& options, DecisionTree* tree,
-                       NodeId root_id, ScanTracker* tracker = nullptr);
+                       NodeId root_id, ScanTracker* tracker = nullptr,
+                       ThreadPool* pool = nullptr);
 
 /// Convenience: a whole-tree exact greedy builder (used in tests as the
 /// ground-truth classifier and by Table 1's "Exact Algo." column).

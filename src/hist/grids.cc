@@ -1,19 +1,36 @@
 #include "hist/grids.h"
 
+#include "common/thread_pool.h"
+
 namespace cmp {
 
 std::vector<IntervalGrid> ComputeGrids(const Dataset& ds, int intervals,
                                        Discretization kind,
-                                       ScanTracker* tracker) {
+                                       ScanTracker* tracker,
+                                       ThreadPool* pool) {
   if (tracker != nullptr) tracker->ChargeScan(ds);
   std::vector<IntervalGrid> grids(ds.num_attrs());
-  for (AttrId a = 0; a < ds.num_attrs(); ++a) {
-    if (!ds.schema().is_numeric(a)) continue;
+  // Each attribute's grid depends only on that attribute's column, so the
+  // per-attribute sorts fan out; sort work is charged serially afterwards
+  // to keep the counters race-free and thread-count independent.
+  auto build_attr = [&](AttrId a) {
+    if (!ds.schema().is_numeric(a)) return;
     if (kind == Discretization::kEqualDepth) {
       grids[a] = IntervalGrid::EqualDepth(ds.numeric_column(a), intervals);
-      if (tracker != nullptr) tracker->ChargeSort(ds.num_records());
     } else {
       grids[a] = IntervalGrid::EqualWidth(ds.numeric_column(a), intervals);
+    }
+  };
+  if (pool != nullptr && pool->parallelism() > 1) {
+    pool->ParallelFor(ds.num_attrs(), 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t a = lo; a < hi; ++a) build_attr(static_cast<AttrId>(a));
+    });
+  } else {
+    for (AttrId a = 0; a < ds.num_attrs(); ++a) build_attr(a);
+  }
+  if (tracker != nullptr && kind == Discretization::kEqualDepth) {
+    for (AttrId a = 0; a < ds.num_attrs(); ++a) {
+      if (ds.schema().is_numeric(a)) tracker->ChargeSort(ds.num_records());
     }
   }
   return grids;

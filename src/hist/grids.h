@@ -15,14 +15,18 @@ enum class Discretization {
   kEqualWidth,  // fixed-width ranges (cheaper, skew-sensitive)
 };
 
+class ThreadPool;
+
 /// Builds the per-attribute interval grids used by CLOUDS and the CMP
 /// family: `intervals` intervals for each numeric attribute (categorical
 /// attributes get an empty grid). The construction is charged to
 /// `tracker` as one dataset scan, plus one sort per numeric attribute
-/// for equal-depth grids.
+/// for equal-depth grids. A `pool` fans the per-attribute sorts across
+/// worker threads (the grids are identical for any thread count).
 std::vector<IntervalGrid> ComputeGrids(const Dataset& ds, int intervals,
                                        Discretization kind,
-                                       ScanTracker* tracker);
+                                       ScanTracker* tracker,
+                                       ThreadPool* pool = nullptr);
 
 /// Equal-depth convenience wrapper (the common case).
 std::vector<IntervalGrid> ComputeEqualDepthGrids(const Dataset& ds,

@@ -6,11 +6,16 @@
 
 namespace cmp {
 
-BatchPredictor::BatchPredictor(const CompiledTree* tree, PredictOptions opts)
-    : tree_(tree), opts_(opts) {
+BatchPredictor::BatchPredictor(const CompiledTree* tree, PredictOptions opts,
+                               ThreadPool* pool)
+    : tree_(tree), opts_(opts), pool_(pool) {
   assert(tree_ != nullptr && !tree_->empty());
   if (opts_.block_size <= 0) opts_.block_size = 2048;
   opts_.top_k = std::clamp(opts_.top_k, 1, tree_->num_classes());
+  if (pool_ == nullptr) {
+    owned_ = std::make_unique<ThreadPool>(opts_.num_threads);
+    pool_ = owned_.get();
+  }
 }
 
 template <typename LeafBlockFn>
@@ -57,12 +62,8 @@ BatchResult BatchPredictor::Run(int64_t n, ThreadPool* pool,
     }
   };
 
-  if (pool != nullptr) {
-    pool->ParallelFor(n, opts_.block_size, score_block);
-  } else {
-    ThreadPool local(opts_.num_threads);
-    local.ParallelFor(n, opts_.block_size, score_block);
-  }
+  ThreadPool* p = pool != nullptr ? pool : pool_;
+  p->ParallelFor(n, opts_.block_size, score_block);
   if (abstain) {
     out.num_abstained = std::count(out.labels.begin(), out.labels.end(),
                                    kInvalidClass);

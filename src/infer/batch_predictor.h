@@ -2,6 +2,7 @@
 #define CMP_INFER_BATCH_PREDICTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/dataset.h"
@@ -45,18 +46,26 @@ struct BatchResult {
 /// Scores datasets (or raw dense rows) against one CompiledTree in row
 /// blocks, optionally fanned out across a ThreadPool. The predictor
 /// borrows the tree; the tree must outlive it.
+///
+/// The scoring pool is created once, at construction — not per call —
+/// so repeated Predict calls reuse the same workers. Injecting `pool`
+/// instead shares threads with other work (training, other predictors)
+/// without oversubscribing the machine; the pool must outlive the
+/// predictor.
 class BatchPredictor {
  public:
-  explicit BatchPredictor(const CompiledTree* tree, PredictOptions opts = {});
+  explicit BatchPredictor(const CompiledTree* tree, PredictOptions opts = {},
+                          ThreadPool* pool = nullptr);
 
   const PredictOptions& options() const { return opts_; }
   const CompiledTree& tree() const { return *tree_; }
 
   /// Scores every record of `ds` (whose schema must match the tree's)
-  /// using an internally owned pool of options().num_threads workers.
+  /// on the predictor's pool (owned or injected at construction).
   BatchResult Predict(const Dataset& ds) const;
 
-  /// Same, but shares a caller-owned pool (its thread count wins).
+  /// Same, but on a caller-owned pool (its thread count wins) for this
+  /// call only.
   BatchResult Predict(const Dataset& ds, ThreadPool* pool) const;
 
   /// Scores `n` raw dense rows. Both arrays are row-major, one slot per
@@ -74,6 +83,8 @@ class BatchPredictor {
 
   const CompiledTree* tree_;
   PredictOptions opts_;
+  ThreadPool* pool_;  // borrowed if injected, else owned_.get()
+  std::unique_ptr<ThreadPool> owned_;
 };
 
 }  // namespace cmp

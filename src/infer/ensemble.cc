@@ -85,12 +85,18 @@ BatchResult EnsemblePredictor::Predict(const Dataset& ds,
   };
 
   const int64_t block = opts.block_size > 0 ? opts.block_size : 2048;
-  if (pool != nullptr) {
-    pool->ParallelFor(n, block, score_block);
-  } else {
-    ThreadPool local(opts.num_threads);
-    local.ParallelFor(n, block, score_block);
+  std::shared_ptr<ThreadPool> keep_alive;
+  ThreadPool* p = pool;
+  if (p == nullptr) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (owned_pool_ == nullptr || owned_pool_threads_ != opts.num_threads) {
+      owned_pool_ = std::make_shared<ThreadPool>(opts.num_threads);
+      owned_pool_threads_ = opts.num_threads;
+    }
+    keep_alive = owned_pool_;
+    p = keep_alive.get();
   }
+  p->ParallelFor(n, block, score_block);
   if (abstain) {
     out.num_abstained = std::count(out.labels.begin(), out.labels.end(),
                                    kInvalidClass);

@@ -2,6 +2,8 @@
 #define CMP_INFER_ENSEMBLE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/dataset.h"
@@ -49,13 +51,21 @@ class EnsemblePredictor {
 
   /// Scores every record of `ds`. PredictOptions semantics match
   /// BatchPredictor; pass a pool to share threads with other work, else
-  /// an internal pool of opts.num_threads workers is used.
+  /// an internal pool of opts.num_threads workers is created on first
+  /// use and reused by later calls (recreated only when a call asks for
+  /// a different thread count). Safe to call concurrently.
   BatchResult Predict(const Dataset& ds, const PredictOptions& opts = {},
                       ThreadPool* pool = nullptr) const;
 
  private:
   std::vector<CompiledTree> trees_;
   VoteKind vote_;
+  // Cached internal pool; shared_ptr so a concurrent Predict that asked
+  // for a different thread count can swap in a new pool while in-flight
+  // calls finish on the old one.
+  mutable std::mutex pool_mu_;
+  mutable std::shared_ptr<ThreadPool> owned_pool_;
+  mutable int owned_pool_threads_ = -1;  // guarded by pool_mu_
 };
 
 }  // namespace cmp

@@ -52,7 +52,7 @@ int Usage() {
       " [--perturb P] --out FILE\n"
       "  cmptool train --data FILE --algo"
       " <cmp|cmp-b|cmp-s|sprint|sliq|clouds|rainforest|exact|windowing|sampled>"
-      " [--intervals Q] [--no-prune] --out FILE\n"
+      " [--intervals Q] [--no-prune] [--threads N] --out FILE\n"
       "  cmptool eval  --data FILE --tree FILE\n"
       "  cmptool predict --data FILE --tree FILE[,FILE...] [--out FILE]\n"
       "                [--threads N] [--block B] [--probs] [--top-k K]\n"
@@ -108,9 +108,11 @@ bool LoadAnyDataset(const std::string& path, cmp::Dataset* out) {
 }
 
 std::unique_ptr<cmp::TreeBuilder> MakeBuilder(const std::string& algo,
-                                              int intervals, bool prune) {
+                                              int intervals, bool prune,
+                                              int threads) {
   cmp::BuilderOptions base;
   base.prune = prune;
+  base.num_threads = threads;
   if (algo == "cmp" || algo == "cmp-b" || algo == "cmp-s") {
     cmp::CmpOptions o = algo == "cmp"     ? cmp::CmpFullOptions()
                         : algo == "cmp-b" ? cmp::CmpBOptions()
@@ -190,8 +192,10 @@ int CmdTrain(int argc, char** argv) {
     std::cerr << "failed to read " << data << "\n";
     return 1;
   }
-  auto builder =
-      MakeBuilder(algo, intervals, !HasFlag(argc, argv, "--no-prune"));
+  const int threads =
+      std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
+  auto builder = MakeBuilder(algo, intervals,
+                             !HasFlag(argc, argv, "--no-prune"), threads);
   if (builder == nullptr) {
     std::cerr << "unknown algorithm " << algo << "\n";
     return 2;

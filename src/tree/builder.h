@@ -25,6 +25,11 @@ struct BuilderOptions {
   int64_t in_memory_threshold = 4096;
   /// Enable PUBLIC(1)-style MDL pruning during and after construction.
   bool prune = true;
+  /// Worker threads for builders that parallelize construction (CMP,
+  /// Exact); 1 builds on the calling thread, 0 means
+  /// std::thread::hardware_concurrency. The built tree is bit-identical
+  /// for every value of this knob (see DESIGN.md, "Parallel training").
+  int num_threads = 1;
 };
 
 /// Result of building a tree: the classifier plus the cost counters used

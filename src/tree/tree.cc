@@ -12,6 +12,28 @@ NodeId DecisionTree::AddNode(TreeNode node) {
   return static_cast<NodeId>(nodes_.size()) - 1;
 }
 
+void DecisionTree::Graft(NodeId at, const DecisionTree& sub) {
+  assert(!sub.empty());
+  const NodeId base = static_cast<NodeId>(nodes_.size());
+  const int depth_delta = nodes_[at].depth - sub.node(0).depth;
+  auto remap = [&](NodeId id) -> NodeId {
+    if (id == kInvalidNode) return kInvalidNode;
+    return id == 0 ? at : base + id - 1;
+  };
+  for (NodeId id = 1; id < sub.num_nodes(); ++id) {
+    TreeNode n = sub.node(id);
+    n.left = remap(n.left);
+    n.right = remap(n.right);
+    n.depth += depth_delta;
+    nodes_.push_back(std::move(n));
+  }
+  TreeNode root = sub.node(0);
+  root.left = remap(root.left);
+  root.right = remap(root.right);
+  root.depth += depth_delta;
+  nodes_[at] = std::move(root);
+}
+
 ClassId DecisionTree::Classify(const Dataset& ds, RecordId r) const {
   return nodes_[LeafOf(ds, r)].leaf_class;
 }

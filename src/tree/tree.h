@@ -40,6 +40,13 @@ class DecisionTree {
   /// Appends a node and returns its id.
   NodeId AddNode(TreeNode node);
 
+  /// Splices a detached tree in place of node `at`: `sub`'s root
+  /// overwrites `at` (depths shifted so sub's root keeps `at`'s depth)
+  /// and the remaining nodes are appended in sub's id order, so grafting
+  /// subtrees built in parallel in a fixed order reproduces the exact
+  /// node numbering a serial build would have produced.
+  void Graft(NodeId at, const DecisionTree& sub);
+
   /// Classifies record `r` of `ds` (which must share the schema).
   ClassId Classify(const Dataset& ds, RecordId r) const;
 

@@ -1,0 +1,137 @@
+// Randomized stress for the parallel training path: many small trees
+// built concurrently — each builder with its own pool, and many
+// builders sharing one injected pool — must all reproduce the tree a
+// lone single-threaded build produces. Run under TSan/ASan in CI, this
+// is the test that flushes out data races in the sharded scan, the
+// frontier analysis fan-out, and the help-while-wait ParallelFor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cmp/cmp.h"
+#include "common/thread_pool.h"
+#include "datagen/agrawal.h"
+#include "tree/serialize.h"
+
+namespace cmp {
+namespace {
+
+Dataset MakeData(AgrawalFunction f, int64_t n, uint64_t seed) {
+  AgrawalOptions gen;
+  gen.function = f;
+  gen.num_records = n;
+  gen.seed = seed;
+  return GenerateAgrawal(gen);
+}
+
+CmpOptions SmallTreeOptions(CmpVariant variant, int threads) {
+  CmpOptions o;
+  o.variant = variant;
+  o.base.num_threads = threads;
+  // A small threshold keeps the collect (exact-finish) machinery in
+  // play even for these tiny datasets.
+  o.base.in_memory_threshold = 256;
+  return o;
+}
+
+struct StressCase {
+  AgrawalFunction function;
+  CmpVariant variant;
+  uint64_t seed;
+  int64_t rows;
+};
+
+// A deterministic mix of functions / variants / sizes; index i of the
+// mix always describes the same build, so reference and stress runs
+// agree on what tree i should be.
+StressCase CaseFor(int i) {
+  static const AgrawalFunction kFunctions[] = {
+      AgrawalFunction::kF1, AgrawalFunction::kF2, AgrawalFunction::kF3,
+      AgrawalFunction::kF6, AgrawalFunction::kF7};
+  static const CmpVariant kVariants[] = {CmpVariant::kS, CmpVariant::kB,
+                                         CmpVariant::kFull};
+  StressCase c;
+  c.function = kFunctions[i % 5];
+  c.variant = kVariants[i % 3];
+  c.seed = 1000 + static_cast<uint64_t>(i) * 7;
+  c.rows = 600 + (i % 4) * 350;
+  return c;
+}
+
+TEST(ParallelStress, ManyConcurrentBuildersMatchSerialReference) {
+  constexpr int kBuilds = 24;
+  constexpr int kUserThreads = 6;
+
+  std::vector<Dataset> data;
+  std::vector<std::string> reference(kBuilds);
+  data.reserve(kBuilds);
+  for (int i = 0; i < kBuilds; ++i) {
+    const StressCase c = CaseFor(i);
+    data.push_back(MakeData(c.function, c.rows, c.seed));
+    CmpBuilder serial(SmallTreeOptions(c.variant, 1));
+    reference[i] = SerializeTree(serial.Build(data[i]).tree);
+  }
+
+  // kUserThreads caller threads each build a slice of the trees, every
+  // build itself fanning out over its own 3-worker pool.
+  std::atomic<int> next{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kUserThreads);
+  for (int t = 0; t < kUserThreads; ++t) {
+    callers.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < kBuilds; i = next.fetch_add(1)) {
+        const StressCase c = CaseFor(i);
+        CmpBuilder builder(SmallTreeOptions(c.variant, 3));
+        if (SerializeTree(builder.Build(data[i]).tree) != reference[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ParallelStress, ConcurrentBuildersSharingOnePool) {
+  constexpr int kBuilds = 12;
+  constexpr int kUserThreads = 4;
+
+  std::vector<Dataset> data;
+  std::vector<std::string> reference(kBuilds);
+  data.reserve(kBuilds);
+  for (int i = 0; i < kBuilds; ++i) {
+    const StressCase c = CaseFor(i);
+    data.push_back(MakeData(c.function, c.rows, c.seed));
+    CmpBuilder serial(SmallTreeOptions(c.variant, 1));
+    reference[i] = SerializeTree(serial.Build(data[i]).tree);
+  }
+
+  // One pool, many concurrent builds: ParallelFor must hold up under
+  // concurrent task groups from unrelated callers (the training +
+  // inference sharing scenario).
+  ThreadPool shared(4);
+  std::atomic<int> next{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kUserThreads);
+  for (int t = 0; t < kUserThreads; ++t) {
+    callers.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < kBuilds; i = next.fetch_add(1)) {
+        const StressCase c = CaseFor(i);
+        CmpBuilder builder(SmallTreeOptions(c.variant, 4), &shared);
+        if (SerializeTree(builder.Build(data[i]).tree) != reference[i]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace cmp

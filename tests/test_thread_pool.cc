@@ -4,6 +4,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace cmp {
@@ -71,6 +74,124 @@ TEST(ThreadPool, DestructorDrainsQueue) {
     for (int i = 0; i < 50; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
   }
   EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ZeroAndSingleItemParallelFor) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, 1, [](int64_t, int64_t) { FAIL(); });
+    std::atomic<int> calls{0};
+    pool.ParallelFor(1, 16, [&calls](int64_t begin, int64_t end) {
+      EXPECT_EQ(begin, 0);
+      EXPECT_EQ(end, 1);
+      calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, SubmitExceptionPropagatesAtWait) {
+  for (const int threads : {1, 3}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    pool.Submit([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i) pool.Submit([&ran] { ran.fetch_add(1); });
+    EXPECT_THROW(pool.Wait(), std::runtime_error) << threads << " threads";
+    // One failure does not poison the pool: later rounds run and Wait
+    // returns cleanly.
+    EXPECT_EQ(ran.load(), 10);
+    pool.Submit([&ran] { ran.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(ran.load(), 11);
+  }
+}
+
+TEST(ThreadPool, ParallelForExceptionPropagatesToCaller) {
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    // Throw from whichever chunk covers index 50 — one chunk [0, 100)
+    // on the inline pool, a middle chunk otherwise.
+    EXPECT_THROW(pool.ParallelFor(100, 8,
+                                  [](int64_t begin, int64_t end) {
+                                    if (begin <= 50 && 50 < end) {
+                                      throw std::runtime_error("chunk");
+                                    }
+                                  }),
+                 std::runtime_error)
+        << threads << " threads";
+    // The pool survives: a following ParallelFor covers everything.
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, 8, [&sum](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedParallelFor) {
+  // An outer ParallelFor whose chunks launch inner ParallelFors on the
+  // SAME pool: waiting callers help drain the queue, so this must
+  // complete (no deadlock) and cover every (i, j) cell exactly once.
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 101;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, 1, [&](int64_t obegin, int64_t oend) {
+    for (int64_t i = obegin; i < oend; ++i) {
+      pool.ParallelFor(kInner, 10, [&, i](int64_t begin, int64_t end) {
+        for (int64_t j = begin; j < end; ++j) {
+          hits[i * kInner + j].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (size_t k = 0; k < hits.size(); ++k) {
+    ASSERT_EQ(hits[k].load(), 1) << "cell " << k;
+  }
+}
+
+TEST(ThreadPool, NestedSubmitFromTask) {
+  // Tasks may enqueue further tasks; Wait must not return before the
+  // transitively submitted work finishes.
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &ran] {
+      ran.fetch_add(1);
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromManyCallers) {
+  // Independent user threads issuing ParallelFors against one pool:
+  // each caller's group must complete with exactly its own coverage.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int64_t kN = 4096;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      for (int round = 0; round < 3; ++round) {
+        pool.ParallelFor(kN, 64, [&hits, c](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) hits[c][i].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 3) << "caller " << c << " index " << i;
+    }
+  }
 }
 
 }  // namespace
