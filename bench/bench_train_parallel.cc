@@ -94,8 +94,14 @@ int main(int argc, char** argv) {
     json << "  \"train_mt" << r.threads << "_rows_per_sec\": "
          << r.rows_per_sec << ",\n";
   }
-  json << "  \"mt_scaling\": " << rows.back().rows_per_sec / base << "\n"
-       << "}\n";
+  // On a host without real parallelism a speedup ratio is noise, not a
+  // regression signal; null tells trend tooling to skip it.
+  if (hw >= 2) {
+    json << "  \"mt_scaling\": " << rows.back().rows_per_sec / base << "\n";
+  } else {
+    json << "  \"mt_scaling\": null\n";
+  }
+  json << "}\n";
   std::cout << "wrote " << json_path << "\n";
   return identical ? 0 : 1;
 }

@@ -77,31 +77,6 @@ HistBundle HistBundle::DeriveXRange(int x_lo, int x_hi, int full_lo,
   return b;
 }
 
-void HistBundle::Add(const Dataset& ds, const std::vector<IntervalGrid>& grids,
-                     RecordId r) {
-  const Schema& schema = *schema_;
-  const ClassId label = ds.label(r);
-  if (!bivariate_) {
-    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
-      const int row = schema.is_numeric(a)
-                          ? grids[a].IntervalOf(ds.numeric(a, r))
-                          : ds.categorical(a, r);
-      hists_[a].Add(row, label);
-    }
-    return;
-  }
-  const int gx = grids[x_attr_].IntervalOf(ds.numeric(x_attr_, r));
-  assert(gx >= x_lo_ && gx < x_hi_);
-  const int x = gx - x_lo_;
-  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
-    if (a == x_attr_) continue;
-    const int y = schema.is_numeric(a)
-                      ? grids[a].IntervalOf(ds.numeric(a, r))
-                      : ds.categorical(a, r);
-    matrices_[a].Add(x, y, label);
-  }
-}
-
 HistBundle HistBundle::CloneEmptyShape() const {
   HistBundle b;
   b.bivariate_ = bivariate_;

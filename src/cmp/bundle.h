@@ -1,6 +1,7 @@
 #ifndef CMP_CMP_BUNDLE_H_
 #define CMP_CMP_BUNDLE_H_
 
+#include <cassert>
 #include <vector>
 
 #include "common/dataset.h"
@@ -50,9 +51,33 @@ class HistBundle {
 
   /// Adds record `r` of `ds` to every histogram of the bundle. The
   /// record's X interval must lie inside [x_lo, x_hi) for bivariate
-  /// bundles.
-  void Add(const Dataset& ds, const std::vector<IntervalGrid>& grids,
-           RecordId r);
+  /// bundles. `DS` is any record store exposing `numeric(a, r)`,
+  /// `categorical(a, r)` and `label(r)` — the in-memory Dataset, or
+  /// the block/stash stores of the out-of-core training path.
+  template <class DS>
+  void Add(const DS& ds, const std::vector<IntervalGrid>& grids, RecordId r) {
+    const Schema& schema = *schema_;
+    const ClassId label = ds.label(r);
+    if (!bivariate_) {
+      for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+        const int row = schema.is_numeric(a)
+                            ? grids[a].IntervalOf(ds.numeric(a, r))
+                            : ds.categorical(a, r);
+        hists_[a].Add(row, label);
+      }
+      return;
+    }
+    const int gx = grids[x_attr_].IntervalOf(ds.numeric(x_attr_, r));
+    assert(gx >= x_lo_ && gx < x_hi_);
+    const int x = gx - x_lo_;
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      if (a == x_attr_) continue;
+      const int y = schema.is_numeric(a)
+                        ? grids[a].IntervalOf(ds.numeric(a, r))
+                        : ds.categorical(a, r);
+      matrices_[a].Add(x, y, label);
+    }
+  }
 
   /// The 1-D class histogram of attribute `a`:
   ///  - univariate: the stored histogram (numeric rows are global

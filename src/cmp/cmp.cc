@@ -6,12 +6,15 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <numeric>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "cmp/bundle.h"
 #include "cmp/linear.h"
 #include "cmp/pairs.h"
+#include "cmp/record_store.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "exact/exact.h"
@@ -241,13 +244,22 @@ struct BundleAnalysis {
 
 // ---------------------------------------------------------------------
 // The builder implementation proper.
+//
+// Templated over the record store (record_store.h): the in-memory path
+// instantiates it with InMemoryStore + a zero-copy DatasetBlockSource,
+// the out-of-core path with StreamStore + a TableBlockSource. Every
+// scan consumes columnar blocks from the BlockSource; per-record reads
+// go through the store, which serves them from the resident block (or,
+// during the resolve phase, from the stash of retained records).
 
+template <class Store>
 class CmpBuild {
  public:
-  CmpBuild(const Dataset& train, const CmpOptions& options, ThreadPool* pool,
-           BuildResult* result)
-      : ds_(train),
-        schema_(train.schema()),
+  CmpBuild(Store& store, BlockSource& source, const CmpOptions& options,
+           ThreadPool* pool, BuildResult* result)
+      : store_(store),
+        source_(source),
+        schema_(store.schema()),
         options_(options),
         pool_(pool),
         result_(result),
@@ -344,16 +356,20 @@ class CmpBuild {
   // (mirrors its early-out chain); used to skip useless pre-analyses.
   bool WouldAnalyze(NodeId id, const std::vector<int64_t>& totals) const;
 
-  // Runs the routing loop for records [begin, end) against the given
-  // per-slot scan sinks (the master work lists, or one shard's private
-  // mirrors during a parallel scan).
+  // Runs the routing loop for records [begin, end) (which must lie
+  // inside the resident block) against the given per-slot scan sinks
+  // (the master work lists, or one shard's private mirrors during a
+  // parallel scan). When `retain` is non-null, every record that must
+  // stay readable after the block is evicted — buffered into a pending
+  // buffer or collected for exact finishing — is appended to it.
   void ScanRange(int64_t begin, int64_t end, int num_nodes,
                  const std::vector<int>& fresh_slot,
                  const std::vector<int>& pending_slot,
                  const std::vector<int>& collect_slot,
                  std::vector<HistBundle*>& fresh_sink,
                  std::vector<Pending*>& pending_sink,
-                 std::vector<std::vector<RecordId>*>& collect_sink);
+                 std::vector<std::vector<RecordId>*>& collect_sink,
+                 std::vector<RecordId>* retain);
 
   // Builds the Pending structure for a node whose decision is
   // kNumericPending.
@@ -365,8 +381,9 @@ class CmpBuild {
   void PlanSegment(Segment* seg, int depth);
 
   // Routes record `r` through a pending split (at most one nested
-  // level). Returns false if the record was buffered.
-  void RoutePending(Pending* p, RecordId r);
+  // level). Returns true if the record was set aside in a (possibly
+  // nested) pending buffer — i.e. it will be re-read at resolve time.
+  bool RoutePending(Pending* p, RecordId r);
 
   // Resolves a pending split of tree node `id`, creating children (and
   // grandchildren for nested pendings) and growing the frontier.
@@ -376,7 +393,16 @@ class CmpBuild {
   // split: a nested pending, an exact sub-split, or a plain bundle.
   void FlushIntoSegment(Segment* seg, RecordId r);
 
-  const Dataset& ds_;
+  // Finishes one collect partition with the exact in-memory builder:
+  // directly on the dataset when there is one, otherwise on a Dataset
+  // materialized from the stash (rids ascending, so local record i is
+  // global record rids[i] — BuildExactSubtree depends only on the
+  // record sequence, so the subtree is identical either way).
+  void FinishCollect(const std::vector<RecordId>& rids, DecisionTree* tree,
+                     NodeId node, ScanTracker* tracker);
+
+  Store& store_;
+  BlockSource& source_;
   const Schema& schema_;
   CmpOptions options_;
   ThreadPool* pool_;  // borrowed, never null (CmpBuilder::Build guarantees)
@@ -408,7 +434,8 @@ class CmpBuild {
   std::vector<CollectWork> next_collect_;
 };
 
-AttrId CmpBuild::PredictX(const BundleAnalysis& parent) const {
+template <class Store>
+AttrId CmpBuild<Store>::PredictX(const BundleAnalysis& parent) const {
   AttrId best = numeric_attrs_.front();
   double best_est = std::numeric_limits<double>::infinity();
   for (AttrId a : numeric_attrs_) {
@@ -424,7 +451,8 @@ AttrId CmpBuild::PredictX(const BundleAnalysis& parent) const {
   return best;
 }
 
-double CmpBuild::AttrEstFromHist(AttrId a, const Histogram1D& hist,
+template <class Store>
+double CmpBuild<Store>::AttrEstFromHist(AttrId a, const Histogram1D& hist,
                                  int offs) const {
   if (hist.num_intervals() < 2) {
     return std::numeric_limits<double>::infinity();
@@ -442,7 +470,8 @@ double CmpBuild::AttrEstFromHist(AttrId a, const Histogram1D& hist,
   return est;
 }
 
-AttrId CmpBuild::PredictChildX(const HistBundle& parent,
+template <class Store>
+AttrId CmpBuild<Store>::PredictChildX(const HistBundle& parent,
                                const std::vector<double>& parent_est,
                                const ChildRestriction& r) const {
   std::vector<double> est = parent_est;
@@ -496,12 +525,14 @@ AttrId CmpBuild::PredictChildX(const HistBundle& parent,
   return best;
 }
 
-HistBundle CmpBuild::MakeFreshBundle(AttrId x_attr, int x_lo, int x_hi) const {
+template <class Store>
+HistBundle CmpBuild<Store>::MakeFreshBundle(AttrId x_attr, int x_lo, int x_hi) const {
   if (!bivariate()) return HistBundle::MakeUnivariate(schema_, grids_);
   return HistBundle::MakeBivariate(schema_, grids_, x_attr, x_lo, x_hi);
 }
 
-BundleAnalysis CmpBuild::Analyze(const HistBundle& bundle,
+template <class Store>
+BundleAnalysis CmpBuild<Store>::Analyze(const HistBundle& bundle,
                                  const std::vector<int64_t>& totals) const {
   (void)totals;  // kept for symmetry with future split criteria
   BundleAnalysis out;
@@ -711,7 +742,8 @@ BundleAnalysis CmpBuild::Analyze(const HistBundle& bundle,
   return out;
 }
 
-std::unique_ptr<Pending> CmpBuild::MakePending(const HistBundle& bundle,
+template <class Store>
+std::unique_ptr<Pending> CmpBuild<Store>::MakePending(const HistBundle& bundle,
                                                const BundleAnalysis& analysis,
                                                int depth) {
   auto p = std::make_unique<Pending>();
@@ -809,7 +841,8 @@ std::unique_ptr<Pending> CmpBuild::MakePending(const HistBundle& bundle,
   return p;
 }
 
-void CmpBuild::PlanSegment(Segment* seg, int depth) {
+template <class Store>
+void CmpBuild<Store>::PlanSegment(Segment* seg, int depth) {
   const std::vector<int64_t> totals = seg->bundle.ClassTotals();
   // Too small / pure / deep partitions keep the derived bundle and are
   // finished at resolution time.
@@ -910,60 +943,66 @@ void CmpBuild::PlanSegment(Segment* seg, int depth) {
   }
 }
 
-void CmpBuild::RoutePending(Pending* p, RecordId r) {
-  const double v = ds_.numeric(p->attr, r);
+template <class Store>
+bool CmpBuild<Store>::RoutePending(Pending* p, RecordId r) {
+  const double v = store_.numeric(p->attr, r);
   const int iv = grids_[p->attr].IntervalOf(v);
   int k = 0;
   for (int a : p->alive) {
     if (iv == a) {
-      p->buffer.push_back({r, v, ds_.label(r)});
-      return;
+      p->buffer.push_back({r, v, store_.label(r)});
+      return true;
     }
     if (iv > a) ++k;
   }
   Segment& seg = p->segments[k];
-  seg.counts[ds_.label(r)]++;
+  seg.counts[store_.label(r)]++;
   switch (seg.plan) {
     case PlanKind::kGrow:
-      if (seg.bundle_fresh) seg.bundle.Add(ds_, grids_, r);
+      if (seg.bundle_fresh) seg.bundle.Add(store_, grids_, r);
       break;
     case PlanKind::kPending:
-      RoutePending(seg.sub.get(), r);
-      break;
+      return RoutePending(seg.sub.get(), r);
     case PlanKind::kExact:
-      if (seg.exact_split.RoutesLeft(ds_, r)) {
-        seg.exact_left_counts[ds_.label(r)]++;
-        seg.exact_left.Add(ds_, grids_, r);
+      if (seg.exact_split.RoutesLeft(store_, r)) {
+        seg.exact_left_counts[store_.label(r)]++;
+        seg.exact_left.Add(store_, grids_, r);
       } else {
-        seg.exact_right_counts[ds_.label(r)]++;
-        seg.exact_right.Add(ds_, grids_, r);
+        seg.exact_right_counts[store_.label(r)]++;
+        seg.exact_right.Add(store_, grids_, r);
       }
       break;
   }
+  return false;
 }
 
-void CmpBuild::FlushIntoSegment(Segment* seg, RecordId r) {
-  seg->counts[ds_.label(r)]++;
+template <class Store>
+void CmpBuild<Store>::FlushIntoSegment(Segment* seg, RecordId r) {
+  seg->counts[store_.label(r)]++;
   switch (seg->plan) {
     case PlanKind::kGrow:
-      seg->bundle.Add(ds_, grids_, r);
+      seg->bundle.Add(store_, grids_, r);
       break;
     case PlanKind::kPending:
+      // A flushed record can land in a nested pending's buffer; it was
+      // already stashed when it was first buffered, so the nested
+      // resolve (later this round) can still read it.
       RoutePending(seg->sub.get(), r);
       break;
     case PlanKind::kExact:
-      if (seg->exact_split.RoutesLeft(ds_, r)) {
-        seg->exact_left_counts[ds_.label(r)]++;
-        seg->exact_left.Add(ds_, grids_, r);
+      if (seg->exact_split.RoutesLeft(store_, r)) {
+        seg->exact_left_counts[store_.label(r)]++;
+        seg->exact_left.Add(store_, grids_, r);
       } else {
-        seg->exact_right_counts[ds_.label(r)]++;
-        seg->exact_right.Add(ds_, grids_, r);
+        seg->exact_right_counts[store_.label(r)]++;
+        seg->exact_right.Add(store_, grids_, r);
       }
       break;
   }
 }
 
-void CmpBuild::ResolvePending(NodeId id, Pending* p, int depth) {
+template <class Store>
+void CmpBuild<Store>::ResolvePending(NodeId id, Pending* p, int depth) {
   const std::vector<int64_t> totals = result_->tree.node(id).class_counts;
   const int nc = schema_.num_classes();
   const int64_t n = Sum(totals);
@@ -1120,7 +1159,8 @@ void CmpBuild::ResolvePending(NodeId id, Pending* p, int depth) {
   finish_side(right_id, right_seg);
 }
 
-bool CmpBuild::WouldAnalyze(NodeId id,
+template <class Store>
+bool CmpBuild<Store>::WouldAnalyze(NodeId id,
                             const std::vector<int64_t>& totals) const {
   const int64_t n = Sum(totals);
   const int depth = result_->tree.node(id).depth;
@@ -1134,7 +1174,8 @@ bool CmpBuild::WouldAnalyze(NodeId id,
          n > options_.base.in_memory_threshold;
 }
 
-void CmpBuild::GrowNode(NodeId id, HistBundle&& bundle, bool predicted,
+template <class Store>
+void CmpBuild<Store>::GrowNode(NodeId id, HistBundle&& bundle, bool predicted,
                         const BundleAnalysis* pre) {
   const std::vector<int64_t> totals = bundle.ClassTotals();
   const int64_t n = Sum(totals);
@@ -1351,47 +1392,75 @@ void CmpBuild::GrowNode(NodeId id, HistBundle&& bundle, bool predicted,
   }
 }
 
-void CmpBuild::ScanRange(int64_t begin, int64_t end, int num_nodes,
-                         const std::vector<int>& fresh_slot,
-                         const std::vector<int>& pending_slot,
-                         const std::vector<int>& collect_slot,
-                         std::vector<HistBundle*>& fresh_sink,
-                         std::vector<Pending*>& pending_sink,
-                         std::vector<std::vector<RecordId>*>& collect_sink) {
+template <class Store>
+void CmpBuild<Store>::ScanRange(int64_t begin, int64_t end, int num_nodes,
+                                const std::vector<int>& fresh_slot,
+                                const std::vector<int>& pending_slot,
+                                const std::vector<int>& collect_slot,
+                                std::vector<HistBundle*>& fresh_sink,
+                                std::vector<Pending*>& pending_sink,
+                                std::vector<std::vector<RecordId>*>& collect_sink,
+                                std::vector<RecordId>* retain) {
   for (RecordId r = static_cast<RecordId>(begin); r < end; ++r) {
     NodeId id = nid_[r];
     // Descend through every split resolved since the last scan.
     while (true) {
       const TreeNode& node = result_->tree.node(id);
       if (node.is_leaf || node.left == kInvalidNode) break;
-      id = node.split.RoutesLeft(ds_, r) ? node.left : node.right;
+      id = node.split.RoutesLeft(store_, r) ? node.left : node.right;
     }
     nid_[r] = id;
     if (id < num_nodes) {
       const int fs = fresh_slot[id];
       if (fs >= 0) {
-        fresh_sink[fs]->Add(ds_, grids_, r);
+        fresh_sink[fs]->Add(store_, grids_, r);
         continue;
       }
       const int ps = pending_slot[id];
       if (ps >= 0) {
-        RoutePending(pending_sink[ps], r);
+        if (RoutePending(pending_sink[ps], r) && retain != nullptr) {
+          retain->push_back(r);
+        }
         continue;
       }
       const int cs = collect_slot[id];
-      if (cs >= 0) collect_sink[cs]->push_back(r);
+      if (cs >= 0) {
+        collect_sink[cs]->push_back(r);
+        if (retain != nullptr) retain->push_back(r);
+      }
     }
   }
 }
 
-void CmpBuild::Run() {
+template <class Store>
+void CmpBuild<Store>::Run() {
   Timer timer;
-  const int64_t n = ds_.num_records();
+  const int64_t n = source_.num_records();
   result_->tree = DecisionTree(schema_);
+
+  // Streamed builds report the bytes the scanner actually pulled from
+  // the file instead of the disk-simulation charges.
+  if (Store::kStreaming) tracker_.set_real_io(true);
+  int64_t real_bytes_charged = 0;
+  auto charge_real_bytes = [&] {
+    if (!Store::kStreaming) return;
+    const int64_t total = source_.bytes_read();
+    tracker_.ChargeRealBytes(total - real_bytes_charged);
+    real_bytes_charged = total;
+  };
 
   TreeNode root;
   root.depth = 0;
-  root.class_counts = ds_.ClassCounts();
+  if (const Dataset* full = store_.dataset()) {
+    root.class_counts = full->ClassCounts();
+  } else {
+    std::vector<ClassId> labels;
+    if (!source_.ReadLabels(&labels)) {
+      throw std::runtime_error("cmp: failed to read label column");
+    }
+    root.class_counts.assign(schema_.num_classes(), 0);
+    for (ClassId c : labels) root.class_counts[c]++;
+  }
   root.leaf_class = Majority(root.class_counts);
   const NodeId root_id = result_->tree.AddNode(std::move(root));
   if (n == 0) {
@@ -1401,21 +1470,28 @@ void CmpBuild::Run() {
   }
 
   numeric_attrs_ = schema_.NumericAttrs();
-  grids_ = ComputeGrids(ds_, options_.intervals, options_.discretization,
-                        &tracker_, pool_);
-  if (options_.all_pairs_root && options_.variant == CmpVariant::kFull) {
-    PairDiscoveryOptions pd;
-    pd.min_gain = options_.linear_gain;
-    root_relations_ = DiscoverLinearRelations(ds_, pd, &tracker_);
-  }
 
-  // Mark the intervals that can hold an interior split point (at least
-  // two distinct training values). Derived from the same sorted pass the
-  // quantile construction makes, so no extra scan is charged.
+  // Discretization pass: one column read and ONE sort per numeric
+  // attribute serve both the quantile grid and the interior-splittable
+  // marks (an interval is *interior* iff it holds at least two distinct
+  // training values — tie buckets collapse to a single value, so the
+  // gradient estimate must be clamped there and the interval never
+  // selected as alive). Grids depend only on the sorted value multiset,
+  // so the streamed and in-memory builds produce identical grids — the
+  // first link of the streamed-equals-in-memory determinism argument.
+  tracker_.ChargeScan(n, schema_);
+  grids_.assign(schema_.num_attrs(), IntervalGrid());
   interior_.assign(schema_.num_attrs(), {});
-  auto mark_interior = [&](AttrId a) {
-    std::vector<double> sorted = ds_.numeric_column(a);
+  auto build_attr = [&](AttrId a) {
+    std::vector<double> sorted;
+    if (!source_.ReadNumericColumn(a, &sorted)) {
+      throw std::runtime_error("cmp: failed to read numeric column");
+    }
     std::sort(sorted.begin(), sorted.end());
+    grids_[a] =
+        options_.discretization == Discretization::kEqualDepth
+            ? IntervalGrid::EqualDepthFromSorted(sorted, options_.intervals)
+            : IntervalGrid::EqualWidthFromSorted(sorted, options_.intervals);
     interior_[a].assign(grids_[a].num_intervals(), 0);
     const std::vector<double>& cuts = grids_[a].boundaries();
     size_t bi = 0;
@@ -1435,11 +1511,28 @@ void CmpBuild::Run() {
     pool_->ParallelFor(static_cast<int64_t>(numeric_attrs_.size()), 1,
                        [&](int64_t lo, int64_t hi) {
                          for (int64_t i = lo; i < hi; ++i) {
-                           mark_interior(numeric_attrs_[i]);
+                           build_attr(numeric_attrs_[i]);
                          }
                        });
   } else {
-    for (AttrId a : numeric_attrs_) mark_interior(a);
+    for (AttrId a : numeric_attrs_) build_attr(a);
+  }
+  if (options_.discretization == Discretization::kEqualDepth) {
+    for (size_t i = 0; i < numeric_attrs_.size(); ++i) {
+      tracker_.ChargeSort(n);
+    }
+  }
+  charge_real_bytes();
+
+  if (options_.all_pairs_root && options_.variant == CmpVariant::kFull) {
+    // All-pairs discovery needs simultaneous random access to every
+    // numeric column; it is an in-memory-only extension (off by
+    // default) and is skipped for streamed builds.
+    if (const Dataset* full = store_.dataset()) {
+      PairDiscoveryOptions pd;
+      pd.min_gain = options_.linear_gain;
+      root_relations_ = DiscoverLinearRelations(*full, pd, &tracker_);
+    }
   }
 
   nid_.assign(n, root_id);
@@ -1457,7 +1550,7 @@ void CmpBuild::Run() {
   }
 
   while (!fresh_.empty() || !pending_.empty() || !collect_.empty()) {
-    tracker_.ChargeScan(ds_);
+    tracker_.ChargeScan(n, schema_);
     tracker_.ChargeWrite(n * static_cast<int64_t>(sizeof(NodeId)));
 
     // Slot maps for the scan.
@@ -1477,7 +1570,8 @@ void CmpBuild::Run() {
 
     {
       int64_t mem = GridsMemoryBytes(grids_) +
-                    n * static_cast<int64_t>(sizeof(NodeId));
+                    n * static_cast<int64_t>(sizeof(NodeId)) +
+                    source_.resident_bytes();
       for (const FreshWork& w : fresh_) mem += w.bundle.MemoryBytes();
       for (const PendingWork& w : pending_) mem += w.pending->MemoryBytes();
       tracker_.NotePeakMemory(mem);
@@ -1504,77 +1598,143 @@ void CmpBuild::Run() {
       collect_sink[i] = &collect_[i].rids;
     }
 
+    // Shard mirrors persist across every block of the pass and are
+    // merged once at its end. The block-major accumulation order is
+    // harmless: count merges are commutative integer adds, pending
+    // buffers are (value, rid)-sorted before use, and collect rid
+    // lists are re-sorted ascending below — so the merged state, and
+    // therefore the tree, cannot depend on the block size or the
+    // thread count.
     const int num_shards =
         static_cast<int>(std::min<int64_t>(pool_->parallelism(), n));
-    if (num_shards <= 1) {
-      ScanRange(0, n, num_nodes, fresh_slot, pending_slot, collect_slot,
-                fresh_sink, pending_sink, collect_sink);
-    } else {
-      struct ScanShard {
-        std::vector<HistBundle> fresh;
-        std::vector<std::unique_ptr<Pending>> pending;
-        std::vector<std::vector<RecordId>> collect;
-      };
-      std::vector<ScanShard> shards(num_shards - 1);  // shard 0 = master
-      const int64_t chunk = (n + num_shards - 1) / num_shards;
+    struct ScanShard {
+      std::vector<HistBundle> fresh;
+      std::vector<std::unique_ptr<Pending>> pending;
+      std::vector<std::vector<RecordId>> collect;
+      std::vector<RecordId> retain;
+    };
+    std::vector<ScanShard> shards(num_shards > 1 ? num_shards - 1 : 0);
+    if (!shards.empty()) {
+      // The clones read only shape fields the scan never mutates, so
+      // per-shard mirror construction fans out.
       const int nc = schema_.num_classes();
-      pool_->ParallelFor(num_shards, 1, [&](int64_t lo, int64_t hi) {
-        for (int64_t s = lo; s < hi; ++s) {
-          const int64_t begin = s * chunk;
-          const int64_t end = std::min<int64_t>(n, begin + chunk);
-          if (s == 0) {
+      pool_->ParallelFor(static_cast<int64_t>(shards.size()), 1,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t s = lo; s < hi; ++s) {
+                             ScanShard& sh = shards[s];
+                             sh.fresh.reserve(fresh_.size());
+                             for (size_t i = 0; i < fresh_.size(); ++i) {
+                               sh.fresh.push_back(
+                                   fresh_[i].bundle.CloneEmptyShape());
+                             }
+                             sh.pending.reserve(pending_.size());
+                             for (size_t i = 0; i < pending_.size(); ++i) {
+                               sh.pending.push_back(ClonePendingEmpty(
+                                   *pending_[i].pending, nc));
+                             }
+                             sh.collect.resize(collect_.size());
+                           }
+                         });
+    }
+    std::vector<RecordId> master_retain;
+    std::vector<RecordId>* const master_retain_ptr =
+        Store::kStreaming ? &master_retain : nullptr;
+
+    source_.Reset();
+    BlockView view;
+    int64_t scanned = 0;
+    while (source_.NextBlock(&view)) {
+      store_.SetBlock(view);
+      const int64_t bn = view.count;
+      const int shards_here =
+          static_cast<int>(std::min<int64_t>(num_shards, bn));
+      if (shards_here <= 1) {
+        ScanRange(view.begin, view.begin + bn, num_nodes, fresh_slot,
+                  pending_slot, collect_slot, fresh_sink, pending_sink,
+                  collect_sink, master_retain_ptr);
+      } else {
+        const int64_t chunk = (bn + shards_here - 1) / shards_here;
+        pool_->ParallelFor(shards_here, 1, [&](int64_t lo, int64_t hi) {
+          for (int64_t s = lo; s < hi; ++s) {
+            const int64_t begin = view.begin + s * chunk;
+            const int64_t end =
+                std::min<int64_t>(view.begin + bn, begin + chunk);
+            if (s == 0) {
+              ScanRange(begin, end, num_nodes, fresh_slot, pending_slot,
+                        collect_slot, fresh_sink, pending_sink,
+                        collect_sink, master_retain_ptr);
+              continue;
+            }
+            ScanShard& sh = shards[s - 1];
+            std::vector<HistBundle*> fsink(fresh_.size());
+            for (size_t i = 0; i < fresh_.size(); ++i) {
+              fsink[i] = &sh.fresh[i];
+            }
+            std::vector<Pending*> psink(pending_.size());
+            for (size_t i = 0; i < pending_.size(); ++i) {
+              psink[i] = sh.pending[i].get();
+            }
+            std::vector<std::vector<RecordId>*> csink(collect_.size());
+            for (size_t i = 0; i < collect_.size(); ++i) {
+              csink[i] = &sh.collect[i];
+            }
             ScanRange(begin, end, num_nodes, fresh_slot, pending_slot,
-                      collect_slot, fresh_sink, pending_sink, collect_sink);
-            continue;
+                      collect_slot, fsink, psink, csink,
+                      Store::kStreaming ? &sh.retain : nullptr);
           }
-          // Mirrors are cloned here, inside the shard's own task: the
-          // clones read only shape fields the scan never mutates, and
-          // building them on the worker overlaps with shard 0's scan.
-          ScanShard& sh = shards[s - 1];
-          sh.fresh.reserve(fresh_.size());
-          std::vector<HistBundle*> fsink(fresh_.size());
-          for (size_t i = 0; i < fresh_.size(); ++i) {
-            sh.fresh.push_back(fresh_[i].bundle.CloneEmptyShape());
-            fsink[i] = &sh.fresh[i];
-          }
-          sh.pending.reserve(pending_.size());
-          std::vector<Pending*> psink(pending_.size());
-          for (size_t i = 0; i < pending_.size(); ++i) {
-            sh.pending.push_back(
-                ClonePendingEmpty(*pending_[i].pending, nc));
-            psink[i] = sh.pending[i].get();
-          }
-          sh.collect.resize(collect_.size());
-          std::vector<std::vector<RecordId>*> csink(collect_.size());
-          for (size_t i = 0; i < collect_.size(); ++i) {
-            csink[i] = &sh.collect[i];
-          }
-          ScanRange(begin, end, num_nodes, fresh_slot, pending_slot,
-                    collect_slot, fsink, psink, csink);
-        }
-      });
-      for (ScanShard& sh : shards) {
-        for (size_t i = 0; i < fresh_.size(); ++i) {
-          fresh_[i].bundle.MergeSameShape(sh.fresh[i]);
-        }
-        for (size_t i = 0; i < pending_.size(); ++i) {
-          MergePendingInto(pending_[i].pending.get(), *sh.pending[i]);
-        }
-        for (size_t i = 0; i < collect_.size(); ++i) {
-          collect_[i].rids.insert(collect_[i].rids.end(),
-                                  sh.collect[i].begin(), sh.collect[i].end());
+        });
+      }
+      scanned += bn;
+      if constexpr (Store::kStreaming) {
+        // Absorb the records that must outlive this block (pending
+        // buffers, collect lists — both re-read at resolve time) into
+        // the stash while the block's columns are still resident.
+        store_.Stash(master_retain);
+        master_retain.clear();
+        for (ScanShard& sh : shards) {
+          store_.Stash(sh.retain);
+          sh.retain.clear();
         }
       }
     }
+    store_.ClearBlock();
+    if (source_.failed() || scanned != n) {
+      throw std::runtime_error("cmp: table scan failed mid-pass");
+    }
+    charge_real_bytes();
+
+    for (ScanShard& sh : shards) {
+      for (size_t i = 0; i < fresh_.size(); ++i) {
+        fresh_[i].bundle.MergeSameShape(sh.fresh[i]);
+      }
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        MergePendingInto(pending_[i].pending.get(), *sh.pending[i]);
+      }
+      for (size_t i = 0; i < collect_.size(); ++i) {
+        collect_[i].rids.insert(collect_[i].rids.end(),
+                                sh.collect[i].begin(), sh.collect[i].end());
+      }
+    }
+    // Restore the ascending record order a serial scan would have
+    // produced (identity for the single-block in-memory path; required
+    // after block-major accumulation so exact finishing sees records
+    // in global order).
+    for (CollectWork& w : collect_) {
+      std::sort(w.rids.begin(), w.rids.end());
+    }
 
     // Buffered records count toward peak memory (they hold whole
-    // records in a disk implementation).
+    // records in a disk implementation). The streamed build really does
+    // hold them: its stash is the disk implementation's side buffer.
     {
       int64_t buffered = 0;
       for (const PendingWork& w : pending_) {
         buffered += static_cast<int64_t>(w.pending->buffer.size());
       }
       tracker_.NotePeakMemory(buffered * schema_.RecordBytes());
+      if constexpr (Store::kStreaming) {
+        tracker_.NotePeakMemory(store_.stash_bytes());
+      }
     }
 
     // Finish small partitions in memory. With several independent
@@ -1597,8 +1757,8 @@ void CmpBuild::Run() {
           TreeNode root = result_->tree.node(collect_[i].node);
           b.tree.AddNode(std::move(root));
           ScanTracker local(&b.stats);
-          BuildExactSubtree(ds_, collect_[i].rids, options_.base, &b.tree,
-                            0, &local, pool_);
+          local.set_real_io(tracker_.real_io());
+          FinishCollect(collect_[i].rids, &b.tree, 0, &local);
         }
       });
       for (size_t i = 0; i < collect_.size(); ++i) {
@@ -1609,8 +1769,7 @@ void CmpBuild::Run() {
     } else {
       for (CollectWork& w : collect_) {
         tracker_.ChargeBuffered(static_cast<int64_t>(w.rids.size()));
-        BuildExactSubtree(ds_, w.rids, options_.base, &result_->tree, w.node,
-                          &tracker_, pool_);
+        FinishCollect(w.rids, &result_->tree, w.node, &tracker_);
       }
     }
     collect_.clear();
@@ -1661,6 +1820,12 @@ void CmpBuild::Run() {
       ResolvePending(w.node, w.pending.get(), depth);
     }
 
+    if constexpr (Store::kStreaming) {
+      // Every retained record has been consumed (collect subtrees built,
+      // pending splits resolved); the stash restarts empty next round.
+      store_.ClearStash();
+    }
+
     fresh_ = std::move(next_fresh_);
     pending_ = std::move(next_pending_);
     collect_ = std::move(next_collect_);
@@ -1675,6 +1840,27 @@ void CmpBuild::Run() {
   result_->stats.wall_seconds = timer.Seconds();
 }
 
+template <class Store>
+void CmpBuild<Store>::FinishCollect(const std::vector<RecordId>& rids,
+                                    DecisionTree* tree, NodeId node,
+                                    ScanTracker* tracker) {
+  if constexpr (!Store::kStreaming) {
+    BuildExactSubtree(*store_.dataset(), rids, options_.base, tree, node,
+                      tracker, pool_);
+  } else {
+    // Streamed: the records live in the stash. Materialize them in
+    // ascending rid order, so local record i is global record rids[i];
+    // BuildExactSubtree depends only on attribute values and the
+    // relative record order, both of which this preserves, so the
+    // subtree matches the in-memory build's exactly.
+    const Dataset local = store_.Materialize(rids);
+    std::vector<RecordId> lrids(static_cast<size_t>(local.num_records()));
+    std::iota(lrids.begin(), lrids.end(), 0);
+    BuildExactSubtree(local, lrids, options_.base, tree, node, tracker,
+                      pool_);
+  }
+}
+
 }  // namespace
 
 BuildResult CmpBuilder::Build(const Dataset& train) {
@@ -1685,7 +1871,27 @@ BuildResult CmpBuilder::Build(const Dataset& train) {
     owned = std::make_unique<ThreadPool>(options_.base.num_threads);
     pool = owned.get();
   }
-  CmpBuild build(train, options_, pool, &result);
+  // The whole table as one zero-copy block: the block loop degenerates
+  // to the classic in-memory scan.
+  DatasetBlockSource source(train);
+  InMemoryStore store(train);
+  CmpBuild<InMemoryStore> build(store, source, options_, pool, &result);
+  build.Run();
+  return result;
+}
+
+BuildResult CmpBuilder::BuildStreamed(BlockSource& source, bool prefetch) {
+  BuildResult result;
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = pool_;
+  if (pool == nullptr) {
+    owned = std::make_unique<ThreadPool>(options_.base.num_threads);
+    pool = owned.get();
+  }
+  source.set_prefetch_pool(
+      prefetch && pool->num_threads() > 0 ? pool : nullptr);
+  StreamStore store(source.schema(), source.num_records());
+  CmpBuild<StreamStore> build(store, source, options_, pool, &result);
   build.Run();
   return result;
 }

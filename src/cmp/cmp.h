@@ -30,6 +30,7 @@ namespace cmp {
 /// CMP (full) additionally searches the matrices for linear-combination
 /// splits a*x + b*y <= c.
 class ThreadPool;
+class BlockSource;
 
 /// Construction is parallelized over `options.base.num_threads` workers
 /// (histogram accumulation sharded per thread and merged in attribute
@@ -44,6 +45,20 @@ class CmpBuilder : public TreeBuilder {
       : options_(options), pool_(pool) {}
 
   BuildResult Build(const Dataset& train) override;
+
+  /// Out-of-core build: trains from `source` block by block, never
+  /// holding more than one prefetch window of records in memory (plus
+  /// the per-round stash of buffered/collected records — the records
+  /// the paper's algorithm itself sets aside). The resulting tree is
+  /// byte-identical to Build() on the same records, for every block
+  /// size and thread count. BuildStats.bytes_read reports bytes
+  /// actually read from the source (real I/O, not the disk simulation).
+  /// Limitation: options.all_pairs_root needs random access to whole
+  /// columns in pairs and is ignored on this path. `prefetch` toggles
+  /// double-buffered async read-ahead on the source (the tree is
+  /// identical either way; only wall time changes).
+  BuildResult BuildStreamed(BlockSource& source, bool prefetch = true);
+
   std::string name() const override;
 
  private:

@@ -7,18 +7,23 @@ namespace cmp {
 
 IntervalGrid IntervalGrid::EqualDepth(const std::vector<double>& values,
                                       int q) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  return EqualDepthFromSorted(sorted, q);
+}
+
+IntervalGrid IntervalGrid::EqualDepthFromSorted(
+    const std::vector<double>& sorted, int q) {
   assert(q >= 1);
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
   IntervalGrid grid;
-  if (values.empty() || q <= 1) {
-    if (!values.empty()) {
-      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
-      grid.min_value_ = *lo;
-      grid.max_value_ = *hi;
+  if (sorted.empty() || q <= 1) {
+    if (!sorted.empty()) {
+      grid.min_value_ = sorted.front();
+      grid.max_value_ = sorted.back();
     }
     return grid;
   }
-  std::vector<double> sorted = values;
-  std::sort(sorted.begin(), sorted.end());
   grid.min_value_ = sorted.front();
   grid.max_value_ = sorted.back();
   const int64_t n = static_cast<int64_t>(sorted.size());
@@ -41,18 +46,35 @@ IntervalGrid IntervalGrid::EqualDepth(const std::vector<double>& values,
 
 IntervalGrid IntervalGrid::EqualWidth(const std::vector<double>& values,
                                       int q) {
+  double lo = 0.0;
+  double hi = 0.0;
+  if (!values.empty()) {
+    const auto [lo_it, hi_it] =
+        std::minmax_element(values.begin(), values.end());
+    lo = *lo_it;
+    hi = *hi_it;
+  }
+  return EqualWidthFromBounds(values.empty(), lo, hi, q);
+}
+
+IntervalGrid IntervalGrid::EqualWidthFromSorted(
+    const std::vector<double>& sorted, int q) {
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  const double lo = sorted.empty() ? 0.0 : sorted.front();
+  const double hi = sorted.empty() ? 0.0 : sorted.back();
+  return EqualWidthFromBounds(sorted.empty(), lo, hi, q);
+}
+
+IntervalGrid IntervalGrid::EqualWidthFromBounds(bool empty, double lo,
+                                                double hi, int q) {
   IntervalGrid grid;
-  if (values.empty() || q <= 1) {
-    if (!values.empty()) {
-      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
-      grid.min_value_ = *lo;
-      grid.max_value_ = *hi;
+  if (empty || q <= 1) {
+    if (!empty) {
+      grid.min_value_ = lo;
+      grid.max_value_ = hi;
     }
     return grid;
   }
-  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
-  const double lo = *lo_it;
-  const double hi = *hi_it;
   grid.min_value_ = lo;
   grid.max_value_ = hi;
   if (lo == hi) return grid;  // constant column: one interval

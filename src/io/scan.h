@@ -16,24 +16,47 @@ namespace cmp {
 /// paper): each full iteration over the records is a "scan" and is charged
 /// here. Benchmarks convert the counters to simulated seconds through
 /// DiskModel, which is how the paper's figures are regenerated.
+///
+/// When a builder really does stream from disk (the out-of-core path), it
+/// flips the tracker into real-I/O mode: scan/record counters keep
+/// ticking, but the *byte* charges of the simulation are suppressed and
+/// the builder instead reports the actual bytes its scanner pulled via
+/// ChargeRealBytes, so BuildStats.bytes_read is measured, not modeled.
 class ScanTracker {
  public:
   /// `stats` must outlive the tracker; may be null (all charges dropped).
   explicit ScanTracker(BuildStats* stats) : stats_(stats) {}
 
+  /// Switches byte accounting from the disk simulation to real,
+  /// scanner-reported bytes.
+  void set_real_io(bool real_io) { real_io_ = real_io; }
+  bool real_io() const { return real_io_; }
+
+  /// Real-I/O mode only: adds bytes actually read from backing storage.
+  void ChargeRealBytes(int64_t bytes) {
+    if (stats_ == nullptr) return;
+    stats_->bytes_read += bytes;
+  }
+
   /// Charges one full sequential pass over `ds`.
   void ChargeScan(const Dataset& ds) {
+    ChargeScan(ds.num_records(), ds.schema());
+  }
+
+  /// Charges one full sequential pass of `records` records of the given
+  /// schema (for builders that do not hold a Dataset).
+  void ChargeScan(int64_t records, const Schema& schema) {
     if (stats_ == nullptr) return;
     stats_->dataset_scans += 1;
-    stats_->records_read += ds.num_records();
-    stats_->bytes_read += ds.TotalBytes();
+    stats_->records_read += records;
+    if (!real_io_) stats_->bytes_read += records * schema.RecordBytes();
   }
 
   /// Charges a partial pass of `records` records of the given schema.
   void ChargeRecords(int64_t records, const Schema& schema) {
     if (stats_ == nullptr) return;
     stats_->records_read += records;
-    stats_->bytes_read += records * schema.RecordBytes();
+    if (!real_io_) stats_->bytes_read += records * schema.RecordBytes();
   }
 
   /// Charges `bytes` of sequential writes (materialized lists, nid swap).
@@ -66,6 +89,7 @@ class ScanTracker {
 
  private:
   BuildStats* stats_;
+  bool real_io_ = false;
 };
 
 }  // namespace cmp

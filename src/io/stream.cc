@@ -1,10 +1,74 @@
 #include "io/stream.h"
 
 #include <algorithm>
+#include <cstring>
+#include <new>
+#include <utility>
 
 #include "io/table_file.h"
 
 namespace cmp {
+
+namespace {
+
+constexpr int64_t kAlign = 64;
+
+int64_t AlignUp(int64_t bytes) { return (bytes + kAlign - 1) & ~(kAlign - 1); }
+
+}  // namespace
+
+ColumnBlock::~ColumnBlock() { ::operator delete(storage_, std::align_val_t(kAlign)); }
+
+ColumnBlock& ColumnBlock::operator=(ColumnBlock&& other) noexcept {
+  if (this == &other) return *this;
+  ::operator delete(storage_, std::align_val_t(kAlign));
+  schema_ = other.schema_;
+  capacity_ = other.capacity_;
+  begin_ = other.begin_;
+  count_ = other.count_;
+  storage_ = std::exchange(other.storage_, nullptr);
+  allocated_ = std::exchange(other.allocated_, 0);
+  numeric_ = std::move(other.numeric_);
+  categorical_ = std::move(other.categorical_);
+  labels_ = std::exchange(other.labels_, nullptr);
+  other.schema_ = nullptr;
+  other.capacity_ = other.begin_ = other.count_ = 0;
+  return *this;
+}
+
+void ColumnBlock::Configure(const Schema& schema, int64_t capacity) {
+  // Lay out every column at a 64-byte boundary inside one allocation.
+  int64_t bytes = 0;
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    bytes += AlignUp(capacity * static_cast<int64_t>(
+                                    schema.is_numeric(a) ? sizeof(double)
+                                                         : sizeof(int32_t)));
+  }
+  bytes += AlignUp(capacity * static_cast<int64_t>(sizeof(ClassId)));
+
+  if (bytes > allocated_) {
+    ::operator delete(storage_, std::align_val_t(kAlign));
+    storage_ = ::operator new(bytes, std::align_val_t(kAlign));
+    allocated_ = bytes;
+  }
+  schema_ = &schema;
+  capacity_ = capacity;
+  begin_ = 0;
+  count_ = 0;
+  numeric_.assign(schema.num_attrs(), nullptr);
+  categorical_.assign(schema.num_attrs(), nullptr);
+  char* p = static_cast<char*>(storage_);
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.is_numeric(a)) {
+      numeric_[a] = reinterpret_cast<double*>(p);
+      p += AlignUp(capacity * static_cast<int64_t>(sizeof(double)));
+    } else {
+      categorical_[a] = reinterpret_cast<int32_t*>(p);
+      p += AlignUp(capacity * static_cast<int64_t>(sizeof(int32_t)));
+    }
+  }
+  labels_ = reinterpret_cast<ClassId*>(p);
+}
 
 std::unique_ptr<TableScanner> TableScanner::Open(const std::string& path,
                                                  int64_t block_records) {
@@ -43,57 +107,84 @@ std::unique_ptr<TableScanner> TableScanner::Open(const std::string& path,
                                            : sizeof(int32_t));
   }
   scanner->label_offset_ = offset;
+  offset += n * static_cast<int64_t>(sizeof(ClassId));
+
+  // The header promises `n` records; reject a file whose payload cannot
+  // hold them (or trails garbage), so a truncated table fails at Open
+  // instead of mid-pass.
+  scanner->file_.seekg(0, std::ios::end);
+  const int64_t file_size = static_cast<int64_t>(scanner->file_.tellg());
+  scanner->file_.seekg(0);
+  if (file_size != offset) return nullptr;
   return scanner;
 }
 
-bool TableScanner::NextBlock(Dataset* block) {
-  *block = Dataset(schema_);
-  if (position_ >= num_records_) return false;
-  const int64_t count =
-      std::min(block_records_, num_records_ - position_);
-  block->Reserve(count);
-
-  // Load this block's slice of every column.
-  std::vector<std::vector<double>> ncols(schema_.num_attrs());
-  std::vector<std::vector<int32_t>> ccols(schema_.num_attrs());
-  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
-    if (schema_.is_numeric(a)) {
-      ncols[a].resize(count);
-      file_.seekg(column_offsets_[a] +
-                  position_ * static_cast<int64_t>(sizeof(double)));
-      file_.read(reinterpret_cast<char*>(ncols[a].data()),
-                 count * static_cast<int64_t>(sizeof(double)));
-    } else {
-      ccols[a].resize(count);
-      file_.seekg(column_offsets_[a] +
-                  position_ * static_cast<int64_t>(sizeof(int32_t)));
-      file_.read(reinterpret_cast<char*>(ccols[a].data()),
-                 count * static_cast<int64_t>(sizeof(int32_t)));
-    }
-    if (!file_.good()) return false;
+bool TableScanner::ReadBlock(int64_t start, int64_t count,
+                             ColumnBlock* block) {
+  if (block->schema() != &schema_ || block->capacity() < count) {
+    block->Configure(schema_, std::max(count, block_records_));
   }
-  std::vector<ClassId> labels(count);
-  file_.seekg(label_offset_ +
-              position_ * static_cast<int64_t>(sizeof(ClassId)));
-  file_.read(reinterpret_cast<char*>(labels.data()),
+  block->set_range(start, 0);
+  if (start < 0 || count < 0 || start + count > num_records_) return false;
+
+  // One seek + one bulk read per column, straight into the block's
+  // aligned buffers.
+  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+    const int64_t width = static_cast<int64_t>(
+        schema_.is_numeric(a) ? sizeof(double) : sizeof(int32_t));
+    file_.seekg(column_offsets_[a] + start * width);
+    char* dst = schema_.is_numeric(a)
+                    ? reinterpret_cast<char*>(block->numeric_col(a))
+                    : reinterpret_cast<char*>(block->categorical_col(a));
+    file_.read(dst, count * width);
+    if (!file_.good()) return false;
+    bytes_read_ += count * width;
+  }
+  file_.seekg(label_offset_ + start * static_cast<int64_t>(sizeof(ClassId)));
+  file_.read(reinterpret_cast<char*>(block->labels()),
              count * static_cast<int64_t>(sizeof(ClassId)));
   if (!file_.good()) return false;
+  bytes_read_ += count * static_cast<int64_t>(sizeof(ClassId));
 
-  std::vector<double> nvals;
-  std::vector<int32_t> cvals;
+  const ClassId* labels = block->labels();
   for (int64_t i = 0; i < count; ++i) {
-    nvals.clear();
-    cvals.clear();
-    for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
-      if (schema_.is_numeric(a)) {
-        nvals.push_back(ncols[a][i]);
-      } else {
-        cvals.push_back(ccols[a][i]);
-      }
-    }
     if (labels[i] < 0 || labels[i] >= schema_.num_classes()) return false;
-    block->Append(nvals, cvals, labels[i]);
   }
+  block->set_range(start, count);
+  return true;
+}
+
+bool TableScanner::ReadNumericColumn(AttrId a, std::vector<double>* out) {
+  out->resize(num_records_);
+  file_.seekg(column_offsets_[a]);
+  file_.read(reinterpret_cast<char*>(out->data()),
+             num_records_ * static_cast<int64_t>(sizeof(double)));
+  if (!file_.good() && !(file_.eof() && num_records_ == 0)) return false;
+  bytes_read_ += num_records_ * static_cast<int64_t>(sizeof(double));
+  return true;
+}
+
+bool TableScanner::ReadLabelColumn(std::vector<ClassId>* out) {
+  out->resize(num_records_);
+  file_.seekg(label_offset_);
+  file_.read(reinterpret_cast<char*>(out->data()),
+             num_records_ * static_cast<int64_t>(sizeof(ClassId)));
+  if (!file_.good() && !(file_.eof() && num_records_ == 0)) return false;
+  bytes_read_ += num_records_ * static_cast<int64_t>(sizeof(ClassId));
+  for (ClassId c : *out) {
+    if (c < 0 || c >= schema_.num_classes()) return false;
+  }
+  return true;
+}
+
+bool TableScanner::NextBlock(ColumnBlock* block) {
+  if (position_ >= num_records_) {
+    if (block->schema() != &schema_) block->Configure(schema_, block_records_);
+    block->set_range(position_, 0);
+    return false;
+  }
+  const int64_t count = std::min(block_records_, num_records_ - position_);
+  if (!ReadBlock(position_, count, block)) return false;
   position_ += count;
   return true;
 }

@@ -17,9 +17,14 @@ namespace cmp {
 ///   per attr column (schema order): raw doubles or raw int32s |
 ///   labels: raw int32s
 ///
-/// Columns are stored contiguously so out-of-core scanners can stream one
-/// attribute at a time; `LoadTableFile` reads the whole table. These are
-/// the files the `out_of_core` example and `cmptool` operate on.
+/// The contiguous column is the format's streaming unit: an out-of-core
+/// scanner reads records [start, start+count) with one seek + one bulk
+/// read per column (io/stream.h), and a discretization pass pulls one
+/// whole attribute without touching the others — both depend on this
+/// layout, so any format change must preserve column contiguity.
+/// `LoadTableFile` reads the whole table. These are the files the
+/// `out_of_core` example, `cmptool train --stream`, and the block
+/// sources in io/block_source.h operate on.
 
 /// Writes `ds` to `path`. Returns false (and leaves a partial file) on I/O
 /// failure.

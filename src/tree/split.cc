@@ -32,21 +32,6 @@ Split Split::Linear(AttrId x, AttrId y, double a, double b, double c) {
   return s;
 }
 
-bool Split::RoutesLeft(const Dataset& ds, RecordId r) const {
-  switch (kind) {
-    case Kind::kNumeric:
-      return ds.numeric(attr, r) <= threshold;
-    case Kind::kCategorical: {
-      const int32_t v = ds.categorical(attr, r);
-      return v >= 0 && v < static_cast<int32_t>(left_subset.size()) &&
-             left_subset[v] != 0;
-    }
-    case Kind::kLinear:
-      return a * ds.numeric(attr, r) + b * ds.numeric(attr2, r) <= c;
-  }
-  return false;
-}
-
 std::string Split::ToString(const Schema& schema) const {
   std::ostringstream os;
   switch (kind) {

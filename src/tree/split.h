@@ -37,8 +37,25 @@ struct Split {
   static Split Categorical(AttrId attr, std::vector<uint8_t> left_subset);
   static Split Linear(AttrId x, AttrId y, double a, double b, double c);
 
-  /// True if record `r` of `ds` goes to the left child.
-  bool RoutesLeft(const Dataset& ds, RecordId r) const;
+  /// True if record `r` of `ds` goes to the left child. `DS` is any
+  /// record store exposing `numeric(a, r)` / `categorical(a, r)` —
+  /// the in-memory Dataset, or the block/stash stores of the
+  /// out-of-core training path.
+  template <class DS>
+  bool RoutesLeft(const DS& ds, RecordId r) const {
+    switch (kind) {
+      case Kind::kNumeric:
+        return ds.numeric(attr, r) <= threshold;
+      case Kind::kCategorical: {
+        const int32_t v = ds.categorical(attr, r);
+        return v >= 0 && v < static_cast<int32_t>(left_subset.size()) &&
+               left_subset[v] != 0;
+      }
+      case Kind::kLinear:
+        return a * ds.numeric(attr, r) + b * ds.numeric(attr2, r) <= c;
+    }
+    return false;
+  }
 
   /// Human-readable rendering, e.g. "salary <= 65000" or
   /// "salary + 0.93*commission <= 95796".

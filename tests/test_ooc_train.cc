@@ -1,0 +1,164 @@
+// Out-of-core training: streaming a CMPT table through CmpBuilder::
+// BuildStreamed must produce a tree BYTE-IDENTICAL to the in-memory
+// Build, for every block size and thread count — the same determinism
+// contract the parallel build already carries, extended to the block
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "io/block_source.h"
+#include "io/table_file.h"
+#include "tree/serialize.h"
+
+namespace cmp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+class OocTrainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AgrawalOptions gen;
+    gen.function = AgrawalFunction::kF6;  // exercises pending + linear
+    gen.num_records = 4000;
+    gen.seed = 977;
+    gen.perturbation = 0.05;
+    ds_ = GenerateAgrawal(gen);
+    path_ = TempPath("ooc_train.cmpt");
+    ASSERT_TRUE(SaveTableFile(ds_, path_));
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  BuildResult BuildStreamed(CmpOptions options, int64_t block,
+                            bool prefetch = true) {
+    auto source = TableBlockSource::Open(path_, block);
+    EXPECT_NE(source, nullptr);
+    CmpBuilder builder(options);
+    return builder.BuildStreamed(*source, prefetch);
+  }
+
+  Dataset ds_;
+  std::string path_;
+};
+
+TEST_F(OocTrainTest, StreamedTreeIdenticalAcrossBlockSizesAndThreads) {
+  CmpOptions options = CmpSOptions();
+  options.base.in_memory_threshold = 256;  // exercise collect + stash
+  const std::string reference =
+      SerializeTree(CmpBuilder(options).Build(ds_).tree);
+  ASSERT_FALSE(reference.empty());
+
+  // 1 (degenerate), a non-divisor, a divisor, n, and > n (single block).
+  const int64_t kBlocks[] = {1, 700, 1000, 4000, 4096};
+  for (const int64_t block : kBlocks) {
+    for (const int threads : {1, 2, 4}) {
+      options.base.num_threads = threads;
+      const BuildResult streamed = BuildStreamed(options, block);
+      EXPECT_EQ(SerializeTree(streamed.tree), reference)
+          << "block=" << block << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(OocTrainTest, PrefetchDoesNotChangeTheTree) {
+  CmpOptions options = CmpSOptions();
+  options.base.num_threads = 2;
+  const std::string with =
+      SerializeTree(BuildStreamed(options, 512, /*prefetch=*/true).tree);
+  const std::string without =
+      SerializeTree(BuildStreamed(options, 512, /*prefetch=*/false).tree);
+  EXPECT_EQ(with, without);
+}
+
+TEST_F(OocTrainTest, AllVariantsMatchInMemory) {
+  for (CmpOptions options :
+       {CmpSOptions(), CmpBOptions(), CmpFullOptions()}) {
+    options.base.num_threads = 2;
+    const std::string reference =
+        SerializeTree(CmpBuilder(options).Build(ds_).tree);
+    const BuildResult streamed = BuildStreamed(options, 777);
+    EXPECT_EQ(SerializeTree(streamed.tree), reference);
+  }
+}
+
+TEST_F(OocTrainTest, PureScanPathMatchesInMemory) {
+  // in_memory_threshold 0 disables the exact-finish switch entirely:
+  // every node grows through histogram scans and pending resolution,
+  // the heaviest use of the stash (buffered records only).
+  CmpOptions options = CmpSOptions();
+  options.base.in_memory_threshold = 0;
+  const std::string reference =
+      SerializeTree(CmpBuilder(options).Build(ds_).tree);
+  for (const int64_t block : {333, 4000}) {
+    const BuildResult streamed = BuildStreamed(options, block);
+    EXPECT_EQ(SerializeTree(streamed.tree), reference) << "block=" << block;
+  }
+}
+
+TEST_F(OocTrainTest, ReportsRealBytesAndBoundedResidentMemory) {
+  CmpOptions options = CmpSOptions();
+  const int64_t block = 500;
+  auto source = TableBlockSource::Open(path_, block);
+  ASSERT_NE(source, nullptr);
+  CmpBuilder builder(options);
+  const BuildResult result = builder.BuildStreamed(*source);
+
+  // Real-I/O accounting: at least one full pass of actual file bytes,
+  // and exactly what the source measured.
+  const int64_t one_pass = ds_.num_records() * ds_.schema().RecordBytes();
+  EXPECT_GE(result.stats.bytes_read, one_pass);
+  EXPECT_EQ(result.stats.bytes_read, source->bytes_read());
+  EXPECT_GT(result.stats.dataset_scans, 1);
+
+  // Staging memory is two block buffers, not the table: O(block), with
+  // 64-byte alignment padding per column as the only overhead.
+  const int64_t padding =
+      64 * (ds_.schema().num_attrs() + 1) * 2;  // per column, per slot
+  EXPECT_LE(source->resident_bytes(),
+            2 * block * ds_.schema().RecordBytes() + padding);
+  EXPECT_LT(source->resident_bytes(), one_pass);
+}
+
+TEST_F(OocTrainTest, DatasetBlockSourceMatchesToo) {
+  // The zero-copy in-memory source, sliced into small blocks, must also
+  // hit the reference tree — this isolates the block pipeline from the
+  // file reader.
+  CmpOptions options = CmpSOptions();
+  options.base.in_memory_threshold = 256;
+  const std::string reference =
+      SerializeTree(CmpBuilder(options).Build(ds_).tree);
+  for (const int threads : {1, 4}) {
+    options.base.num_threads = threads;
+    DatasetBlockSource source(ds_, /*block_records=*/600);
+    CmpBuilder builder(options);
+    const BuildResult streamed = builder.BuildStreamed(source);
+    EXPECT_EQ(SerializeTree(streamed.tree), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(OocTrainTest, StreamFailureThrowsInsteadOfSilentlyTraining) {
+  auto source = TableBlockSource::Open(path_, 256);
+  ASSERT_NE(source, nullptr);
+  // Truncate the backing file after Open; the mid-pass read failure
+  // must surface as an exception, never as a tree built from a partial
+  // table.
+  {
+    FILE* f = fopen(path_.c_str(), "wb");
+    fputs("CMPT", f);
+    fclose(f);
+  }
+  CmpBuilder builder(CmpSOptions());
+  EXPECT_THROW(builder.BuildStreamed(*source), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cmp

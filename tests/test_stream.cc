@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "datagen/agrawal.h"
 #include "hist/grids.h"
@@ -29,60 +31,109 @@ class StreamTest : public ::testing::Test {
   }
   void TearDown() override { std::remove(path_.c_str()); }
 
+  // Streams the whole table with the given block size, checking every
+  // value against the in-memory original and that no block exceeds the
+  // requested size. Returns the number of blocks delivered.
+  int StreamAndVerify(int64_t block_records) {
+    auto scanner = TableScanner::Open(path_, block_records);
+    EXPECT_NE(scanner, nullptr);
+    if (scanner == nullptr) return -1;
+    EXPECT_EQ(scanner->num_records(), original_.num_records());
+    EXPECT_TRUE(scanner->schema() == original_.schema());
+
+    ColumnBlock block;
+    RecordId global = 0;
+    int blocks = 0;
+    while (scanner->NextBlock(&block)) {
+      EXPECT_LE(block.count(), block_records);
+      EXPECT_EQ(block.begin(), global);
+      ++blocks;
+      for (int64_t i = 0; i < block.count(); ++i, ++global) {
+        for (AttrId a = 0; a < original_.num_attrs(); ++a) {
+          if (original_.schema().is_numeric(a)) {
+            EXPECT_DOUBLE_EQ(block.numeric(a, i),
+                             original_.numeric(a, global));
+          } else {
+            EXPECT_EQ(block.categorical(a, i),
+                      original_.categorical(a, global));
+          }
+        }
+        EXPECT_EQ(block.label(i), original_.label(global));
+      }
+    }
+    EXPECT_EQ(global, original_.num_records());
+    return blocks;
+  }
+
   Dataset original_;
   std::string path_;
 };
 
 TEST_F(StreamTest, StreamsEveryRecordInOrder) {
-  auto scanner = TableScanner::Open(path_, /*block_records=*/700);
-  ASSERT_NE(scanner, nullptr);
-  EXPECT_EQ(scanner->num_records(), original_.num_records());
-  EXPECT_TRUE(scanner->schema() == original_.schema());
-
-  Dataset block;
-  RecordId global = 0;
-  while (scanner->NextBlock(&block)) {
-    for (RecordId i = 0; i < block.num_records(); ++i, ++global) {
-      for (AttrId a = 0; a < original_.num_attrs(); ++a) {
-        if (original_.schema().is_numeric(a)) {
-          ASSERT_DOUBLE_EQ(block.numeric(a, i),
-                           original_.numeric(a, global));
-        } else {
-          ASSERT_EQ(block.categorical(a, i),
-                    original_.categorical(a, global));
-        }
-      }
-      ASSERT_EQ(block.label(i), original_.label(global));
-    }
-  }
-  EXPECT_EQ(global, original_.num_records());
+  EXPECT_EQ(StreamAndVerify(700), 8);  // 7*700 + 100 remainder
 }
 
-TEST_F(StreamTest, BlockSizesBoundedAndExact) {
-  auto scanner = TableScanner::Open(path_, 999);
-  ASSERT_NE(scanner, nullptr);
-  Dataset block;
-  int64_t total = 0;
-  int blocks = 0;
-  while (scanner->NextBlock(&block)) {
-    EXPECT_LE(block.num_records(), 999);
-    total += block.num_records();
-    ++blocks;
-  }
-  EXPECT_EQ(total, 5000);
-  EXPECT_EQ(blocks, 6);  // 5*999 + 5 remainder
+TEST_F(StreamTest, BlockSizeOne) { EXPECT_EQ(StreamAndVerify(1), 5000); }
+
+TEST_F(StreamTest, BlockSizeExactlyTableSize) {
+  EXPECT_EQ(StreamAndVerify(5000), 1);
 }
 
-TEST_F(StreamTest, ResetAllowsSecondPass) {
+TEST_F(StreamTest, BlockSizeLargerThanTable) {
+  EXPECT_EQ(StreamAndVerify(5001), 1);
+}
+
+TEST_F(StreamTest, NonDividingBlockSize) {
+  EXPECT_EQ(StreamAndVerify(999), 6);  // 5*999 + 5 remainder
+  EXPECT_EQ(StreamAndVerify(4999), 2);
+}
+
+TEST_F(StreamTest, ResetAllowsRepeatedPasses) {
   auto scanner = TableScanner::Open(path_, 2048);
   ASSERT_NE(scanner, nullptr);
-  Dataset block;
-  int64_t first_pass = 0;
-  while (scanner->NextBlock(&block)) first_pass += block.num_records();
-  scanner->Reset();
-  int64_t second_pass = 0;
-  while (scanner->NextBlock(&block)) second_pass += block.num_records();
-  EXPECT_EQ(first_pass, second_pass);
+  ColumnBlock block;
+  for (int pass = 0; pass < 3; ++pass) {
+    int64_t seen = 0;
+    double checksum = 0.0;
+    while (scanner->NextBlock(&block)) {
+      seen += block.count();
+      checksum += block.numeric(0, 0);
+    }
+    EXPECT_EQ(seen, 5000) << "pass " << pass;
+    EXPECT_NE(checksum, 0.0);
+    scanner->Reset();
+  }
+}
+
+TEST_F(StreamTest, ReadBlockIsRandomAccess) {
+  auto scanner = TableScanner::Open(path_, 512);
+  ASSERT_NE(scanner, nullptr);
+  ColumnBlock block;
+  // Read a window from the middle without touching the cursor.
+  ASSERT_TRUE(scanner->ReadBlock(1234, 100, &block));
+  EXPECT_EQ(block.begin(), 1234);
+  EXPECT_EQ(block.count(), 100);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(block.label(i), original_.label(1234 + i));
+  }
+  EXPECT_EQ(scanner->position(), 0);
+}
+
+TEST_F(StreamTest, ReadNumericColumnMatchesDataset) {
+  auto scanner = TableScanner::Open(path_, 512);
+  ASSERT_NE(scanner, nullptr);
+  const AttrId salary = original_.schema().FindAttr("salary");
+  std::vector<double> col;
+  ASSERT_TRUE(scanner->ReadNumericColumn(salary, &col));
+  ASSERT_EQ(static_cast<int64_t>(col.size()), original_.num_records());
+  for (RecordId r = 0; r < original_.num_records(); ++r) {
+    EXPECT_DOUBLE_EQ(col[r], original_.numeric(salary, r));
+  }
+  std::vector<ClassId> labels;
+  ASSERT_TRUE(scanner->ReadLabelColumn(&labels));
+  for (RecordId r = 0; r < original_.num_records(); ++r) {
+    EXPECT_EQ(labels[r], original_.label(r));
+  }
 }
 
 TEST_F(StreamTest, StreamedHistogramMatchesInMemory) {
@@ -100,9 +151,9 @@ TEST_F(StreamTest, StreamedHistogramMatchesInMemory) {
   auto scanner = TableScanner::Open(path_, 512);
   ASSERT_NE(scanner, nullptr);
   Histogram1D streamed(grids[salary].num_intervals(), 2);
-  Dataset block;
+  ColumnBlock block;
   while (scanner->NextBlock(&block)) {
-    for (RecordId i = 0; i < block.num_records(); ++i) {
+    for (int64_t i = 0; i < block.count(); ++i) {
       streamed.Add(grids[salary].IntervalOf(block.numeric(salary, i)),
                    block.label(i));
     }
@@ -112,6 +163,52 @@ TEST_F(StreamTest, StreamedHistogramMatchesInMemory) {
       EXPECT_EQ(streamed.count(i, c), in_memory.count(i, c));
     }
   }
+}
+
+TEST_F(StreamTest, CountsRealBytes) {
+  auto scanner = TableScanner::Open(path_, 1000);
+  ASSERT_NE(scanner, nullptr);
+  ColumnBlock block;
+  while (scanner->NextBlock(&block)) {
+  }
+  // One full pass must have pulled at least every column's payload.
+  EXPECT_GE(scanner->bytes_read(),
+            original_.num_records() * original_.schema().RecordBytes());
+}
+
+TEST_F(StreamTest, TruncatedFileRejectedAtOpen) {
+  // Chop the final label column short: the header still parses, but the
+  // file size no longer matches the record count it claims.
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 16);
+  EXPECT_EQ(TableScanner::Open(path_, 512), nullptr);
+}
+
+TEST_F(StreamTest, PaddedFileRejectedAtOpen) {
+  std::ofstream f(path_, std::ios::binary | std::ios::app);
+  f.write("....", 4);
+  f.close();
+  EXPECT_EQ(TableScanner::Open(path_, 512), nullptr);
+}
+
+TEST_F(StreamTest, ResetClearsErrorStateAfterMidScanTruncation) {
+  auto scanner = TableScanner::Open(path_, 512);
+  ASSERT_NE(scanner, nullptr);
+  // Truncate AFTER a successful Open, then scan: the pass must fail
+  // partway instead of fabricating records.
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full / 2);
+  ColumnBlock block;
+  int64_t seen = 0;
+  while (scanner->NextBlock(&block)) seen += block.count();
+  EXPECT_LT(seen, 5000);
+  // Restore the file. Reset must clear the sticky stream failure so the
+  // next pass sees every record again.
+  ASSERT_TRUE(SaveTableFile(original_, path_));
+  scanner->Reset();
+  int64_t second = 0;
+  while (scanner->NextBlock(&block)) second += block.count();
+  EXPECT_EQ(second, 5000);
 }
 
 TEST(Stream, OpenFailsOnMissingOrBadFile) {
