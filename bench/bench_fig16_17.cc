@@ -11,11 +11,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "clouds/clouds.h"
-#include "cmp/cmp.h"
 #include "datagen/agrawal.h"
-#include "rainforest/rainforest.h"
-#include "sprint/sprint.h"
+#include "tree/builder.h"
 
 namespace {
 
@@ -33,15 +30,9 @@ void RunFigure(const char* title, AgrawalFunction fn) {
     gen.seed = 93;
     const Dataset train = GenerateAgrawal(gen);
 
-    std::vector<std::unique_ptr<TreeBuilder>> builders;
-    builders.push_back(std::make_unique<CmpBuilder>(CmpFullOptions()));
-    builders.push_back(std::make_unique<SprintBuilder>());
-    builders.push_back(std::make_unique<RainForestBuilder>());
-    builders.push_back(std::make_unique<CloudsBuilder>());
-
     std::printf("%10lld", static_cast<long long>(n));
-    for (auto& builder : builders) {
-      const BuildResult result = builder->Build(train);
+    for (const char* algo : {"cmp", "sprint", "rainforest", "clouds"}) {
+      const BuildResult result = MakeTreeBuilder(algo)->Build(train);
       std::printf(" %10.2f", result.stats.SimulatedSeconds(disk));
     }
     std::printf("\n");

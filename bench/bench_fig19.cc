@@ -13,11 +13,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "clouds/clouds.h"
-#include "cmp/cmp.h"
 #include "datagen/agrawal.h"
-#include "rainforest/rainforest.h"
-#include "sprint/sprint.h"
+#include "tree/builder.h"
 
 int main() {
   using namespace cmp;
@@ -32,15 +29,9 @@ int main() {
     gen.seed = 97;
     const Dataset train = GenerateAgrawal(gen);
 
-    std::vector<std::unique_ptr<TreeBuilder>> builders;
-    builders.push_back(std::make_unique<CmpBuilder>(CmpFullOptions()));
-    builders.push_back(std::make_unique<CmpBuilder>(CmpSOptions()));
-    builders.push_back(std::make_unique<RainForestBuilder>());
-    builders.push_back(std::make_unique<SprintBuilder>());
-
     std::printf("%10lld", static_cast<long long>(n));
-    for (auto& builder : builders) {
-      const BuildResult result = builder->Build(train);
+    for (const char* algo : {"cmp", "cmp-s", "rainforest", "sprint"}) {
+      const BuildResult result = MakeTreeBuilder(algo)->Build(train);
       std::printf(" %10.2f",
                   result.stats.peak_memory_bytes / (1024.0 * 1024.0));
     }

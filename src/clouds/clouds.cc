@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/class_counts.h"
 #include "common/timer.h"
 #include "exact/exact.h"
 #include "gini/categorical.h"
@@ -14,26 +15,11 @@
 #include "hist/histogram1d.h"
 #include "io/scan.h"
 #include "pruning/mdl.h"
+#include "tree/observer.h"
 
 namespace cmp {
 
 namespace {
-
-ClassId Majority(const std::vector<int64_t>& counts) {
-  ClassId best = 0;
-  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
-    if (counts[c] > counts[best]) best = c;
-  }
-  return best;
-}
-
-bool IsPure(const std::vector<int64_t>& counts) {
-  int nonzero = 0;
-  for (int64_t c : counts) {
-    if (c > 0) ++nonzero;
-  }
-  return nonzero <= 1;
-}
 
 // An interval that survived estimation pruning and must be examined
 // point by point during the second pass.
@@ -83,8 +69,11 @@ BuildResult CloudsBuilder::Build(const Dataset& train) {
   root.class_counts = train.ClassCounts();
   root.leaf_class = Majority(root.class_counts);
   const NodeId root_id = result.tree.AddNode(std::move(root));
+  TrainObserver* const observer = options_.base.observer;
+  if (observer != nullptr) observer->OnBuildStart(name(), n);
   if (n == 0) {
     result.stats.wall_seconds = timer.Seconds();
+    if (observer != nullptr) observer->OnBuildEnd(result.stats);
     return result;
   }
 
@@ -97,12 +86,7 @@ BuildResult CloudsBuilder::Build(const Dataset& train) {
   tracker.ChargeWrite(n * static_cast<int64_t>(sizeof(NodeId)));
 
   auto make_hists = [&](CloudsNode* cn) {
-    cn->hists.resize(schema.num_attrs());
-    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
-      const int rows = schema.is_numeric(a) ? grids[a].num_intervals()
-                                            : schema.attr(a).cardinality;
-      cn->hists[a] = Histogram1D(rows, nc);
-    }
+    cn->hists = MakeAttrHistograms(schema, grids, nc);
   };
 
   // Nodes whose records will be collected for the in-memory finisher.
@@ -127,7 +111,15 @@ BuildResult CloudsBuilder::Build(const Dataset& train) {
     }
   }
 
+  int pass_index = 0;
   while (!active.empty() || !collect.empty()) {
+    PassObservation po;
+    po.pass = pass_index++;
+    po.records_scanned = n;
+    po.frontier_fresh = static_cast<int64_t>(active.size());
+    po.frontier_collect = static_cast<int64_t>(collect.size());
+    const int64_t bytes_before = result.stats.bytes_read;
+    Timer pass_timer;
     // ---- Pass 1 of the level: route one split down, fill histograms,
     // and collect rids of small partitions. The nid array is swapped
     // from and to disk per scan, as in the paper.
@@ -351,12 +343,18 @@ BuildResult CloudsBuilder::Build(const Dataset& train) {
       enqueue(right_id, right_n);
     }
     active = std::move(next);
+
+    po.scan_seconds = pass_timer.Seconds();
+    po.bytes_read = result.stats.bytes_read - bytes_before;
+    po.tree_nodes = result.tree.num_nodes();
+    if (observer != nullptr) observer->OnPass(po);
   }
 
   if (options_.base.prune) PruneTreeMdl(&result.tree);
   result.stats.tree_nodes = result.tree.num_nodes();
   result.stats.tree_depth = result.tree.Depth();
   result.stats.wall_seconds = timer.Seconds();
+  if (observer != nullptr) observer->OnBuildEnd(result.stats);
   return result;
 }
 

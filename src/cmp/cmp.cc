@@ -1,256 +1,40 @@
 #include "cmp/cmp.h"
 
 #include <algorithm>
-#include <cassert>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
 #include <memory>
-#include <numeric>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
-#include "cmp/bundle.h"
-#include "cmp/linear.h"
+#include "cmp/frontier.h"
 #include "cmp/pairs.h"
 #include "cmp/record_store.h"
+#include "cmp/scan_pass.h"
+#include "cmp/split_plan.h"
+#include "cmp/variant_policy.h"
+#include "common/class_counts.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
-#include "exact/exact.h"
-#include "gini/categorical.h"
-#include "gini/estimator.h"
-#include "gini/gini.h"
 #include "hist/grids.h"
 #include "io/scan.h"
 #include "pruning/mdl.h"
+#include "tree/observer.h"
 
 namespace cmp {
 
 namespace {
 
-ClassId Majority(const std::vector<int64_t>& counts) {
-  ClassId best = 0;
-  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
-    if (counts[c] > counts[best]) best = c;
-  }
-  return best;
-}
-
-bool IsPure(const std::vector<int64_t>& counts) {
-  int nonzero = 0;
-  for (int64_t c : counts) {
-    if (c > 0) ++nonzero;
-  }
-  return nonzero <= 1;
-}
-
-int64_t Sum(const std::vector<int64_t>& counts) {
-  int64_t n = 0;
-  for (int64_t c : counts) n += c;
-  return n;
-}
-
-// A record set aside because its split-attribute value falls in an alive
-// interval; the exact record is re-read from the (read-only) dataset at
-// flush time, so only the sort key and class are kept hot.
-struct BufferedRecord {
-  RecordId rid;
-  double value;
-  ClassId label;
-};
-
-constexpr int64_t kBufferedBytes = 20;  // rid + value + label on disk
-
-struct Pending;
-
-// What a preliminary subnode (segment of a pending split) will become.
-enum class PlanKind {
-  /// Keep the (derived or fresh) bundle; analyze normally at resolution.
-  kGrow,
-  /// Nested pending split (CMP-B second-level split, Figure 8/10).
-  kPending,
-  /// Exact split decided from the derived sub-matrices; grandchild
-  /// bundles fill during the scan.
-  kExact,
-};
-
-// One preliminary subnode of a pending split: the records strictly
-// between two alive intervals (or outside the outermost ones).
-struct Segment {
-  // Per-class counts of records routed here during the scan; for derived
-  // bundles this equals the bundle totals once the buffer is flushed.
-  std::vector<int64_t> counts;
-  // Global X/interval range of the records this segment may receive
-  // (including the partial alive columns filled by buffer flushes).
-  int range_lo = 0;
-  int range_hi = 0;
-
-  PlanKind plan = PlanKind::kGrow;
-  HistBundle bundle;                      // kGrow
-  bool bundle_fresh = true;               // fill during scan?
-  std::unique_ptr<Pending> sub;           // kPending
-  Split exact_split;                      // kExact
-  HistBundle exact_left;                  // kExact: grandchild bundles
-  HistBundle exact_right;
-  std::vector<int64_t> exact_left_counts;   // kExact: routed counts
-  std::vector<int64_t> exact_right_counts;
-};
-
-// A pending (approximate) numeric split awaiting exact resolution at the
-// next scan.
-struct Pending {
-  AttrId attr = kInvalidAttr;
-  // Alive interval indices on `attr` (global grid indices), ascending,
-  // between 1 and max_alive entries.
-  std::vector<int> alive;
-  std::vector<Segment> segments;  // alive.size() + 1
-  std::vector<BufferedRecord> buffer;
-  int64_t MemoryBytes() const;
-};
-
-int64_t SegmentMemory(const Segment& seg) {
-  int64_t bytes = seg.bundle.MemoryBytes() + seg.exact_left.MemoryBytes() +
-                  seg.exact_right.MemoryBytes();
-  if (seg.sub != nullptr) bytes += seg.sub->MemoryBytes();
-  return bytes;
-}
-
-int64_t Pending::MemoryBytes() const {
-  int64_t bytes = static_cast<int64_t>(buffer.size()) * kBufferedBytes;
-  for (const Segment& seg : segments) bytes += SegmentMemory(seg);
-  return bytes;
-}
-
 // ---------------------------------------------------------------------
-// Per-shard scan state. A parallel scan hands each shard a contiguous,
-// ascending record range and a private empty mirror of every histogram
-// the scan accumulates; the mirrors are merged back in a fixed order.
-// All merged state is integer counts (commutative, exact) or buffers
-// concatenated in ascending-shard = ascending-record order, so the
-// merged result is byte-for-byte the serial scan's — the root of the
-// bit-identical-for-any-thread-count contract.
-
-// Empty structural mirror of `p`: same plan tree, zeroed counts, empty
-// buffers; bundles that accumulate during a scan are cloned empty,
-// derived (pre-filled, bundle_fresh == false) bundles are left empty
-// because RoutePending never touches them.
-std::unique_ptr<Pending> ClonePendingEmpty(const Pending& p, int nc) {
-  auto clone = std::make_unique<Pending>();
-  clone->attr = p.attr;
-  clone->alive = p.alive;
-  clone->segments.resize(p.segments.size());
-  for (size_t i = 0; i < p.segments.size(); ++i) {
-    const Segment& src = p.segments[i];
-    Segment& dst = clone->segments[i];
-    dst.counts.assign(nc, 0);
-    dst.range_lo = src.range_lo;
-    dst.range_hi = src.range_hi;
-    dst.plan = src.plan;
-    dst.bundle_fresh = src.bundle_fresh;
-    switch (src.plan) {
-      case PlanKind::kGrow:
-        if (src.bundle_fresh) dst.bundle = src.bundle.CloneEmptyShape();
-        break;
-      case PlanKind::kPending:
-        dst.sub = ClonePendingEmpty(*src.sub, nc);
-        break;
-      case PlanKind::kExact:
-        dst.exact_split = src.exact_split;
-        dst.exact_left = src.exact_left.CloneEmptyShape();
-        dst.exact_right = src.exact_right.CloneEmptyShape();
-        dst.exact_left_counts.assign(nc, 0);
-        dst.exact_right_counts.assign(nc, 0);
-        break;
-    }
-  }
-  return clone;
-}
-
-void MergePendingInto(Pending* dst, const Pending& src) {
-  dst->buffer.insert(dst->buffer.end(), src.buffer.begin(),
-                     src.buffer.end());
-  for (size_t i = 0; i < dst->segments.size(); ++i) {
-    Segment& d = dst->segments[i];
-    const Segment& s = src.segments[i];
-    for (size_t c = 0; c < d.counts.size(); ++c) d.counts[c] += s.counts[c];
-    switch (d.plan) {
-      case PlanKind::kGrow:
-        if (d.bundle_fresh) d.bundle.MergeSameShape(s.bundle);
-        break;
-      case PlanKind::kPending:
-        MergePendingInto(d.sub.get(), *s.sub);
-        break;
-      case PlanKind::kExact:
-        for (size_t c = 0; c < d.exact_left_counts.size(); ++c) {
-          d.exact_left_counts[c] += s.exact_left_counts[c];
-          d.exact_right_counts[c] += s.exact_right_counts[c];
-        }
-        d.exact_left.MergeSameShape(s.exact_left);
-        d.exact_right.MergeSameShape(s.exact_right);
-        break;
-    }
-  }
-}
-
-// Sorts a pending buffer by (value, rid). The record id tiebreak makes
-// the order a total one — equal-valued records always route to the same
-// side of the resolved split, so the tree is unchanged, but the sorted
-// buffer is now a unique permutation: re-sorting an already-sorted
-// buffer is a no-op, which lets the per-pending sorts run as a parallel
-// pre-pass without perturbing anything downstream.
-void SortBuffer(std::vector<BufferedRecord>* buffer) {
-  std::sort(buffer->begin(), buffer->end(),
-            [](const BufferedRecord& a, const BufferedRecord& b) {
-              return a.value != b.value ? a.value < b.value : a.rid < b.rid;
-            });
-}
-
-// Flattens a pending tree (the top-level split plus any nested
-// sub-pendings) into a work list, so every buffer sort can fan out.
-void CollectPendings(Pending* p, std::vector<Pending*>* out) {
-  out->push_back(p);
-  for (Segment& seg : p->segments) {
-    if (seg.plan == PlanKind::kPending) CollectPendings(seg.sub.get(), out);
-  }
-}
-
-// Per-attribute analysis outcome used for both split selection and
-// prediction.
-struct BundleAnalysis {
-  // Estimated (numeric) or exact (categorical) gini per attribute; the
-  // paper selects the split attribute by this value.
-  std::vector<double> attr_est;
-  // Decision for the node.
-  enum class Decision {
-    kNone,            // no valid split: leaf
-    kNumericPending,  // approximate split with alive intervals
-    kNumericExact,    // boundary split, no interval can beat it
-    kCategorical,
-    kLinear,
-  };
-  Decision decision = Decision::kNone;
-  AttrId attr = kInvalidAttr;
-  // kNumericPending / kNumericExact.
-  double fallback_threshold = 0.0;
-  double fallback_gini = 1.0;
-  std::vector<int> alive;                  // global interval indices
-  std::vector<int64_t> exact_left_counts;  // kNumericExact / kCategorical
-  // kCategorical.
-  CategoricalSplit cat;
-  // kLinear.
-  Split linear_split;
-};
-
-// ---------------------------------------------------------------------
-// The builder implementation proper.
+// The build driver. The heavy lifting lives in the pipeline layers:
+//   frontier.h    — pending/segment lifecycle, routing, mirrors
+//   scan_pass.h   — one sharded, blocked pass over the records
+//   split_plan.h  — bundle analysis, split decisions, tree growth
+// The driver owns the shared state (grids, record->node map, frontier
+// queues), sequences the passes, and reports per-pass observations.
 //
 // Templated over the record store (record_store.h): the in-memory path
 // instantiates it with InMemoryStore + a zero-copy DatasetBlockSource,
-// the out-of-core path with StreamStore + a TableBlockSource. Every
-// scan consumes columnar blocks from the BlockSource; per-record reads
-// go through the store, which serves them from the resident block (or,
-// during the resolve phase, from the stash of retained records).
+// the out-of-core path with StreamStore + a TableBlockSource.
 
 template <class Store>
 class CmpBuild {
@@ -261,6 +45,7 @@ class CmpBuild {
         source_(source),
         schema_(store.schema()),
         options_(options),
+        policy_(VariantPolicy::For(options.variant)),
         pool_(pool),
         result_(result),
         tracker_(&result->stats) {}
@@ -268,143 +53,13 @@ class CmpBuild {
   void Run();
 
  private:
-  struct FreshWork {
-    NodeId node;
-    HistBundle bundle;
-  };
-  struct PendingWork {
-    NodeId node;
-    std::unique_ptr<Pending> pending;
-  };
-  struct CollectWork {
-    NodeId node;
-    std::vector<RecordId> rids;
-  };
-
-  bool bivariate() const {
-    return options_.variant != CmpVariant::kS && !numeric_attrs_.empty();
-  }
-
-  // Cut value of the global grid boundary with index `cut` on attribute
-  // `a` (cut i separates interval i from i+1).
-  double CutValue(AttrId a, int cut) const {
-    return grids_[a].UpperCut(cut);
-  }
-
-  NodeId AddChild(const std::vector<int64_t>& counts, int depth) {
-    TreeNode child;
-    child.depth = depth;
-    child.class_counts = counts;
-    child.leaf_class = Majority(counts);
-    child.is_leaf = false;  // provisional; leaves are marked explicitly
-    return result_->tree.AddNode(std::move(child));
-  }
-
-  void MakeLeaf(NodeId id) { result_->tree.MakeLeaf(id); }
-
-  // Chooses the X-axis attribute for a fresh child bundle: the numeric
-  // attribute with the smallest estimated gini at the parent
-  // (predictSplit's fallback row for attributes not on the sub-matrix
-  // axes; see DESIGN.md for the simplification).
-  AttrId PredictX(const BundleAnalysis& parent) const;
-
-  // How a child restricts the parent's records on the attribute that was
-  // just split: a row range for numeric splits, a value mask for
-  // categorical ones.
-  struct ChildRestriction {
-    AttrId split_attr = kInvalidAttr;
-    bool is_range = false;
-    int lo = 0;  // global interval indices on split_attr
-    int hi = 0;
-    const std::vector<uint8_t>* mask = nullptr;
-    uint8_t want = 1;
-  };
-
-  // The paper's predictSplit (Figure 7): exact ginis for the attributes
-  // on the sub-matrix axes (computed from the parent's matrices
-  // restricted to the child's rows), parent-level estimates for the
-  // rest; returns the argmin attribute, which becomes the child's X
-  // axis.
-  AttrId PredictChildX(const HistBundle& parent,
-                       const std::vector<double>& parent_est,
-                       const ChildRestriction& r) const;
-
-  // Scores one attribute histogram the way Analyze does (boundary
-  // minimum clamped by interior-splittable interval estimates). `offs`
-  // maps local histogram rows to global grid intervals.
-  double AttrEstFromHist(AttrId a, const Histogram1D& hist, int offs) const;
-
-  HistBundle MakeFreshBundle(AttrId x_attr, int x_lo, int x_hi) const;
-
-  // Analyzes a node's complete histogram bundle and picks a split
-  // decision. `totals` are the node's per-class counts.
-  BundleAnalysis Analyze(const HistBundle& bundle,
-                         const std::vector<int64_t>& totals) const;
-
-  // Applies stop tests + Analyze to a real tree node whose bundle is
-  // complete, materializing children / pendings / collect work.
-  // `predicted` marks bundles whose X axis was chosen by predictSplit
-  // (fresh bundles); derived sub-matrix bundles inherit their X axis and
-  // do not count toward the prediction hit-rate. `pre` optionally hands
-  // in the node's analysis when it was computed ahead of time (frontier
-  // nodes of one level are analyzed in parallel before their serial,
-  // order-preserving application to the tree).
-  void GrowNode(NodeId id, HistBundle&& bundle, bool predicted = true,
-                const BundleAnalysis* pre = nullptr);
-
-  // Whether GrowNode would reach Analyze for a node with these totals
-  // (mirrors its early-out chain); used to skip useless pre-analyses.
-  bool WouldAnalyze(NodeId id, const std::vector<int64_t>& totals) const;
-
-  // Runs the routing loop for records [begin, end) (which must lie
-  // inside the resident block) against the given per-slot scan sinks
-  // (the master work lists, or one shard's private mirrors during a
-  // parallel scan). When `retain` is non-null, every record that must
-  // stay readable after the block is evicted — buffered into a pending
-  // buffer or collected for exact finishing — is appended to it.
-  void ScanRange(int64_t begin, int64_t end, int num_nodes,
-                 const std::vector<int>& fresh_slot,
-                 const std::vector<int>& pending_slot,
-                 const std::vector<int>& collect_slot,
-                 std::vector<HistBundle*>& fresh_sink,
-                 std::vector<Pending*>& pending_sink,
-                 std::vector<std::vector<RecordId>*>& collect_sink,
-                 std::vector<RecordId>* retain);
-
-  // Builds the Pending structure for a node whose decision is
-  // kNumericPending.
-  std::unique_ptr<Pending> MakePending(const HistBundle& bundle,
-                                       const BundleAnalysis& analysis,
-                                       int depth);
-
-  // Plans one derived segment of a CMP-B double split.
-  void PlanSegment(Segment* seg, int depth);
-
-  // Routes record `r` through a pending split (at most one nested
-  // level). Returns true if the record was set aside in a (possibly
-  // nested) pending buffer — i.e. it will be re-read at resolve time.
-  bool RoutePending(Pending* p, RecordId r);
-
-  // Resolves a pending split of tree node `id`, creating children (and
-  // grandchildren for nested pendings) and growing the frontier.
-  void ResolvePending(NodeId id, Pending* p, int depth);
-
-  // Adds a buffered record to whatever sits on one side of a resolved
-  // split: a nested pending, an exact sub-split, or a plain bundle.
-  void FlushIntoSegment(Segment* seg, RecordId r);
-
-  // Finishes one collect partition with the exact in-memory builder:
-  // directly on the dataset when there is one, otherwise on a Dataset
-  // materialized from the stash (rids ascending, so local record i is
-  // global record rids[i] — BuildExactSubtree depends only on the
-  // record sequence, so the subtree is identical either way).
-  void FinishCollect(const std::vector<RecordId>& rids, DecisionTree* tree,
-                     NodeId node, ScanTracker* tracker);
+  void BuildGrids(int64_t n);
 
   Store& store_;
   BlockSource& source_;
   const Schema& schema_;
   CmpOptions options_;
+  VariantPolicy policy_;
   ThreadPool* pool_;  // borrowed, never null (CmpBuilder::Build guarantees)
   BuildResult* result_;
   ScanTracker tracker_;
@@ -425,1060 +80,19 @@ class CmpBuild {
   // none found).
   std::vector<PairRelation> root_relations_;
 
-  std::vector<FreshWork> fresh_;
-  std::vector<PendingWork> pending_;
-  std::vector<CollectWork> collect_;
-  // Work generated for the next scan.
-  std::vector<FreshWork> next_fresh_;
-  std::vector<PendingWork> next_pending_;
-  std::vector<CollectWork> next_collect_;
+  // This round's work and the work split resolution generates for the
+  // next scan.
+  FrontierQueues work_;
+  FrontierQueues next_;
 };
 
+// Discretization pass: one column read and ONE sort per numeric
+// attribute serve both the quantile grid and the interior-splittable
+// marks. Grids depend only on the sorted value multiset, so the
+// streamed and in-memory builds produce identical grids — the first
+// link of the streamed-equals-in-memory determinism argument.
 template <class Store>
-AttrId CmpBuild<Store>::PredictX(const BundleAnalysis& parent) const {
-  AttrId best = numeric_attrs_.front();
-  double best_est = std::numeric_limits<double>::infinity();
-  for (AttrId a : numeric_attrs_) {
-    if (grids_[a].num_intervals() < 2) continue;
-    const double est = parent.attr_est.empty()
-                           ? 0.0
-                           : parent.attr_est[a];
-    if (est < best_est) {
-      best_est = est;
-      best = a;
-    }
-  }
-  return best;
-}
-
-template <class Store>
-double CmpBuild<Store>::AttrEstFromHist(AttrId a, const Histogram1D& hist,
-                                 int offs) const {
-  if (hist.num_intervals() < 2) {
-    return std::numeric_limits<double>::infinity();
-  }
-  const AttrAnalysis an = AnalyzeAttribute(hist);
-  if (an.best_boundary < 0) {
-    return std::numeric_limits<double>::infinity();
-  }
-  double est = an.gini_min;
-  for (int i = 0; i < static_cast<int>(an.interval_est.size()); ++i) {
-    if (interior_[a][offs + i] != 0) {
-      est = std::min(est, an.interval_est[i]);
-    }
-  }
-  return est;
-}
-
-template <class Store>
-AttrId CmpBuild<Store>::PredictChildX(const HistBundle& parent,
-                               const std::vector<double>& parent_est,
-                               const ChildRestriction& r) const {
-  std::vector<double> est = parent_est;
-  if (est.empty()) {
-    est.assign(schema_.num_attrs(),
-               std::numeric_limits<double>::infinity());
-  }
-  if (parent.bivariate() && r.split_attr != kInvalidAttr) {
-    if (r.split_attr == parent.x_attr() && r.is_range) {
-      // Split on the X axis: every matrix restricted to the child's X
-      // columns gives the child's exact histogram for its Y attribute,
-      // and any of them gives the child's X histogram.
-      const int lo = r.lo - parent.x_lo();
-      const int hi = r.hi - parent.x_lo();
-      bool x_done = false;
-      for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
-        if (a == parent.x_attr() || !schema_.is_numeric(a)) continue;
-        const HistogramMatrix& m = parent.matrix(a);
-        est[a] = AttrEstFromHist(a, m.MarginalY(lo, hi), 0);
-        if (!x_done) {
-          est[parent.x_attr()] = AttrEstFromHist(
-              parent.x_attr(), m.MarginalX(lo, hi), r.lo);
-          x_done = true;
-        }
-      }
-    } else if (r.split_attr != parent.x_attr()) {
-      // Split on a Y attribute: the (X, split_attr) matrix restricted to
-      // the child's rows gives the child's exact X and split_attr
-      // histograms; other attributes keep the parent-level estimate.
-      const HistogramMatrix& m = parent.matrix(r.split_attr);
-      const Histogram1D hx =
-          r.mask != nullptr ? m.MarginalXByYMask(*r.mask, r.want)
-                            : m.MarginalXByYRange(r.lo, r.hi);
-      est[parent.x_attr()] =
-          AttrEstFromHist(parent.x_attr(), hx, parent.x_lo());
-      if (schema_.is_numeric(r.split_attr) && r.is_range) {
-        est[r.split_attr] = AttrEstFromHist(
-            r.split_attr, m.MarginalYByYRange(r.lo, r.hi), r.lo);
-      }
-    }
-  }
-  AttrId best = numeric_attrs_.front();
-  double best_est = std::numeric_limits<double>::infinity();
-  for (AttrId a : numeric_attrs_) {
-    if (grids_[a].num_intervals() < 2) continue;
-    if (est[a] < best_est) {
-      best_est = est[a];
-      best = a;
-    }
-  }
-  return best;
-}
-
-template <class Store>
-HistBundle CmpBuild<Store>::MakeFreshBundle(AttrId x_attr, int x_lo, int x_hi) const {
-  if (!bivariate()) return HistBundle::MakeUnivariate(schema_, grids_);
-  return HistBundle::MakeBivariate(schema_, grids_, x_attr, x_lo, x_hi);
-}
-
-template <class Store>
-BundleAnalysis CmpBuild<Store>::Analyze(const HistBundle& bundle,
-                                 const std::vector<int64_t>& totals) const {
-  (void)totals;  // kept for symmetry with future split criteria
-  BundleAnalysis out;
-  out.attr_est.assign(schema_.num_attrs(),
-                      std::numeric_limits<double>::infinity());
-
-  // Per-attribute scoring (histogram extraction, boundary scan, interval
-  // estimates, categorical subset search) touches only that attribute's
-  // state, so it fans out across the pool; each slot is written by
-  // exactly one worker. The winner is then reduced serially in ascending
-  // attribute order — the identical comparison chain the serial loop
-  // used, so the chosen attribute (ties included) does not depend on the
-  // thread count.
-  struct AttrResult {
-    bool valid = false;
-    bool is_cat = false;
-    double est = 0.0;
-    AttrAnalysis an;
-    Histogram1D hist;
-    CategoricalSplit cat;
-  };
-  std::vector<AttrResult> results(schema_.num_attrs());
-  auto score_attr = [&](AttrId a) {
-    AttrResult& res = results[a];
-    Histogram1D hist = bundle.HistFor(a);
-    if (schema_.is_numeric(a)) {
-      if (hist.num_intervals() < 2) return;
-      AttrAnalysis an = AnalyzeAttribute(hist);
-      if (an.best_boundary < 0) return;
-      // Clamp the per-interval estimates to intervals that can actually
-      // contain an interior split point; a tie bucket's gini cannot drop
-      // below its edge boundaries no matter what the gradient walk says.
-      const int offs =
-          (bundle.bivariate() && a == bundle.x_attr()) ? bundle.x_lo() : 0;
-      double est = an.gini_min;
-      for (int i = 0; i < static_cast<int>(an.interval_est.size()); ++i) {
-        if (interior_[a][offs + i] != 0) {
-          est = std::min(est, an.interval_est[i]);
-        }
-      }
-      out.attr_est[a] = est;
-      res.valid = true;
-      res.est = est;
-      res.an = std::move(an);
-      res.hist = std::move(hist);
-    } else {
-      const CategoricalSplit cs = BestCategoricalSplit(hist);
-      if (!cs.valid) return;
-      out.attr_est[a] = cs.gini;
-      res.valid = true;
-      res.is_cat = true;
-      res.est = cs.gini;
-      res.cat = cs;
-      res.hist = std::move(hist);
-    }
-  };
-  if (pool_->parallelism() > 1 && schema_.num_attrs() > 1) {
-    pool_->ParallelFor(schema_.num_attrs(), 1, [&](int64_t lo, int64_t hi) {
-      for (int64_t a = lo; a < hi; ++a) score_attr(static_cast<AttrId>(a));
-    });
-  } else {
-    for (AttrId a = 0; a < schema_.num_attrs(); ++a) score_attr(a);
-  }
-
-  double best_est = std::numeric_limits<double>::infinity();
-  AttrId best_attr = kInvalidAttr;
-  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
-    if (results[a].valid && results[a].est < best_est) {
-      best_est = results[a].est;
-      best_attr = a;
-    }
-  }
-  if (best_attr == kInvalidAttr) return out;  // kNone: leaf
-  AttrAnalysis best_an = std::move(results[best_attr].an);
-  Histogram1D best_hist = std::move(results[best_attr].hist);
-  CategoricalSplit best_cat = results[best_attr].cat;
-  const bool best_is_cat = results[best_attr].is_cat;
-
-  // Linear-combination check (CMP full only): when no univariate split is
-  // good enough, look for a splitting line in each matrix.
-  if (options_.variant == CmpVariant::kFull && bundle.bivariate() &&
-      best_est > options_.linear_skip_gini) {
-    const AttrId x = bundle.x_attr();
-    LinearSplitResult best_line;
-    AttrId best_line_y = kInvalidAttr;
-    for (AttrId y : numeric_attrs_) {
-      if (y == x || grids_[y].num_intervals() < 2) continue;
-      const LinearSplitResult line = FindBestLine(
-          bundle.matrix(y), grids_[x], bundle.x_lo(), grids_[y],
-          options_.linear_grid);
-      if (line.valid && (!best_line.valid || line.gini < best_line.gini)) {
-        best_line = line;
-        best_line_y = y;
-      }
-    }
-    if (best_line.valid &&
-        best_line.gini < (1.0 - options_.linear_gain) * best_est) {
-      // The coarse grid is enough to *detect* a linear relationship;
-      // refine the winning matrix at full resolution so the committed
-      // line hugs the true boundary (fewer residual fix-up splits).
-      const LinearSplitResult refined =
-          FindBestLine(bundle.matrix(best_line_y), grids_[x], bundle.x_lo(),
-                       grids_[best_line_y],
-                       std::max(bundle.matrix(best_line_y).x_intervals(),
-                                bundle.matrix(best_line_y).y_intervals()));
-      if (refined.valid && refined.gini <= best_line.gini) {
-        best_line = refined;
-      }
-      out.decision = BundleAnalysis::Decision::kLinear;
-      out.attr = x;
-      out.linear_split = Split::Linear(x, best_line_y, best_line.a,
-                                       best_line.b, best_line.c);
-      return out;
-    }
-  }
-
-  if (best_is_cat) {
-    out.decision = BundleAnalysis::Decision::kCategorical;
-    out.attr = best_attr;
-    out.cat = best_cat;
-    out.exact_left_counts.assign(schema_.num_classes(), 0);
-    for (int v = 0; v < best_hist.num_intervals(); ++v) {
-      if (best_cat.left_subset[v] != 0) {
-        for (ClassId c = 0; c < schema_.num_classes(); ++c) {
-          out.exact_left_counts[c] += best_hist.count(v, c);
-        }
-      }
-    }
-    return out;
-  }
-
-  // Numeric split on best_attr. Histogram rows are local for a bivariate
-  // X attribute: translate to global grid indices.
-  const int local_offset =
-      (bundle.bivariate() && best_attr == bundle.x_attr()) ? bundle.x_lo()
-                                                           : 0;
-  const int global_cut = local_offset + best_an.best_boundary;
-  out.attr = best_attr;
-  out.fallback_threshold = CutValue(best_attr, global_cut);
-  out.fallback_gini = best_an.gini_min;
-
-  // Alive interval selection (Section 2.1): the interval with the lowest
-  // estimate, plus the interval adjacent to the best boundary (the side
-  // with the lower estimate), deduplicated and capped at max_alive. An
-  // interval whose estimate cannot beat the boundary minimum is dropped.
-  auto has_interior = [&](int local_i) {
-    return interior_[best_attr][local_offset + local_i] != 0;
-  };
-  auto eligible = [&](int i) {
-    return i >= 0 && i < static_cast<int>(best_an.interval_est.size()) &&
-           has_interior(i) &&
-           best_an.interval_est[i] < best_an.gini_min - 1e-12;
-  };
-  int est_arg = -1;
-  double est_arg_val = std::numeric_limits<double>::infinity();
-  for (int i = 0; i < static_cast<int>(best_an.interval_est.size()); ++i) {
-    if (eligible(i) && best_an.interval_est[i] < est_arg_val) {
-      est_arg_val = best_an.interval_est[i];
-      est_arg = i;
-    }
-  }
-  // Candidate alive intervals, per Section 2.1: both intervals adjacent
-  // to the best boundary (the exact split usually hides just beside it)
-  // and the interval with the smallest estimate, lowest-estimate first,
-  // capped at max_alive.
-  const int b = best_an.best_boundary;  // local cut between b and b+1
-  std::vector<int> alive_local;
-  auto add_alive = [&](int i) {
-    if (!eligible(i)) return;
-    for (int existing : alive_local) {
-      if (existing == i) return;
-    }
-    alive_local.push_back(i);
-  };
-  add_alive(est_arg);
-  add_alive(b);
-  add_alive(b + 1);
-  if (static_cast<int>(alive_local.size()) > options_.max_alive) {
-    std::sort(alive_local.begin(), alive_local.end(), [&](int x, int y) {
-      return best_an.interval_est[x] < best_an.interval_est[y];
-    });
-    alive_local.resize(options_.max_alive);
-  }
-  std::sort(alive_local.begin(), alive_local.end());
-
-  if (alive_local.empty()) {
-    out.decision = BundleAnalysis::Decision::kNumericExact;
-    out.exact_left_counts = best_hist.PrefixBefore(best_an.best_boundary + 1);
-    return out;
-  }
-  // CMP-B/CMP only grow a second level per scan when an X-axis split has
-  // a single alive interval (Figure 10, line 18). When the split lands
-  // on the X axis, trade a sliver of split precision for that extra
-  // level by keeping only the best-estimated interval — CMP-S keeps the
-  // full alive set and stays maximally exact.
-  if (options_.variant != CmpVariant::kS && bundle.bivariate() &&
-      best_attr == bundle.x_attr() && alive_local.size() > 1) {
-    int keep = alive_local[0];
-    for (int i : alive_local) {
-      if (best_an.interval_est[i] < best_an.interval_est[keep]) keep = i;
-    }
-    alive_local = {keep};
-  }
-  out.decision = BundleAnalysis::Decision::kNumericPending;
-  out.alive.reserve(alive_local.size());
-  for (int i : alive_local) out.alive.push_back(local_offset + i);
-  return out;
-}
-
-template <class Store>
-std::unique_ptr<Pending> CmpBuild<Store>::MakePending(const HistBundle& bundle,
-                                               const BundleAnalysis& analysis,
-                                               int depth) {
-  auto p = std::make_unique<Pending>();
-  p->attr = analysis.attr;
-  p->alive = analysis.alive;
-  const int num_segments = static_cast<int>(p->alive.size()) + 1;
-  p->segments.resize(num_segments);
-
-  // Global interval range of the node on the split attribute.
-  const bool on_x = bundle.bivariate() && analysis.attr == bundle.x_attr();
-  const int node_lo = on_x ? bundle.x_lo() : 0;
-  const int node_hi =
-      on_x ? bundle.x_hi() : grids_[analysis.attr].num_intervals();
-
-  // Segment k's record range: between alive[k-1] and alive[k],
-  // exclusive; its *bundle* range additionally covers the partial alive
-  // columns it may receive at flush time.
-  for (int k = 0; k < num_segments; ++k) {
-    Segment& seg = p->segments[k];
-    seg.counts.assign(schema_.num_classes(), 0);
-    seg.range_lo = k == 0 ? node_lo : p->alive[k - 1];
-    seg.range_hi = k == num_segments - 1 ? node_hi : p->alive[k] + 1;
-  }
-
-  const bool double_split = bivariate() && on_x && p->alive.size() == 1 &&
-                            depth + 1 < options_.base.max_depth;
-  if (double_split) {
-    // CMP-B: derive the two subnodes' matrices from the parent's (the
-    // alive column stays empty until the buffer is flushed) and plan
-    // their own splits right away (Figure 10, line 18).
-    const int i1 = p->alive[0];
-    Segment& left = p->segments[0];
-    Segment& right = p->segments[1];
-    left.bundle = bundle.DeriveXRange(left.range_lo, left.range_hi,
-                                      left.range_lo, i1);
-    right.bundle = bundle.DeriveXRange(right.range_lo, right.range_hi,
-                                       i1 + 1, right.range_hi);
-    left.bundle_fresh = false;
-    right.bundle_fresh = false;
-    PlanSegment(&left, depth + 1);
-    PlanSegment(&right, depth + 1);
-  } else if (!bivariate()) {
-    for (int k = 0; k < num_segments; ++k) {
-      Segment& seg = p->segments[k];
-      seg.bundle = HistBundle::MakeUnivariate(schema_, grids_);
-      seg.bundle_fresh = true;
-      seg.plan = PlanKind::kGrow;
-    }
-  } else if (num_segments == 2) {
-    // One alive interval: each side of the eventual split is exactly one
-    // segment (no merging), so each subnode can get its own predicted
-    // X axis (paper Figure 7) and an X range matching its records.
-    for (int k = 0; k < num_segments; ++k) {
-      Segment& seg = p->segments[k];
-      // Prediction sees full columns only; the alive column's records are
-      // still unassigned at this point.
-      const int full_lo = k == 0 ? seg.range_lo : seg.range_lo + 1;
-      const int full_hi = k == 0 ? seg.range_hi - 1 : seg.range_hi;
-      ChildRestriction r{analysis.attr, true, full_lo, full_hi, nullptr, 1};
-      const AttrId x = PredictChildX(bundle, analysis.attr_est, r);
-      int lo = 0;
-      int hi = grids_[x].num_intervals();
-      if (x == analysis.attr) {
-        lo = seg.range_lo;
-        hi = seg.range_hi;
-      } else if (bundle.bivariate() && x == bundle.x_attr()) {
-        lo = bundle.x_lo();
-        hi = bundle.x_hi();
-      }
-      seg.bundle = HistBundle::MakeBivariate(schema_, grids_, x, lo, hi);
-      seg.bundle_fresh = true;
-      seg.plan = PlanKind::kGrow;
-    }
-  } else {
-    // Two alive intervals: resolution may merge adjacent segments, so
-    // every segment needs the SAME bundle shape — use one shared
-    // predicted X covering the whole node range.
-    const AttrId x = PredictX(analysis);
-    int lo = 0;
-    int hi = grids_[x].num_intervals();
-    if (on_x && x == analysis.attr) {
-      lo = node_lo;
-      hi = node_hi;
-    } else if (bundle.bivariate() && x == bundle.x_attr()) {
-      lo = bundle.x_lo();
-      hi = bundle.x_hi();
-    }
-    for (int k = 0; k < num_segments; ++k) {
-      Segment& seg = p->segments[k];
-      seg.bundle = HistBundle::MakeBivariate(schema_, grids_, x, lo, hi);
-      seg.bundle_fresh = true;
-      seg.plan = PlanKind::kGrow;
-    }
-  }
-  return p;
-}
-
-template <class Store>
-void CmpBuild<Store>::PlanSegment(Segment* seg, int depth) {
-  const std::vector<int64_t> totals = seg->bundle.ClassTotals();
-  // Too small / pure / deep partitions keep the derived bundle and are
-  // finished at resolution time.
-  if (IsPure(totals) || Sum(totals) < options_.base.min_split_records ||
-      Sum(totals) <= options_.base.in_memory_threshold ||
-      depth >= options_.base.max_depth) {
-    seg->plan = PlanKind::kGrow;
-    return;
-  }
-  const BundleAnalysis an = Analyze(seg->bundle, totals);
-  switch (an.decision) {
-    case BundleAnalysis::Decision::kNone:
-      seg->plan = PlanKind::kGrow;
-      return;
-    case BundleAnalysis::Decision::kNumericPending: {
-      // Nested pending: its segments are fresh grandchild bundles.
-      auto sub = std::make_unique<Pending>();
-      sub->attr = an.attr;
-      sub->alive = an.alive;
-      const int num_segments = static_cast<int>(an.alive.size()) + 1;
-      sub->segments.resize(num_segments);
-      const bool sub_on_x = an.attr == seg->bundle.x_attr();
-      const int node_lo = sub_on_x ? seg->bundle.x_lo() : 0;
-      const int node_hi =
-          sub_on_x ? seg->bundle.x_hi() : grids_[an.attr].num_intervals();
-      // Predict each grandchild's X axis when merging is impossible
-      // (single alive interval); otherwise share one shape.
-      AttrId shared_x = kInvalidAttr;
-      if (num_segments != 2) shared_x = PredictX(an);
-      for (int k = 0; k < num_segments; ++k) {
-        Segment& sseg = sub->segments[k];
-        sseg.counts.assign(schema_.num_classes(), 0);
-        sseg.range_lo = k == 0 ? node_lo : sub->alive[k - 1];
-        sseg.range_hi =
-            k == num_segments - 1 ? node_hi : sub->alive[k] + 1;
-        AttrId x = shared_x;
-        if (x == kInvalidAttr) {
-          const int full_lo = k == 0 ? sseg.range_lo : sseg.range_lo + 1;
-          const int full_hi = k == 0 ? sseg.range_hi - 1 : sseg.range_hi;
-          ChildRestriction r{an.attr, true, full_lo, full_hi, nullptr, 1};
-          x = PredictChildX(seg->bundle, an.attr_est, r);
-        }
-        int lo = 0;
-        int hi = grids_[x].num_intervals();
-        if (sub_on_x && x == an.attr && num_segments == 2) {
-          lo = sseg.range_lo;
-          hi = sseg.range_hi;
-        } else if (sub_on_x && x == an.attr) {
-          lo = node_lo;
-          hi = node_hi;
-        } else if (x == seg->bundle.x_attr()) {
-          // The sub-node's records stay inside the parent segment's X
-          // range even when the nested split is on another attribute.
-          lo = seg->bundle.x_lo();
-          hi = seg->bundle.x_hi();
-        }
-        sseg.bundle = MakeFreshBundle(x, lo, hi);
-        sseg.bundle_fresh = true;
-        sseg.plan = PlanKind::kGrow;
-      }
-      seg->plan = PlanKind::kPending;
-      seg->sub = std::move(sub);
-      return;
-    }
-    case BundleAnalysis::Decision::kNumericExact:
-    case BundleAnalysis::Decision::kCategorical:
-    case BundleAnalysis::Decision::kLinear: {
-      seg->plan = PlanKind::kExact;
-      AttrId lx = kInvalidAttr;
-      AttrId rx = kInvalidAttr;
-      if (an.decision == BundleAnalysis::Decision::kNumericExact) {
-        seg->exact_split = Split::Numeric(an.attr, an.fallback_threshold);
-        const int cut = grids_[an.attr].IntervalOf(an.fallback_threshold);
-        ChildRestriction left_r{an.attr, true, 0, cut + 1, nullptr, 1};
-        ChildRestriction right_r{an.attr, true, cut + 1,
-                                 grids_[an.attr].num_intervals(), nullptr,
-                                 1};
-        lx = PredictChildX(seg->bundle, an.attr_est, left_r);
-        rx = PredictChildX(seg->bundle, an.attr_est, right_r);
-      } else if (an.decision == BundleAnalysis::Decision::kCategorical) {
-        seg->exact_split = Split::Categorical(an.attr, an.cat.left_subset);
-        ChildRestriction left_r{an.attr, false, 0, 0,
-                                &seg->exact_split.left_subset, 1};
-        ChildRestriction right_r{an.attr, false, 0, 0,
-                                 &seg->exact_split.left_subset, 0};
-        lx = PredictChildX(seg->bundle, an.attr_est, left_r);
-        rx = PredictChildX(seg->bundle, an.attr_est, right_r);
-      } else {
-        seg->exact_split = an.linear_split;
-        lx = rx = PredictX(an);
-      }
-      seg->exact_left = MakeFreshBundle(lx, 0, grids_[lx].num_intervals());
-      seg->exact_right = MakeFreshBundle(rx, 0, grids_[rx].num_intervals());
-      seg->exact_left_counts.assign(schema_.num_classes(), 0);
-      seg->exact_right_counts.assign(schema_.num_classes(), 0);
-      return;
-    }
-  }
-}
-
-template <class Store>
-bool CmpBuild<Store>::RoutePending(Pending* p, RecordId r) {
-  const double v = store_.numeric(p->attr, r);
-  const int iv = grids_[p->attr].IntervalOf(v);
-  int k = 0;
-  for (int a : p->alive) {
-    if (iv == a) {
-      p->buffer.push_back({r, v, store_.label(r)});
-      return true;
-    }
-    if (iv > a) ++k;
-  }
-  Segment& seg = p->segments[k];
-  seg.counts[store_.label(r)]++;
-  switch (seg.plan) {
-    case PlanKind::kGrow:
-      if (seg.bundle_fresh) seg.bundle.Add(store_, grids_, r);
-      break;
-    case PlanKind::kPending:
-      return RoutePending(seg.sub.get(), r);
-    case PlanKind::kExact:
-      if (seg.exact_split.RoutesLeft(store_, r)) {
-        seg.exact_left_counts[store_.label(r)]++;
-        seg.exact_left.Add(store_, grids_, r);
-      } else {
-        seg.exact_right_counts[store_.label(r)]++;
-        seg.exact_right.Add(store_, grids_, r);
-      }
-      break;
-  }
-  return false;
-}
-
-template <class Store>
-void CmpBuild<Store>::FlushIntoSegment(Segment* seg, RecordId r) {
-  seg->counts[store_.label(r)]++;
-  switch (seg->plan) {
-    case PlanKind::kGrow:
-      seg->bundle.Add(store_, grids_, r);
-      break;
-    case PlanKind::kPending:
-      // A flushed record can land in a nested pending's buffer; it was
-      // already stashed when it was first buffered, so the nested
-      // resolve (later this round) can still read it.
-      RoutePending(seg->sub.get(), r);
-      break;
-    case PlanKind::kExact:
-      if (seg->exact_split.RoutesLeft(store_, r)) {
-        seg->exact_left_counts[store_.label(r)]++;
-        seg->exact_left.Add(store_, grids_, r);
-      } else {
-        seg->exact_right_counts[store_.label(r)]++;
-        seg->exact_right.Add(store_, grids_, r);
-      }
-      break;
-  }
-}
-
-template <class Store>
-void CmpBuild<Store>::ResolvePending(NodeId id, Pending* p, int depth) {
-  const std::vector<int64_t> totals = result_->tree.node(id).class_counts;
-  const int nc = schema_.num_classes();
-  const int64_t n = Sum(totals);
-  const int num_alive = static_cast<int>(p->alive.size());
-
-  tracker_.ChargeBuffered(static_cast<int64_t>(p->buffer.size()));
-  tracker_.ChargeSort(static_cast<int64_t>(p->buffer.size()));
-  SortBuffer(&p->buffer);
-
-  // Group buffered records by alive interval (sorted by value => groups
-  // are contiguous and ascending).
-  std::vector<std::pair<size_t, size_t>> groups(num_alive, {0, 0});
-  {
-    size_t pos = 0;
-    for (int k = 0; k < num_alive; ++k) {
-      const size_t begin = pos;
-      while (pos < p->buffer.size() &&
-             grids_[p->attr].IntervalOf(p->buffer[pos].value) == p->alive[k]) {
-        ++pos;
-      }
-      groups[k] = {begin, pos};
-    }
-  }
-
-  // Walk: segment 0, alive 0, segment 1, alive 1, ..., last segment.
-  // Candidates: every alive-interval edge cut and every distinct
-  // buffered value.
-  double best_gini = std::numeric_limits<double>::infinity();
-  double best_threshold = 0.0;
-  int best_s_left = -1;
-  size_t best_buf_left = 0;  // buffered records (global index) on the left
-  std::vector<int64_t> best_left_counts;
-
-  std::vector<int64_t> below(nc, 0);
-  auto candidate = [&](double threshold, int s_left, size_t buf_left) {
-    int64_t left_n = 0;
-    for (int64_t c : below) left_n += c;
-    if (left_n <= 0 || left_n >= n) return;
-    const double g = BoundaryGini(below, totals);
-    if (g < best_gini) {
-      best_gini = g;
-      best_threshold = threshold;
-      best_s_left = s_left;
-      best_buf_left = buf_left;
-      best_left_counts = below;
-    }
-  };
-
-  for (int k = 0; k < num_alive; ++k) {
-    for (ClassId c = 0; c < nc; ++c) below[c] += p->segments[k].counts[c];
-    // Lower edge of alive interval k (cut index alive[k]-1).
-    if (p->alive[k] >= 1) {
-      candidate(CutValue(p->attr, p->alive[k] - 1), k + 1, groups[k].first);
-    }
-    for (size_t i = groups[k].first; i < groups[k].second; ++i) {
-      below[p->buffer[i].label]++;
-      const bool last_of_value = i + 1 >= groups[k].second ||
-                                 p->buffer[i + 1].value !=
-                                     p->buffer[i].value;
-      if (last_of_value) {
-        candidate(p->buffer[i].value, k + 1, i + 1);
-      }
-    }
-    // Upper edge (cut index alive[k]); skip when it falls beyond the
-    // grid (last interval has no upper cut).
-    if (p->alive[k] <
-        static_cast<int>(grids_[p->attr].boundaries().size())) {
-      candidate(CutValue(p->attr, p->alive[k]), k + 1, groups[k].second);
-    }
-  }
-
-  if (best_s_left < 0) {
-    // Degenerate: every candidate puts all records on one side (e.g. the
-    // node's records share a single value inside the alive interval).
-    // The committed attribute cannot split this node; fall back to
-    // collecting the node's records next scan and finishing it with the
-    // exact in-memory builder.
-    next_collect_.push_back({id, {}});
-    return;
-  }
-
-  // ---- Merge segments into the two children and flush the buffer.
-  std::vector<int64_t> right_counts(nc);
-  for (ClassId c = 0; c < nc; ++c) {
-    right_counts[c] = totals[c] - best_left_counts[c];
-  }
-  const NodeId left_id = AddChild(best_left_counts, depth + 1);
-  const NodeId right_id = AddChild(right_counts, depth + 1);
-  TreeNode& parent = result_->tree.mutable_node(id);
-  parent.is_leaf = false;
-  parent.split = Split::Numeric(p->attr, best_threshold);
-  parent.left = left_id;
-  parent.right = right_id;
-
-  auto merge_side = [&](int seg_begin, int seg_end) -> Segment {
-    // Move the first segment out and merge the others into it. Segments
-    // on one side share the bundle shape except for bivariate X-range
-    // bundles, which only occur in the 1-alive derived case where each
-    // side is exactly one segment (no merge needed).
-    Segment merged = std::move(p->segments[seg_begin]);
-    for (int k = seg_begin + 1; k < seg_end; ++k) {
-      Segment& other = p->segments[k];
-      for (ClassId c = 0; c < nc; ++c) merged.counts[c] += other.counts[c];
-      // Only kGrow fresh full-shape bundles can need merging.
-      assert(merged.plan == PlanKind::kGrow &&
-             other.plan == PlanKind::kGrow);
-      merged.bundle.MergeSameShape(other.bundle);
-    }
-    return merged;
-  };
-
-  Segment left_seg = merge_side(0, best_s_left);
-  Segment right_seg = merge_side(best_s_left, num_alive + 1);
-
-  for (size_t i = 0; i < p->buffer.size(); ++i) {
-    FlushIntoSegment(i < best_buf_left ? &left_seg : &right_seg,
-                     p->buffer[i].rid);
-  }
-  p->buffer.clear();
-
-  // ---- Materialize each side.
-  auto finish_side = [&](NodeId child_id, Segment& seg) {
-    switch (seg.plan) {
-      case PlanKind::kGrow:
-        GrowNode(child_id, std::move(seg.bundle), seg.bundle_fresh);
-        break;
-      case PlanKind::kPending:
-        ResolvePending(child_id, seg.sub.get(), depth + 1);
-        break;
-      case PlanKind::kExact: {
-        const int64_t ln = Sum(seg.exact_left_counts);
-        const int64_t rn = Sum(seg.exact_right_counts);
-        if (ln == 0 || rn == 0) {
-          // The planned split turned out degenerate on the real records;
-          // fall back to growing whichever side has everything.
-          GrowNode(child_id, ln == 0 ? std::move(seg.exact_right)
-                                     : std::move(seg.exact_left));
-          break;
-        }
-        const NodeId gl = AddChild(seg.exact_left_counts, depth + 2);
-        const NodeId gr = AddChild(seg.exact_right_counts, depth + 2);
-        TreeNode& child = result_->tree.mutable_node(child_id);
-        child.is_leaf = false;
-        child.split = seg.exact_split;
-        child.left = gl;
-        child.right = gr;
-        GrowNode(gl, std::move(seg.exact_left));
-        GrowNode(gr, std::move(seg.exact_right));
-        break;
-      }
-    }
-  };
-  finish_side(left_id, left_seg);
-  finish_side(right_id, right_seg);
-}
-
-template <class Store>
-bool CmpBuild<Store>::WouldAnalyze(NodeId id,
-                            const std::vector<int64_t>& totals) const {
-  const int64_t n = Sum(totals);
-  const int depth = result_->tree.node(id).depth;
-  if (n == 0 || IsPure(totals) || n < options_.base.min_split_records ||
-      depth >= options_.base.max_depth ||
-      (options_.base.prune &&
-       ShouldPruneBeforeExpand(totals, schema_.num_attrs()))) {
-    return false;
-  }
-  return options_.base.in_memory_threshold <= 0 ||
-         n > options_.base.in_memory_threshold;
-}
-
-template <class Store>
-void CmpBuild<Store>::GrowNode(NodeId id, HistBundle&& bundle, bool predicted,
-                        const BundleAnalysis* pre) {
-  const std::vector<int64_t> totals = bundle.ClassTotals();
-  const int64_t n = Sum(totals);
-  // Correct the node's (possibly approximate) metadata with the exact
-  // counts from its own histograms. An empty node (a linear split can
-  // route everything one way) keeps its seeded counts so its leaf class
-  // stays the parent's majority.
-  if (n > 0) {
-    TreeNode& node = result_->tree.mutable_node(id);
-    node.class_counts = totals;
-    node.leaf_class = Majority(totals);
-  }
-  const int depth = result_->tree.node(id).depth;
-
-  if (n == 0 || IsPure(totals) || n < options_.base.min_split_records ||
-      depth >= options_.base.max_depth ||
-      (options_.base.prune &&
-       ShouldPruneBeforeExpand(totals, schema_.num_attrs()))) {
-    MakeLeaf(id);
-    return;
-  }
-  if (options_.base.in_memory_threshold > 0 &&
-      n <= options_.base.in_memory_threshold) {
-    next_collect_.push_back({id, {}});
-    return;
-  }
-
-  // All-pairs extension: if the initial pass found a pairwise linear
-  // relation at the root that the shared-X matrices cannot see, adopt it
-  // when it beats the best univariate split by the usual margin.
-  if (id == 0 && !root_relations_.empty()) {
-    const BundleAnalysis probe = pre != nullptr ? *pre
-                                                : Analyze(bundle, totals);
-    double best_uni = std::numeric_limits<double>::infinity();
-    for (double est : probe.attr_est) best_uni = std::min(best_uni, est);
-    const PairRelation& rel = root_relations_.front();
-    if (rel.gini < (1.0 - options_.linear_gain) * best_uni &&
-        best_uni > options_.linear_skip_gini) {
-      std::vector<int64_t> left_counts(schema_.num_classes(), 0);
-      std::vector<int64_t> right_counts(schema_.num_classes(), 0);
-      for (ClassId c = 0; c < schema_.num_classes(); ++c) {
-        left_counts[c] = totals[c] / 2;
-        right_counts[c] = totals[c] - left_counts[c];
-      }
-      const NodeId left_id = AddChild(left_counts, depth + 1);
-      const NodeId right_id = AddChild(right_counts, depth + 1);
-      TreeNode& node = result_->tree.mutable_node(id);
-      node.is_leaf = false;
-      node.split = rel.split;
-      node.left = left_id;
-      node.right = right_id;
-      const AttrId x = PredictX(probe);
-      next_fresh_.push_back(
-          {left_id, MakeFreshBundle(x, 0, grids_[x].num_intervals())});
-      next_fresh_.push_back(
-          {right_id, MakeFreshBundle(x, 0, grids_[x].num_intervals())});
-      return;
-    }
-  }
-
-  // A pre-computed analysis (parallel frontier phase) substitutes for the
-  // inline call bit-for-bit: Analyze is a pure function of the bundle and
-  // totals.
-  BundleAnalysis local_an;
-  if (pre == nullptr) local_an = Analyze(bundle, totals);
-  const BundleAnalysis& an = pre != nullptr ? *pre : local_an;
-
-  // Prediction bookkeeping: a fresh bivariate bundle's X axis was chosen
-  // by predictSplit; a hit means the split landed on the X axis.
-  if (predicted && bundle.bivariate() &&
-      an.decision != BundleAnalysis::Decision::kNone) {
-    result_->stats.predictions_total++;
-    if (an.attr == bundle.x_attr()) result_->stats.predictions_correct++;
-    if (std::getenv("CMP_TRACE_PREDICT") != nullptr) {
-      std::fprintf(stderr, "PREDICT node=%d n=%lld predicted=%d chosen=%d\n",
-                   id, static_cast<long long>(n), bundle.x_attr(), an.attr);
-    }
-  }
-
-  switch (an.decision) {
-    case BundleAnalysis::Decision::kNone:
-      MakeLeaf(id);
-      return;
-
-    case BundleAnalysis::Decision::kNumericPending: {
-      if (id == 0) {
-        result_->stats.root_alive_intervals =
-            static_cast<int64_t>(an.alive.size());
-      }
-      auto pending = MakePending(bundle, an, depth);
-      next_pending_.push_back({id, std::move(pending)});
-      return;
-    }
-
-    case BundleAnalysis::Decision::kNumericExact: {
-      if (an.fallback_gini >= Gini(totals) - 1e-12) {
-        MakeLeaf(id);
-        return;
-      }
-      std::vector<int64_t> right_counts(schema_.num_classes());
-      for (ClassId c = 0; c < schema_.num_classes(); ++c) {
-        right_counts[c] = totals[c] - an.exact_left_counts[c];
-      }
-      if (Sum(an.exact_left_counts) == 0 || Sum(right_counts) == 0) {
-        MakeLeaf(id);
-        return;
-      }
-      const NodeId left_id = AddChild(an.exact_left_counts, depth + 1);
-      const NodeId right_id = AddChild(right_counts, depth + 1);
-      TreeNode& node = result_->tree.mutable_node(id);
-      node.is_leaf = false;
-      node.split = Split::Numeric(an.attr, an.fallback_threshold);
-      node.left = left_id;
-      node.right = right_id;
-
-      if (bundle.bivariate() && an.attr == bundle.x_attr()) {
-        // Exact boundary split on the X axis: the children's matrices
-        // are sub-matrices — grow them immediately, no scan needed.
-        const int cut = grids_[an.attr].IntervalOf(an.fallback_threshold);
-        HistBundle left_b =
-            bundle.DeriveXRange(bundle.x_lo(), cut + 1, bundle.x_lo(),
-                                cut + 1);
-        HistBundle right_b =
-            bundle.DeriveXRange(cut + 1, bundle.x_hi(), cut + 1,
-                                bundle.x_hi());
-        GrowNode(left_id, std::move(left_b), /*predicted=*/false);
-        GrowNode(right_id, std::move(right_b), /*predicted=*/false);
-      } else if (bivariate()) {
-        // Exact split on a Y attribute: children need a scan; predict
-        // each child's X axis from the restricted (X, attr) matrix.
-        const int cut = grids_[an.attr].IntervalOf(an.fallback_threshold);
-        ChildRestriction left_r{an.attr, true, 0, cut + 1, nullptr, 1};
-        ChildRestriction right_r{an.attr, true, cut + 1,
-                                 grids_[an.attr].num_intervals(), nullptr,
-                                 1};
-        const AttrId lx = PredictChildX(bundle, an.attr_est, left_r);
-        const AttrId rx = PredictChildX(bundle, an.attr_est, right_r);
-        next_fresh_.push_back(
-            {left_id, MakeFreshBundle(lx, 0, grids_[lx].num_intervals())});
-        next_fresh_.push_back(
-            {right_id,
-             MakeFreshBundle(rx, 0, grids_[rx].num_intervals())});
-      } else {
-        next_fresh_.push_back(
-            {left_id, HistBundle::MakeUnivariate(schema_, grids_)});
-        next_fresh_.push_back(
-            {right_id, HistBundle::MakeUnivariate(schema_, grids_)});
-      }
-      return;
-    }
-
-    case BundleAnalysis::Decision::kCategorical:
-    case BundleAnalysis::Decision::kLinear: {
-      Split split;
-      std::vector<int64_t> left_counts;
-      if (an.decision == BundleAnalysis::Decision::kCategorical) {
-        split = Split::Categorical(an.attr, an.cat.left_subset);
-        left_counts = an.exact_left_counts;
-      } else {
-        split = an.linear_split;
-        // Linear child counts are not derivable from the matrix alone
-        // (cells crossed by the line split both ways); seed with a
-        // half/half guess, corrected when the children's bundles are
-        // analyzed after the next scan.
-        left_counts.assign(schema_.num_classes(), 0);
-        for (ClassId c = 0; c < schema_.num_classes(); ++c) {
-          left_counts[c] = totals[c] / 2;
-        }
-      }
-      std::vector<int64_t> right_counts(schema_.num_classes());
-      for (ClassId c = 0; c < schema_.num_classes(); ++c) {
-        right_counts[c] = totals[c] - left_counts[c];
-      }
-      if (an.decision == BundleAnalysis::Decision::kCategorical &&
-          (Sum(left_counts) == 0 || Sum(right_counts) == 0)) {
-        MakeLeaf(id);
-        return;
-      }
-      const NodeId left_id = AddChild(left_counts, depth + 1);
-      const NodeId right_id = AddChild(right_counts, depth + 1);
-      TreeNode& node = result_->tree.mutable_node(id);
-      node.is_leaf = false;
-      node.split = split;
-      node.left = left_id;
-      node.right = right_id;
-      if (bivariate()) {
-        AttrId lx;
-        AttrId rx;
-        if (an.decision == BundleAnalysis::Decision::kCategorical) {
-          ChildRestriction left_r{an.attr, false, 0, 0,
-                                  &node.split.left_subset, 1};
-          ChildRestriction right_r{an.attr, false, 0, 0,
-                                   &node.split.left_subset, 0};
-          lx = PredictChildX(bundle, an.attr_est, left_r);
-          rx = PredictChildX(bundle, an.attr_est, right_r);
-        } else {
-          // Linear splits cut the matrix diagonally; no restricted
-          // marginal exists, so fall back to parent-level estimates.
-          lx = rx = PredictX(an);
-        }
-        next_fresh_.push_back(
-            {left_id, MakeFreshBundle(lx, 0, grids_[lx].num_intervals())});
-        next_fresh_.push_back(
-            {right_id,
-             MakeFreshBundle(rx, 0, grids_[rx].num_intervals())});
-      } else {
-        next_fresh_.push_back(
-            {left_id, HistBundle::MakeUnivariate(schema_, grids_)});
-        next_fresh_.push_back(
-            {right_id, HistBundle::MakeUnivariate(schema_, grids_)});
-      }
-      return;
-    }
-  }
-}
-
-template <class Store>
-void CmpBuild<Store>::ScanRange(int64_t begin, int64_t end, int num_nodes,
-                                const std::vector<int>& fresh_slot,
-                                const std::vector<int>& pending_slot,
-                                const std::vector<int>& collect_slot,
-                                std::vector<HistBundle*>& fresh_sink,
-                                std::vector<Pending*>& pending_sink,
-                                std::vector<std::vector<RecordId>*>& collect_sink,
-                                std::vector<RecordId>* retain) {
-  for (RecordId r = static_cast<RecordId>(begin); r < end; ++r) {
-    NodeId id = nid_[r];
-    // Descend through every split resolved since the last scan.
-    while (true) {
-      const TreeNode& node = result_->tree.node(id);
-      if (node.is_leaf || node.left == kInvalidNode) break;
-      id = node.split.RoutesLeft(store_, r) ? node.left : node.right;
-    }
-    nid_[r] = id;
-    if (id < num_nodes) {
-      const int fs = fresh_slot[id];
-      if (fs >= 0) {
-        fresh_sink[fs]->Add(store_, grids_, r);
-        continue;
-      }
-      const int ps = pending_slot[id];
-      if (ps >= 0) {
-        if (RoutePending(pending_sink[ps], r) && retain != nullptr) {
-          retain->push_back(r);
-        }
-        continue;
-      }
-      const int cs = collect_slot[id];
-      if (cs >= 0) {
-        collect_sink[cs]->push_back(r);
-        if (retain != nullptr) retain->push_back(r);
-      }
-    }
-  }
-}
-
-template <class Store>
-void CmpBuild<Store>::Run() {
-  Timer timer;
-  const int64_t n = source_.num_records();
-  result_->tree = DecisionTree(schema_);
-
-  // Streamed builds report the bytes the scanner actually pulled from
-  // the file instead of the disk-simulation charges.
-  if (Store::kStreaming) tracker_.set_real_io(true);
-  int64_t real_bytes_charged = 0;
-  auto charge_real_bytes = [&] {
-    if (!Store::kStreaming) return;
-    const int64_t total = source_.bytes_read();
-    tracker_.ChargeRealBytes(total - real_bytes_charged);
-    real_bytes_charged = total;
-  };
-
-  TreeNode root;
-  root.depth = 0;
-  if (const Dataset* full = store_.dataset()) {
-    root.class_counts = full->ClassCounts();
-  } else {
-    std::vector<ClassId> labels;
-    if (!source_.ReadLabels(&labels)) {
-      throw std::runtime_error("cmp: failed to read label column");
-    }
-    root.class_counts.assign(schema_.num_classes(), 0);
-    for (ClassId c : labels) root.class_counts[c]++;
-  }
-  root.leaf_class = Majority(root.class_counts);
-  const NodeId root_id = result_->tree.AddNode(std::move(root));
-  if (n == 0) {
-    MakeLeaf(root_id);
-    result_->stats.wall_seconds = timer.Seconds();
-    return;
-  }
-
-  numeric_attrs_ = schema_.NumericAttrs();
-
-  // Discretization pass: one column read and ONE sort per numeric
-  // attribute serve both the quantile grid and the interior-splittable
-  // marks (an interval is *interior* iff it holds at least two distinct
-  // training values — tie buckets collapse to a single value, so the
-  // gradient estimate must be clamped there and the interval never
-  // selected as alive). Grids depend only on the sorted value multiset,
-  // so the streamed and in-memory builds produce identical grids — the
-  // first link of the streamed-equals-in-memory determinism argument.
+void CmpBuild<Store>::BuildGrids(int64_t n) {
   tracker_.ChargeScan(n, schema_);
   grids_.assign(schema_.num_attrs(), IntervalGrid());
   interior_.assign(schema_.num_attrs(), {});
@@ -1522,9 +136,64 @@ void CmpBuild<Store>::Run() {
       tracker_.ChargeSort(n);
     }
   }
+}
+
+template <class Store>
+void CmpBuild<Store>::Run() {
+  Timer timer;
+  const int64_t n = source_.num_records();
+  result_->tree = DecisionTree(schema_);
+  TrainObserver* const observer = options_.base.observer;
+
+  // Streamed builds report the bytes the scanner actually pulled from
+  // the file instead of the disk-simulation charges.
+  if (Store::kStreaming) tracker_.set_real_io(true);
+  int64_t real_bytes_charged = 0;
+  auto charge_real_bytes = [&] {
+    if (!Store::kStreaming) return;
+    const int64_t total = source_.bytes_read();
+    tracker_.ChargeRealBytes(total - real_bytes_charged);
+    real_bytes_charged = total;
+  };
+
+  if (observer != nullptr) {
+    observer->OnBuildStart(policy_.display_name, n);
+  }
+
+  TreeNode root;
+  root.depth = 0;
+  if (const Dataset* full = store_.dataset()) {
+    root.class_counts = full->ClassCounts();
+  } else {
+    std::vector<ClassId> labels;
+    if (!source_.ReadLabels(&labels)) {
+      throw std::runtime_error("cmp: failed to read label column");
+    }
+    root.class_counts.assign(schema_.num_classes(), 0);
+    for (ClassId c : labels) {
+      // The in-memory loader validates labels on load; the streamed path
+      // sees raw column bytes, so a corrupt table must fail here rather
+      // than index out of bounds.
+      if (c < 0 || c >= schema_.num_classes()) {
+        throw std::runtime_error("cmp: label out of range (corrupt table?)");
+      }
+      root.class_counts[c]++;
+    }
+  }
+  root.leaf_class = Majority(root.class_counts);
+  const NodeId root_id = result_->tree.AddNode(std::move(root));
+  if (n == 0) {
+    result_->tree.MakeLeaf(root_id);
+    result_->stats.wall_seconds = timer.Seconds();
+    if (observer != nullptr) observer->OnBuildEnd(result_->stats);
+    return;
+  }
+
+  numeric_attrs_ = schema_.NumericAttrs();
+  BuildGrids(n);
   charge_real_bytes();
 
-  if (options_.all_pairs_root && options_.variant == CmpVariant::kFull) {
+  if (options_.all_pairs_root && policy_.search_linear) {
     // All-pairs discovery needs simultaneous random access to every
     // numeric column; it is an in-memory-only extension (off by
     // default) and is skipped for streamed builds.
@@ -1537,260 +206,78 @@ void CmpBuild<Store>::Run() {
 
   nid_.assign(n, root_id);
 
+  // The three pipeline layers, wired over the shared state above.
+  const SplitPlanner planner(schema_, options_, policy_, grids_, interior_,
+                             numeric_attrs_, pool_);
+  SplitExecutor<Store> executor(planner, store_, options_, result_,
+                                &tracker_, pool_, &next_);
+  executor.set_root_relations(&root_relations_);
+  ScanPass<Store> scan(store_, source_, grids_, result_->tree, nid_, pool_,
+                       &tracker_);
+
   if (options_.base.in_memory_threshold > 0 &&
       n <= options_.base.in_memory_threshold) {
-    collect_.push_back({root_id, {}});
-  } else if (bivariate()) {
+    work_.collect.push_back({root_id, {}});
+  } else if (planner.bivariate()) {
     const AttrId x = numeric_attrs_.front();
-    fresh_.push_back({root_id, HistBundle::MakeBivariate(
-                                   schema_, grids_, x, 0,
-                                   grids_[x].num_intervals())});
+    work_.fresh.push_back(
+        {root_id, HistBundle::MakeBivariate(schema_, grids_, x, 0,
+                                            grids_[x].num_intervals())});
   } else {
-    fresh_.push_back({root_id, HistBundle::MakeUnivariate(schema_, grids_)});
+    work_.fresh.push_back(
+        {root_id, HistBundle::MakeUnivariate(schema_, grids_)});
   }
 
-  while (!fresh_.empty() || !pending_.empty() || !collect_.empty()) {
-    tracker_.ChargeScan(n, schema_);
-    tracker_.ChargeWrite(n * static_cast<int64_t>(sizeof(NodeId)));
+  int pass_index = 0;
+  while (!work_.Empty()) {
+    PassObservation po;
+    po.pass = pass_index++;
+    po.records_scanned = n;
+    po.frontier_fresh = static_cast<int64_t>(work_.fresh.size());
+    po.frontier_pending = static_cast<int64_t>(work_.pending.size());
+    po.frontier_collect = static_cast<int64_t>(work_.collect.size());
+    const int64_t bytes_before = result_->stats.bytes_read;
 
-    // Slot maps for the scan.
-    const int num_nodes = result_->tree.num_nodes();
-    std::vector<int> fresh_slot(num_nodes, -1);
-    std::vector<int> pending_slot(num_nodes, -1);
-    std::vector<int> collect_slot(num_nodes, -1);
-    for (size_t i = 0; i < fresh_.size(); ++i) {
-      fresh_slot[fresh_[i].node] = static_cast<int>(i);
-    }
-    for (size_t i = 0; i < pending_.size(); ++i) {
-      pending_slot[pending_[i].node] = static_cast<int>(i);
-    }
-    for (size_t i = 0; i < collect_.size(); ++i) {
-      collect_slot[collect_[i].node] = static_cast<int>(i);
-    }
-
-    {
-      int64_t mem = GridsMemoryBytes(grids_) +
-                    n * static_cast<int64_t>(sizeof(NodeId)) +
-                    source_.resident_bytes();
-      for (const FreshWork& w : fresh_) mem += w.bundle.MemoryBytes();
-      for (const PendingWork& w : pending_) mem += w.pending->MemoryBytes();
-      tracker_.NotePeakMemory(mem);
-    }
-
-    // The scan routes each record through the (read-only) tree and
-    // accumulates it into exactly one sink. Shard 0 scans directly into
-    // the master work lists; every other shard gets a private empty
-    // mirror of each sink, scans its own contiguous record range, and is
-    // merged back in shard order below. Integer count merges are exact
-    // and buffer/rid concatenation in shard order reproduces the serial
-    // ascending-record order, so the post-merge state — and therefore
-    // the tree — is bit-identical for any shard count.
-    std::vector<HistBundle*> fresh_sink(fresh_.size());
-    for (size_t i = 0; i < fresh_.size(); ++i) {
-      fresh_sink[i] = &fresh_[i].bundle;
-    }
-    std::vector<Pending*> pending_sink(pending_.size());
-    for (size_t i = 0; i < pending_.size(); ++i) {
-      pending_sink[i] = pending_[i].pending.get();
-    }
-    std::vector<std::vector<RecordId>*> collect_sink(collect_.size());
-    for (size_t i = 0; i < collect_.size(); ++i) {
-      collect_sink[i] = &collect_[i].rids;
-    }
-
-    // Shard mirrors persist across every block of the pass and are
-    // merged once at its end. The block-major accumulation order is
-    // harmless: count merges are commutative integer adds, pending
-    // buffers are (value, rid)-sorted before use, and collect rid
-    // lists are re-sorted ascending below — so the merged state, and
-    // therefore the tree, cannot depend on the block size or the
-    // thread count.
-    const int num_shards =
-        static_cast<int>(std::min<int64_t>(pool_->parallelism(), n));
-    struct ScanShard {
-      std::vector<HistBundle> fresh;
-      std::vector<std::unique_ptr<Pending>> pending;
-      std::vector<std::vector<RecordId>> collect;
-      std::vector<RecordId> retain;
-    };
-    std::vector<ScanShard> shards(num_shards > 1 ? num_shards - 1 : 0);
-    if (!shards.empty()) {
-      // The clones read only shape fields the scan never mutates, so
-      // per-shard mirror construction fans out.
-      const int nc = schema_.num_classes();
-      pool_->ParallelFor(static_cast<int64_t>(shards.size()), 1,
-                         [&](int64_t lo, int64_t hi) {
-                           for (int64_t s = lo; s < hi; ++s) {
-                             ScanShard& sh = shards[s];
-                             sh.fresh.reserve(fresh_.size());
-                             for (size_t i = 0; i < fresh_.size(); ++i) {
-                               sh.fresh.push_back(
-                                   fresh_[i].bundle.CloneEmptyShape());
-                             }
-                             sh.pending.reserve(pending_.size());
-                             for (size_t i = 0; i < pending_.size(); ++i) {
-                               sh.pending.push_back(ClonePendingEmpty(
-                                   *pending_[i].pending, nc));
-                             }
-                             sh.collect.resize(collect_.size());
-                           }
-                         });
-    }
-    std::vector<RecordId> master_retain;
-    std::vector<RecordId>* const master_retain_ptr =
-        Store::kStreaming ? &master_retain : nullptr;
-
-    source_.Reset();
-    BlockView view;
-    int64_t scanned = 0;
-    while (source_.NextBlock(&view)) {
-      store_.SetBlock(view);
-      const int64_t bn = view.count;
-      const int shards_here =
-          static_cast<int>(std::min<int64_t>(num_shards, bn));
-      if (shards_here <= 1) {
-        ScanRange(view.begin, view.begin + bn, num_nodes, fresh_slot,
-                  pending_slot, collect_slot, fresh_sink, pending_sink,
-                  collect_sink, master_retain_ptr);
-      } else {
-        const int64_t chunk = (bn + shards_here - 1) / shards_here;
-        pool_->ParallelFor(shards_here, 1, [&](int64_t lo, int64_t hi) {
-          for (int64_t s = lo; s < hi; ++s) {
-            const int64_t begin = view.begin + s * chunk;
-            const int64_t end =
-                std::min<int64_t>(view.begin + bn, begin + chunk);
-            if (s == 0) {
-              ScanRange(begin, end, num_nodes, fresh_slot, pending_slot,
-                        collect_slot, fresh_sink, pending_sink,
-                        collect_sink, master_retain_ptr);
-              continue;
-            }
-            ScanShard& sh = shards[s - 1];
-            std::vector<HistBundle*> fsink(fresh_.size());
-            for (size_t i = 0; i < fresh_.size(); ++i) {
-              fsink[i] = &sh.fresh[i];
-            }
-            std::vector<Pending*> psink(pending_.size());
-            for (size_t i = 0; i < pending_.size(); ++i) {
-              psink[i] = sh.pending[i].get();
-            }
-            std::vector<std::vector<RecordId>*> csink(collect_.size());
-            for (size_t i = 0; i < collect_.size(); ++i) {
-              csink[i] = &sh.collect[i];
-            }
-            ScanRange(begin, end, num_nodes, fresh_slot, pending_slot,
-                      collect_slot, fsink, psink, csink,
-                      Store::kStreaming ? &sh.retain : nullptr);
-          }
-        });
-      }
-      scanned += bn;
-      if constexpr (Store::kStreaming) {
-        // Absorb the records that must outlive this block (pending
-        // buffers, collect lists — both re-read at resolve time) into
-        // the stash while the block's columns are still resident.
-        store_.Stash(master_retain);
-        master_retain.clear();
-        for (ScanShard& sh : shards) {
-          store_.Stash(sh.retain);
-          sh.retain.clear();
-        }
-      }
-    }
-    store_.ClearBlock();
-    if (source_.failed() || scanned != n) {
-      throw std::runtime_error("cmp: table scan failed mid-pass");
-    }
+    Timer scan_timer;
+    scan.Run(work_);
     charge_real_bytes();
+    po.scan_seconds = scan_timer.Seconds();
 
-    for (ScanShard& sh : shards) {
-      for (size_t i = 0; i < fresh_.size(); ++i) {
-        fresh_[i].bundle.MergeSameShape(sh.fresh[i]);
+    if (observer != nullptr) {
+      for (const PendingWork& w : work_.pending) {
+        po.alive_intervals += CountAliveIntervals(*w.pending);
+        po.buffered_records += CountBufferedRecords(*w.pending);
+        po.buffer_bytes += w.pending->MemoryBytes();
       }
-      for (size_t i = 0; i < pending_.size(); ++i) {
-        MergePendingInto(pending_[i].pending.get(), *sh.pending[i]);
-      }
-      for (size_t i = 0; i < collect_.size(); ++i) {
-        collect_[i].rids.insert(collect_[i].rids.end(),
-                                sh.collect[i].begin(), sh.collect[i].end());
-      }
-    }
-    // Restore the ascending record order a serial scan would have
-    // produced (identity for the single-block in-memory path; required
-    // after block-major accumulation so exact finishing sees records
-    // in global order).
-    for (CollectWork& w : collect_) {
-      std::sort(w.rids.begin(), w.rids.end());
-    }
-
-    // Buffered records count toward peak memory (they hold whole
-    // records in a disk implementation). The streamed build really does
-    // hold them: its stash is the disk implementation's side buffer.
-    {
-      int64_t buffered = 0;
-      for (const PendingWork& w : pending_) {
-        buffered += static_cast<int64_t>(w.pending->buffer.size());
-      }
-      tracker_.NotePeakMemory(buffered * schema_.RecordBytes());
       if constexpr (Store::kStreaming) {
-        tracker_.NotePeakMemory(store_.stash_bytes());
+        po.buffer_bytes += store_.stash_bytes();
       }
     }
 
-    // Finish small partitions in memory. With several independent
-    // partitions and a real pool, each subtree is built into a private
-    // detached tree (root node copied from the master tree) and grafted
-    // back in work-list order; Graft appends the subtree's nodes in
-    // their local id order, which is exactly the order the serial
-    // in-place build would have appended them, so node ids — and the
-    // serialized tree — match the serial build byte for byte.
-    if (pool_->parallelism() > 1 && collect_.size() > 1) {
-      struct CollectBuild {
-        DecisionTree tree;
-        BuildStats stats;
-      };
-      std::vector<CollectBuild> builds(collect_.size());
-      pool_->ParallelFor(collect_.size(), 1, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          CollectBuild& b = builds[i];
-          b.tree = DecisionTree(schema_);
-          TreeNode root = result_->tree.node(collect_[i].node);
-          b.tree.AddNode(std::move(root));
-          ScanTracker local(&b.stats);
-          local.set_real_io(tracker_.real_io());
-          FinishCollect(collect_[i].rids, &b.tree, 0, &local);
-        }
-      });
-      for (size_t i = 0; i < collect_.size(); ++i) {
-        tracker_.ChargeBuffered(static_cast<int64_t>(collect_[i].rids.size()));
-        result_->stats.Accumulate(builds[i].stats);
-        result_->tree.Graft(collect_[i].node, builds[i].tree);
-      }
-    } else {
-      for (CollectWork& w : collect_) {
-        tracker_.ChargeBuffered(static_cast<int64_t>(w.rids.size()));
-        FinishCollect(w.rids, &result_->tree, w.node, &tracker_);
-      }
-    }
-    collect_.clear();
+    // Finish small partitions in memory (grafted back in work-list
+    // order; see SplitExecutor::FinishCollects for the determinism
+    // argument).
+    Timer finish_timer;
+    executor.FinishCollects(work_.collect);
+    po.finish_seconds = finish_timer.Seconds();
 
-    next_fresh_.clear();
-    next_pending_.clear();
-    next_collect_.clear();
+    next_.Clear();
+    Timer plan_timer;
 
     // Frontier phase A: every fresh node's analysis is a pure function
     // of its (now complete) bundle, so the frontier analyzes in
     // parallel. Phase B below applies the results serially in work-list
     // order — node creation order, stats, and tie-breaking are exactly
     // the serial build's.
-    std::vector<std::unique_ptr<BundleAnalysis>> pre(fresh_.size());
-    if (pool_->parallelism() > 1 && fresh_.size() > 1) {
-      pool_->ParallelFor(fresh_.size(), 1, [&](int64_t lo, int64_t hi) {
+    std::vector<std::unique_ptr<BundleAnalysis>> pre(work_.fresh.size());
+    if (pool_->parallelism() > 1 && work_.fresh.size() > 1) {
+      pool_->ParallelFor(work_.fresh.size(), 1, [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
-          const std::vector<int64_t> totals = fresh_[i].bundle.ClassTotals();
-          if (WouldAnalyze(fresh_[i].node, totals)) {
+          const std::vector<int64_t> totals =
+              work_.fresh[i].bundle.ClassTotals();
+          if (executor.WouldAnalyze(work_.fresh[i].node, totals)) {
             pre[i] = std::make_unique<BundleAnalysis>(
-                Analyze(fresh_[i].bundle, totals));
+                planner.Analyze(work_.fresh[i].bundle, totals));
           }
         }
       });
@@ -1798,9 +285,9 @@ void CmpBuild<Store>::Run() {
     // Pending buffers sort to a unique (value, rid) order, so the sorts
     // — the bulk of resolution cost — fan out ahead of the serial
     // resolve walk, which then re-sorts already-sorted buffers for free.
-    if (pool_->parallelism() > 1 && !pending_.empty()) {
+    if (pool_->parallelism() > 1 && !work_.pending.empty()) {
       std::vector<Pending*> all_pendings;
-      for (PendingWork& w : pending_) {
+      for (PendingWork& w : work_.pending) {
         CollectPendings(w.pending.get(), &all_pendings);
       }
       pool_->ParallelFor(all_pendings.size(), 1,
@@ -1811,14 +298,15 @@ void CmpBuild<Store>::Run() {
                          });
     }
 
-    for (size_t i = 0; i < fresh_.size(); ++i) {
-      GrowNode(fresh_[i].node, std::move(fresh_[i].bundle),
-               /*predicted=*/true, pre[i].get());
+    for (size_t i = 0; i < work_.fresh.size(); ++i) {
+      executor.GrowNode(work_.fresh[i].node, std::move(work_.fresh[i].bundle),
+                        /*predicted=*/true, pre[i].get());
     }
-    for (PendingWork& w : pending_) {
+    for (PendingWork& w : work_.pending) {
       const int depth = result_->tree.node(w.node).depth;
-      ResolvePending(w.node, w.pending.get(), depth);
+      executor.ResolvePending(w.node, w.pending.get(), depth);
     }
+    po.plan_seconds = plan_timer.Seconds();
 
     if constexpr (Store::kStreaming) {
       // Every retained record has been consumed (collect subtrees built,
@@ -1826,39 +314,19 @@ void CmpBuild<Store>::Run() {
       store_.ClearStash();
     }
 
-    fresh_ = std::move(next_fresh_);
-    pending_ = std::move(next_pending_);
-    collect_ = std::move(next_collect_);
-    next_fresh_.clear();
-    next_pending_.clear();
-    next_collect_.clear();
+    work_ = std::move(next_);
+    next_.Clear();
+
+    po.bytes_read = result_->stats.bytes_read - bytes_before;
+    po.tree_nodes = result_->tree.num_nodes();
+    if (observer != nullptr) observer->OnPass(po);
   }
 
   if (options_.base.prune) PruneTreeMdl(&result_->tree);
   result_->stats.tree_nodes = result_->tree.num_nodes();
   result_->stats.tree_depth = result_->tree.Depth();
   result_->stats.wall_seconds = timer.Seconds();
-}
-
-template <class Store>
-void CmpBuild<Store>::FinishCollect(const std::vector<RecordId>& rids,
-                                    DecisionTree* tree, NodeId node,
-                                    ScanTracker* tracker) {
-  if constexpr (!Store::kStreaming) {
-    BuildExactSubtree(*store_.dataset(), rids, options_.base, tree, node,
-                      tracker, pool_);
-  } else {
-    // Streamed: the records live in the stash. Materialize them in
-    // ascending rid order, so local record i is global record rids[i];
-    // BuildExactSubtree depends only on attribute values and the
-    // relative record order, both of which this preserves, so the
-    // subtree matches the in-memory build's exactly.
-    const Dataset local = store_.Materialize(rids);
-    std::vector<RecordId> lrids(static_cast<size_t>(local.num_records()));
-    std::iota(lrids.begin(), lrids.end(), 0);
-    BuildExactSubtree(local, lrids, options_.base, tree, node, tracker,
-                      pool_);
-  }
+  if (observer != nullptr) observer->OnBuildEnd(result_->stats);
 }
 
 }  // namespace
@@ -1897,15 +365,7 @@ BuildResult CmpBuilder::BuildStreamed(BlockSource& source, bool prefetch) {
 }
 
 std::string CmpBuilder::name() const {
-  switch (options_.variant) {
-    case CmpVariant::kS:
-      return "CMP-S";
-    case CmpVariant::kB:
-      return "CMP-B";
-    case CmpVariant::kFull:
-      return "CMP";
-  }
-  return "CMP";
+  return VariantPolicy::For(options_.variant).display_name;
 }
 
 CmpOptions CmpSOptions() {

@@ -1,0 +1,43 @@
+#ifndef CMP_CMP_VARIANT_POLICY_H_
+#define CMP_CMP_VARIANT_POLICY_H_
+
+#include "cmp/options.h"
+
+namespace cmp {
+
+/// The behavioral differences between CMP-S, CMP-B and full CMP as an
+/// explicit policy object. The build pipeline consults these flags
+/// instead of re-deriving them from CmpVariant at every decision point,
+/// so each variant's behavior is stated once, here, rather than spread
+/// across interleaved `if (variant)` branches.
+struct VariantPolicy {
+  /// Bivariate histogram matrices sharing a predicted X axis instead of
+  /// independent 1-D histograms (CMP-B and full CMP; Section 2.2).
+  bool use_matrices = false;
+  /// Search the matrices for linear-combination splits a*x + b*y <= c
+  /// when no univariate split is good enough (full CMP only).
+  bool search_linear = false;
+  /// When a split lands on a bundle's own X axis with several alive
+  /// intervals, keep only the best-estimated one so the children's
+  /// sub-matrices can be derived and split in the same round (Figure 10,
+  /// line 18). CMP-S keeps the full alive set and stays maximally exact.
+  bool trim_alive_on_x = false;
+  /// Display name for benchmark tables and observer reports.
+  const char* display_name = "CMP";
+
+  static constexpr VariantPolicy For(CmpVariant variant) {
+    switch (variant) {
+      case CmpVariant::kS:
+        return {false, false, false, "CMP-S"};
+      case CmpVariant::kB:
+        return {true, false, true, "CMP-B"};
+      case CmpVariant::kFull:
+        break;
+    }
+    return {true, true, true, "CMP"};
+  }
+};
+
+}  // namespace cmp
+
+#endif  // CMP_CMP_VARIANT_POLICY_H_

@@ -1,0 +1,43 @@
+#ifndef CMP_COMMON_CLASS_COUNTS_H_
+#define CMP_COMMON_CLASS_COUNTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+
+namespace cmp {
+
+/// Helpers over per-class record-count vectors (one entry per class).
+/// Every builder in the library carries these vectors through its split
+/// search; the operations live here so the algorithms share one
+/// definition instead of a private copy each.
+
+/// The class with the highest count; ties go to the lowest class id.
+inline ClassId Majority(const std::vector<int64_t>& counts) {
+  ClassId best = 0;
+  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
+    if (counts[c] > counts[best]) best = c;
+  }
+  return best;
+}
+
+/// True when at most one class has records.
+inline bool IsPure(const std::vector<int64_t>& counts) {
+  int nonzero = 0;
+  for (int64_t c : counts) {
+    if (c > 0) ++nonzero;
+  }
+  return nonzero <= 1;
+}
+
+/// Total records across all classes.
+inline int64_t CountSum(const std::vector<int64_t>& counts) {
+  int64_t n = 0;
+  for (int64_t c : counts) n += c;
+  return n;
+}
+
+}  // namespace cmp
+
+#endif  // CMP_COMMON_CLASS_COUNTS_H_

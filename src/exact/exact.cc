@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/class_counts.h"
 #include "common/timer.h"
 #include "gini/categorical.h"
 #include "gini/gini.h"
 #include "hist/histogram1d.h"
 #include "pruning/mdl.h"
+#include "tree/observer.h"
 
 namespace cmp {
 
@@ -89,22 +91,6 @@ std::vector<int64_t> CountClasses(const Dataset& ds,
   return counts;
 }
 
-ClassId Majority(const std::vector<int64_t>& counts) {
-  ClassId best = 0;
-  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
-    if (counts[c] > counts[best]) best = c;
-  }
-  return best;
-}
-
-bool IsPure(const std::vector<int64_t>& counts) {
-  int nonzero = 0;
-  for (int64_t c : counts) {
-    if (c > 0) ++nonzero;
-  }
-  return nonzero <= 1;
-}
-
 }  // namespace
 
 void BuildExactSubtree(const Dataset& ds, const std::vector<RecordId>& rids,
@@ -164,6 +150,10 @@ BuildResult ExactBuilder::Build(const Dataset& train) {
   BuildResult result;
   ScanTracker tracker(&result.stats);
   Timer timer;
+  TrainObserver* const observer = options_.observer;
+  if (observer != nullptr) {
+    observer->OnBuildStart(name(), train.num_records());
+  }
 
   result.tree = DecisionTree(train.schema());
   std::vector<RecordId> rids(train.num_records());
@@ -187,6 +177,15 @@ BuildResult ExactBuilder::Build(const Dataset& train) {
   result.stats.tree_nodes = result.tree.num_nodes();
   result.stats.tree_depth = result.tree.Depth();
   result.stats.wall_seconds = timer.Seconds();
+  if (observer != nullptr) {
+    // The recursive build has no scan rounds; report it as one pass.
+    PassObservation po;
+    po.records_scanned = train.num_records();
+    po.scan_seconds = result.stats.wall_seconds;
+    po.tree_nodes = result.stats.tree_nodes;
+    observer->OnPass(po);
+    observer->OnBuildEnd(result.stats);
+  }
   return result;
 }
 

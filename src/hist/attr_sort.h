@@ -1,0 +1,34 @@
+#ifndef CMP_HIST_ATTR_SORT_H_
+#define CMP_HIST_ATTR_SORT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "io/scan.h"
+
+namespace cmp {
+
+/// Shared scaffolding for SPRINT/SLIQ-style attribute lists: fills
+/// `list` with one entry per record via `make(value, rid)` and sorts it
+/// ascending by `.value`, charging one external sort to `tracker`. The
+/// comparator looks at values only, so entries with equal values keep
+/// whatever order std::sort picks — both call sites have always used
+/// exactly this comparator, which keeps their trees byte-stable.
+template <class Entry, class Make>
+void BuildSortedAttrList(const std::vector<double>& column, Make&& make,
+                         ScanTracker* tracker, std::vector<Entry>* list) {
+  const int64_t n = static_cast<int64_t>(column.size());
+  list->resize(n);
+  for (int64_t r = 0; r < n; ++r) {
+    (*list)[r] = make(column[r], static_cast<RecordId>(r));
+  }
+  std::sort(list->begin(), list->end(),
+            [](const Entry& x, const Entry& y) { return x.value < y.value; });
+  if (tracker != nullptr) tracker->ChargeSort(n);
+}
+
+}  // namespace cmp
+
+#endif  // CMP_HIST_ATTR_SORT_H_

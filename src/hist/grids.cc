@@ -48,4 +48,16 @@ int64_t GridsMemoryBytes(const std::vector<IntervalGrid>& grids) {
   return bytes;
 }
 
+std::vector<Histogram1D> MakeAttrHistograms(
+    const Schema& schema, const std::vector<IntervalGrid>& grids,
+    int num_classes) {
+  std::vector<Histogram1D> hists(schema.num_attrs());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const int rows = schema.is_numeric(a) ? grids[a].num_intervals()
+                                          : schema.attr(a).cardinality;
+    hists[a] = Histogram1D(rows, num_classes);
+  }
+  return hists;
+}
+
 }  // namespace cmp

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "hist/histogram1d.h"
 #include "hist/quantiles.h"
 #include "io/scan.h"
 
@@ -35,6 +36,13 @@ std::vector<IntervalGrid> ComputeEqualDepthGrids(const Dataset& ds,
 
 /// Total bytes of the grids (for memory accounting).
 int64_t GridsMemoryBytes(const std::vector<IntervalGrid>& grids);
+
+/// One empty per-node class histogram per attribute: interval rows for
+/// numeric attributes (per `grids`), one row per value for categorical
+/// ones. The standard node-state scaffolding of the histogram builders.
+std::vector<Histogram1D> MakeAttrHistograms(
+    const Schema& schema, const std::vector<IntervalGrid>& grids,
+    int num_classes);
 
 }  // namespace cmp
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/class_counts.h"
 #include "common/timer.h"
 #include "exact/exact.h"
 #include "gini/categorical.h"
@@ -13,26 +14,11 @@
 #include "hist/histogram1d.h"
 #include "io/scan.h"
 #include "pruning/mdl.h"
+#include "tree/observer.h"
 
 namespace cmp {
 
 namespace {
-
-ClassId Majority(const std::vector<int64_t>& counts) {
-  ClassId best = 0;
-  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
-    if (counts[c] > counts[best]) best = c;
-  }
-  return best;
-}
-
-bool IsPure(const std::vector<int64_t>& counts) {
-  int nonzero = 0;
-  for (int64_t c : counts) {
-    if (c > 0) ++nonzero;
-  }
-  return nonzero <= 1;
-}
 
 // AVC-set of one attribute at one node: distinct value -> class counts.
 // std::map keeps values ordered so the numeric split scan is a single
@@ -125,8 +111,11 @@ BuildResult RainForestBuilder::Build(const Dataset& train) {
   root.class_counts = train.ClassCounts();
   root.leaf_class = Majority(root.class_counts);
   const NodeId root_id = result.tree.AddNode(std::move(root));
+  TrainObserver* const observer = options_.base.observer;
+  if (observer != nullptr) observer->OnBuildStart(name(), n);
   if (n == 0) {
     result.stats.wall_seconds = timer.Seconds();
+    if (observer != nullptr) observer->OnBuildEnd(result.stats);
     return result;
   }
 
@@ -160,7 +149,16 @@ BuildResult RainForestBuilder::Build(const Dataset& train) {
     active.push_back(std::move(rn));
   }
 
+  int pass_index = 0;
   while (!active.empty() || !collect.empty()) {
+    PassObservation po;
+    po.pass = pass_index++;
+    po.records_scanned = n;
+    po.frontier_fresh = static_cast<int64_t>(active.size());
+    po.frontier_collect = static_cast<int64_t>(collect.size());
+    const int64_t bytes_before = result.stats.bytes_read;
+    Timer pass_timer;
+
     // Partition active nodes into scan batches whose AVC-groups fit the
     // buffer together (entry upper bound: records per attribute).
     std::vector<std::vector<size_t>> batches;
@@ -297,12 +295,18 @@ BuildResult RainForestBuilder::Build(const Dataset& train) {
       enqueue(right_id, right_n, rn.depth + 1);
     }
     active = std::move(next);
+
+    po.scan_seconds = pass_timer.Seconds();
+    po.bytes_read = result.stats.bytes_read - bytes_before;
+    po.tree_nodes = result.tree.num_nodes();
+    if (observer != nullptr) observer->OnPass(po);
   }
 
   if (options_.base.prune) PruneTreeMdl(&result.tree);
   result.stats.tree_nodes = result.tree.num_nodes();
   result.stats.tree_depth = result.tree.Depth();
   result.stats.wall_seconds = timer.Seconds();
+  if (observer != nullptr) observer->OnBuildEnd(result.stats);
   return result;
 }
 

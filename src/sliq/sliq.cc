@@ -5,13 +5,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/class_counts.h"
 #include "common/timer.h"
 #include "exact/exact.h"
 #include "gini/categorical.h"
 #include "gini/gini.h"
+#include "hist/attr_sort.h"
 #include "hist/histogram1d.h"
 #include "io/scan.h"
 #include "pruning/mdl.h"
+#include "tree/observer.h"
 
 namespace cmp {
 
@@ -23,22 +26,6 @@ struct Entry {
 };
 
 constexpr int64_t kEntryBytes = 16;  // value + rid on disk
-
-ClassId Majority(const std::vector<int64_t>& counts) {
-  ClassId best = 0;
-  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
-    if (counts[c] > counts[best]) best = c;
-  }
-  return best;
-}
-
-bool IsPure(const std::vector<int64_t>& counts) {
-  int nonzero = 0;
-  for (int64_t c : counts) {
-    if (c > 0) ++nonzero;
-  }
-  return nonzero <= 1;
-}
 
 // Split search state for one growing leaf during a level.
 struct LeafState {
@@ -75,8 +62,11 @@ BuildResult SliqBuilder::Build(const Dataset& train) {
   root.class_counts = train.ClassCounts();
   root.leaf_class = Majority(root.class_counts);
   const NodeId root_id = result.tree.AddNode(std::move(root));
+  TrainObserver* const observer = options_.base.observer;
+  if (observer != nullptr) observer->OnBuildStart(name(), n);
   if (n == 0) {
     result.stats.wall_seconds = timer.Seconds();
+    if (observer != nullptr) observer->OnBuildEnd(result.stats);
     return result;
   }
 
@@ -87,15 +77,10 @@ BuildResult SliqBuilder::Build(const Dataset& train) {
   int64_t list_bytes = 0;
   for (AttrId a = 0; a < schema.num_attrs(); ++a) {
     if (!schema.is_numeric(a)) continue;
-    auto& list = lists[a];
-    list.resize(n);
-    const auto& col = train.numeric_column(a);
-    for (RecordId r = 0; r < n; ++r) list[r] = Entry{col[r], r};
-    std::sort(list.begin(), list.end(),
-              [](const Entry& x, const Entry& y) {
-                return x.value < y.value;
-              });
-    tracker.ChargeSort(n);
+    BuildSortedAttrList(
+        train.numeric_column(a),
+        [](double v, RecordId r) { return Entry{v, r}; }, &tracker,
+        &lists[a]);
     list_bytes += n * kEntryBytes;
   }
   tracker.ChargeWrite(list_bytes);
@@ -112,7 +97,15 @@ BuildResult SliqBuilder::Build(const Dataset& train) {
   };
 
   std::vector<NodeId> active_nodes = {root_id};
+  int pass_index = 0;
   while (!active_nodes.empty()) {
+    PassObservation po;
+    po.pass = pass_index++;
+    po.records_scanned = n;
+    po.frontier_fresh = static_cast<int64_t>(active_nodes.size());
+    const int64_t bytes_before = result.stats.bytes_read;
+    Timer pass_timer;
+
     // Build the per-leaf search state.
     std::vector<LeafState> leaves(active_nodes.size());
     std::vector<int> slot_of(result.tree.num_nodes(), -1);
@@ -169,7 +162,16 @@ BuildResult SliqBuilder::Build(const Dataset& train) {
                           cn.node, &tracker);
       }
     }
-    if (!any_active) break;
+    if (!any_active) {
+      // The collect sweep above was still a real pass; report it before
+      // the frontier drains.
+      po.frontier_collect = static_cast<int64_t>(collect.size());
+      po.scan_seconds = pass_timer.Seconds();
+      po.bytes_read = result.stats.bytes_read - bytes_before;
+      po.tree_nodes = result.tree.num_nodes();
+      if (observer != nullptr) observer->OnPass(po);
+      break;
+    }
 
     // ---- One pass over every attribute list evaluates all active
     // leaves simultaneously.
@@ -305,12 +307,18 @@ BuildResult SliqBuilder::Build(const Dataset& train) {
       tracker.ChargeWrite(n * static_cast<int64_t>(sizeof(NodeId)));
     }
     active_nodes = std::move(next_nodes);
+
+    po.scan_seconds = pass_timer.Seconds();
+    po.bytes_read = result.stats.bytes_read - bytes_before;
+    po.tree_nodes = result.tree.num_nodes();
+    if (observer != nullptr) observer->OnPass(po);
   }
 
   if (options_.base.prune) PruneTreeMdl(&result.tree);
   result.stats.tree_nodes = result.tree.num_nodes();
   result.stats.tree_depth = result.tree.Depth();
   result.stats.wall_seconds = timer.Seconds();
+  if (observer != nullptr) observer->OnBuildEnd(result.stats);
   return result;
 }
 

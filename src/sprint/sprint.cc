@@ -5,13 +5,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/class_counts.h"
 #include "common/timer.h"
 #include "exact/exact.h"
 #include "gini/categorical.h"
 #include "gini/gini.h"
+#include "hist/attr_sort.h"
 #include "hist/histogram1d.h"
 #include "io/scan.h"
 #include "pruning/mdl.h"
+#include "tree/observer.h"
 
 namespace cmp {
 
@@ -52,22 +55,6 @@ std::vector<int64_t> CountClassesFromList(const std::vector<Entry>& list,
   std::vector<int64_t> counts(num_classes, 0);
   for (const Entry& e : list) counts[e.cls]++;
   return counts;
-}
-
-ClassId Majority(const std::vector<int64_t>& counts) {
-  ClassId best = 0;
-  for (ClassId c = 1; c < static_cast<ClassId>(counts.size()); ++c) {
-    if (counts[c] > counts[best]) best = c;
-  }
-  return best;
-}
-
-bool IsPure(const std::vector<int64_t>& counts) {
-  int nonzero = 0;
-  for (int64_t c : counts) {
-    if (c > 0) ++nonzero;
-  }
-  return nonzero <= 1;
 }
 
 // Exact best split of one node from its attribute lists.
@@ -118,12 +105,15 @@ BuildResult SprintBuilder::Build(const Dataset& train) {
   const int nc = schema.num_classes();
   const int64_t n = train.num_records();
   result.tree = DecisionTree(schema);
+  TrainObserver* const observer = options_.base.observer;
+  if (observer != nullptr) observer->OnBuildStart(name(), n);
   if (n == 0) {
     TreeNode root;
     root.class_counts.assign(nc, 0);
     root.leaf_class = 0;
     result.tree.AddNode(std::move(root));
     result.stats.wall_seconds = timer.Seconds();
+    if (observer != nullptr) observer->OnBuildEnd(result.stats);
     return result;
   }
 
@@ -134,19 +124,16 @@ BuildResult SprintBuilder::Build(const Dataset& train) {
   root_lists.lists.resize(schema.num_attrs());
   for (AttrId a = 0; a < schema.num_attrs(); ++a) {
     auto& list = root_lists.lists[a];
-    list.resize(n);
     if (schema.is_numeric(a)) {
-      const auto& col = train.numeric_column(a);
-      for (RecordId r = 0; r < n; ++r) {
-        list[r] = Entry{col[r], train.label(r), r};
-      }
-      std::sort(list.begin(), list.end(),
-                [](const Entry& x, const Entry& y) {
-                  return x.value < y.value;
-                });
-      tracker.ChargeSort(n);
+      BuildSortedAttrList(
+          train.numeric_column(a),
+          [&train](double v, RecordId r) {
+            return Entry{v, train.label(r), r};
+          },
+          &tracker, &list);
     } else {
       const auto& col = train.categorical_column(a);
+      list.resize(n);
       for (RecordId r = 0; r < n; ++r) {
         list[r] = Entry{static_cast<double>(col[r]), train.label(r), r};
       }
@@ -167,7 +154,15 @@ BuildResult SprintBuilder::Build(const Dataset& train) {
   std::vector<NodeLists> active;
   active.push_back(std::move(root_lists));
 
+  int pass_index = 0;
   while (!active.empty()) {
+    PassObservation po;
+    po.pass = pass_index++;
+    po.records_scanned = n;
+    po.frontier_fresh = static_cast<int64_t>(active.size());
+    const int64_t bytes_before = result.stats.bytes_read;
+    Timer pass_timer;
+
     // Per-level accounting: every active node's lists are re-read, and
     // partitioned lists are re-written.
     int64_t level_bytes = 0;
@@ -273,12 +268,18 @@ BuildResult SprintBuilder::Build(const Dataset& train) {
       next.push_back(std::move(right_nl));
     }
     active = std::move(next);
+
+    po.scan_seconds = pass_timer.Seconds();
+    po.bytes_read = result.stats.bytes_read - bytes_before;
+    po.tree_nodes = result.tree.num_nodes();
+    if (observer != nullptr) observer->OnPass(po);
   }
 
   if (options_.base.prune) PruneTreeMdl(&result.tree);
   result.stats.tree_nodes = result.tree.num_nodes();
   result.stats.tree_depth = result.tree.Depth();
   result.stats.wall_seconds = timer.Seconds();
+  if (observer != nullptr) observer->OnBuildEnd(result.stats);
   return result;
 }
 

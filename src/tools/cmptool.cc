@@ -2,11 +2,18 @@
 //
 // Subcommands:
 //   gen   --function F2 --records 100000 --seed 42 --out data.cmpt
-//   train --data data.cmpt --algo cmp|cmp-b|cmp-s|sprint|clouds|rainforest
-//         --out tree.txt [--intervals 100] [--no-prune]
+//   train --data data.cmpt --algo cmp|cmp-b|cmp-s|sprint|clouds|...
+//         --out tree.txt [--intervals 100] [--no-prune] [--stats-json FILE]
 //   eval  --data data.cmpt --tree tree.txt
 //   predict --data data.cmpt --tree tree.txt --out preds.csv
 //   show  --tree tree.txt
+//
+// Algorithms are constructed through the TreeBuilder registry
+// (tree/builder.h), so the --algo list tracks whatever is registered.
+//
+// Exit codes: 0 on success, 2 for bad arguments (unknown flag values,
+// missing required flags), 3 for I/O failures (unreadable data,
+// unwritable output), 4 when training itself fails.
 //
 // All file formats are this library's own (table_file.h, serialize.h).
 
@@ -20,11 +27,9 @@
 #include <string>
 #include <vector>
 
-#include "clouds/clouds.h"
 #include "common/summary.h"
 #include "cmp/cmp.h"
 #include "datagen/agrawal.h"
-#include "exact/exact.h"
 #include "io/arff.h"
 #include "io/block_source.h"
 #include "io/csv.h"
@@ -33,27 +38,39 @@
 #include "infer/compiled_tree.h"
 #include "infer/ensemble.h"
 #include "io/table_file.h"
-#include "rainforest/rainforest.h"
-#include "sampling/windowing.h"
-#include "sliq/sliq.h"
-#include "sprint/sprint.h"
+#include "tree/builder.h"
 #include "tree/evaluate.h"
 #include "tree/explain.h"
 #include "tree/importance.h"
+#include "tree/observer.h"
 #include "tree/serialize.h"
 
 namespace {
 
 using cmp::AgrawalFunction;
 
+constexpr int kExitOk = 0;
+constexpr int kExitBadArgs = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitTrain = 4;
+
+std::string AlgoList() {
+  std::string out;
+  for (const std::string& name : cmp::RegisteredTreeBuilders()) {
+    if (!out.empty()) out += '|';
+    out += name;
+  }
+  return out;
+}
+
 int Usage() {
   std::cerr <<
       "usage:\n"
       "  cmptool gen   --function <F1..F10|Ff> --records N [--seed S]"
       " [--perturb P] --out FILE\n"
-      "  cmptool train --data FILE --algo"
-      " <cmp|cmp-b|cmp-s|sprint|sliq|clouds|rainforest|exact|windowing|sampled>"
-      " [--intervals Q] [--no-prune] [--threads N]\n"
+      "  cmptool train --data FILE --algo <" << AlgoList() << ">\n"
+      "                [--intervals Q] [--no-prune] [--threads N]"
+      " [--stats-json FILE]\n"
       "                [--stream [--block B] [--no-prefetch]] --out FILE\n"
       "                (--stream trains out-of-core from a .cmpt table in\n"
       "                 blocks of B records; cmp/cmp-b/cmp-s only)\n"
@@ -66,7 +83,7 @@ int Usage() {
       "  cmptool explain --data FILE --tree FILE --record N\n"
       "  cmptool info  --data FILE\n"
       "  cmptool importance --tree FILE\n";
-  return 2;
+  return kExitBadArgs;
 }
 
 std::string GetFlag(int argc, char** argv, const std::string& name,
@@ -111,60 +128,27 @@ bool LoadAnyDataset(const std::string& path, cmp::Dataset* out) {
   return cmp::LoadTableFile(path, out);
 }
 
-std::unique_ptr<cmp::TreeBuilder> MakeBuilder(const std::string& algo,
-                                              int intervals, bool prune,
-                                              int threads) {
-  cmp::BuilderOptions base;
-  base.prune = prune;
-  base.num_threads = threads;
-  if (algo == "cmp" || algo == "cmp-b" || algo == "cmp-s") {
-    cmp::CmpOptions o = algo == "cmp"     ? cmp::CmpFullOptions()
-                        : algo == "cmp-b" ? cmp::CmpBOptions()
-                                          : cmp::CmpSOptions();
-    o.base = base;
-    o.intervals = intervals;
-    return std::make_unique<cmp::CmpBuilder>(o);
+// Writes the observer's JSON to `path` ("-" for stdout). Returns an exit
+// code (kExitOk or kExitIo).
+int WriteStatsJson(const cmp::TrainStatsCollector& collector,
+                   const std::string& path) {
+  if (path == "-") {
+    std::cout << collector.ToJson();
+    return kExitOk;
   }
-  if (algo == "sprint") {
-    cmp::SprintOptions o;
-    o.base = base;
-    return std::make_unique<cmp::SprintBuilder>(o);
+  std::ofstream file(path);
+  if (!file || !(file << collector.ToJson())) {
+    std::cerr << "failed to write " << path << "\n";
+    return kExitIo;
   }
-  if (algo == "clouds") {
-    cmp::CloudsOptions o;
-    o.base = base;
-    o.intervals = intervals;
-    return std::make_unique<cmp::CloudsBuilder>(o);
-  }
-  if (algo == "rainforest") {
-    cmp::RainForestOptions o;
-    o.base = base;
-    return std::make_unique<cmp::RainForestBuilder>(o);
-  }
-  if (algo == "sliq") {
-    cmp::SliqOptions o;
-    o.base = base;
-    return std::make_unique<cmp::SliqBuilder>(o);
-  }
-  if (algo == "windowing") {
-    return std::make_unique<cmp::WindowingBuilder>(
-        std::make_unique<cmp::ExactBuilder>(base));
-  }
-  if (algo == "sampled") {
-    return std::make_unique<cmp::SampledBuilder>(
-        std::make_unique<cmp::ExactBuilder>(base), 0.1);
-  }
-  if (algo == "exact") {
-    return std::make_unique<cmp::ExactBuilder>(base);
-  }
-  return nullptr;
+  return kExitOk;
 }
 
 int CmdGen(int argc, char** argv) {
   AgrawalFunction function;
   if (!ParseFunction(GetFlag(argc, argv, "--function", "F2"), &function)) {
     std::cerr << "unknown function\n";
-    return 2;
+    return kExitBadArgs;
   }
   cmp::AgrawalOptions o;
   o.function = function;
@@ -176,12 +160,12 @@ int CmdGen(int argc, char** argv) {
   const cmp::Dataset ds = cmp::GenerateAgrawal(o);
   if (!cmp::SaveTableFile(ds, out)) {
     std::cerr << "failed to write " << out << "\n";
-    return 1;
+    return kExitIo;
   }
   std::cout << "wrote " << ds.num_records() << " records ("
             << ds.TotalBytes() / (1024.0 * 1024.0) << " MB) to " << out
             << "\n";
-  return 0;
+  return kExitOk;
 }
 
 // Out-of-core training: records flow from the .cmpt table through
@@ -194,15 +178,19 @@ int CmdTrainStreamed(int argc, char** argv) {
   if (algo != "cmp" && algo != "cmp-b" && algo != "cmp-s") {
     std::cerr << "--stream supports cmp, cmp-b, cmp-s (got " << algo
               << ")\n";
-    return 2;
+    return kExitBadArgs;
   }
   const int64_t block =
       std::atoll(GetFlag(argc, argv, "--block", "65536").c_str());
+  if (block <= 0) {
+    std::cerr << "--block must be > 0\n";
+    return kExitBadArgs;
+  }
   auto source = cmp::TableBlockSource::Open(data, block);
   if (source == nullptr) {
     std::cerr << "failed to open " << data
-              << " (must be a valid .cmpt table; --block must be > 0)\n";
-    return 1;
+              << " (must be a valid .cmpt table)\n";
+    return kExitIo;
   }
   cmp::CmpOptions o = algo == "cmp"     ? cmp::CmpFullOptions()
                       : algo == "cmp-b" ? cmp::CmpBOptions()
@@ -211,50 +199,76 @@ int CmdTrainStreamed(int argc, char** argv) {
   o.base.num_threads =
       std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
   o.intervals = std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
+  const std::string stats_path = GetFlag(argc, argv, "--stats-json");
+  cmp::TrainStatsCollector collector;
+  if (!stats_path.empty()) o.base.observer = &collector;
   cmp::CmpBuilder builder(o);
-  const cmp::BuildResult result =
-      builder.BuildStreamed(*source, !HasFlag(argc, argv, "--no-prefetch"));
-  std::cout << builder.name() << " (streamed, block=" << block
-            << "): " << result.stats.ToString() << "\n";
+  cmp::BuildResult result;
+  try {
+    result =
+        builder.BuildStreamed(*source, !HasFlag(argc, argv, "--no-prefetch"));
+  } catch (const std::exception& e) {
+    std::cerr << "training failed: " << e.what() << "\n";
+    return kExitTrain;
+  }
+  // With --stats-json - the JSON owns stdout; summaries move to stderr.
+  std::ostream& summary = stats_path == "-" ? std::cerr : std::cout;
+  summary << builder.name() << " (streamed, block=" << block
+          << "): " << result.stats.ToString() << "\n";
   if (!cmp::SaveTree(result.tree, out)) {
     std::cerr << "failed to write " << out << "\n";
-    return 1;
+    return kExitIo;
   }
-  std::cout << "tree with " << result.tree.num_nodes() << " nodes saved to "
-            << out << "\n";
-  return 0;
+  summary << "tree with " << result.tree.num_nodes() << " nodes saved to "
+          << out << "\n";
+  if (!stats_path.empty()) return WriteStatsJson(collector, stats_path);
+  return kExitOk;
 }
 
 int CmdTrain(int argc, char** argv) {
   const std::string data = GetFlag(argc, argv, "--data");
   const std::string out = GetFlag(argc, argv, "--out");
   const std::string algo = GetFlag(argc, argv, "--algo", "cmp");
-  const int intervals =
-      std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
   if (data.empty() || out.empty()) return Usage();
   if (HasFlag(argc, argv, "--stream")) return CmdTrainStreamed(argc, argv);
+  cmp::BuilderConfig config;
+  config.base.prune = !HasFlag(argc, argv, "--no-prune");
+  config.base.num_threads =
+      std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
+  config.intervals =
+      std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
+  const std::string stats_path = GetFlag(argc, argv, "--stats-json");
+  cmp::TrainStatsCollector collector;
+  if (!stats_path.empty()) config.base.observer = &collector;
+  auto builder = cmp::MakeTreeBuilder(algo, config);
+  if (builder == nullptr) {
+    std::cerr << "unknown algorithm " << algo << " (have: " << AlgoList()
+              << ")\n";
+    return kExitBadArgs;
+  }
   cmp::Dataset ds;
   if (!LoadAnyDataset(data, &ds)) {
     std::cerr << "failed to read " << data << "\n";
-    return 1;
+    return kExitIo;
   }
-  const int threads =
-      std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
-  auto builder = MakeBuilder(algo, intervals,
-                             !HasFlag(argc, argv, "--no-prune"), threads);
-  if (builder == nullptr) {
-    std::cerr << "unknown algorithm " << algo << "\n";
-    return 2;
+  cmp::BuildResult result;
+  try {
+    result = builder->Build(ds);
+  } catch (const std::exception& e) {
+    std::cerr << "training failed: " << e.what() << "\n";
+    return kExitTrain;
   }
-  const cmp::BuildResult result = builder->Build(ds);
-  std::cout << builder->name() << ": " << result.stats.ToString() << "\n";
+  // With --stats-json - the JSON owns stdout; summaries move to stderr.
+  std::ostream& summary = stats_path == "-" ? std::cerr : std::cout;
+  summary << builder->name() << ": " << result.stats.ToString() << "\n";
   if (!cmp::SaveTree(result.tree, out)) {
     std::cerr << "failed to write " << out << "\n";
-    return 1;
+    return kExitIo;
   }
-  std::cout << "tree with " << result.tree.num_nodes() << " nodes saved to "
-            << out << "\n";
-  return 0;
+  summary << "tree with " << result.tree.num_nodes() << " nodes saved to "
+          << out << "\n";
+  if (!stats_path.empty()) return WriteStatsJson(collector, stats_path);
+  return kExitOk;
 }
 
 int CmdEval(int argc, char** argv) {
@@ -264,16 +278,16 @@ int CmdEval(int argc, char** argv) {
   cmp::Dataset ds;
   if (!LoadAnyDataset(data, &ds)) {
     std::cerr << "failed to read " << data << "\n";
-    return 1;
+    return kExitIo;
   }
   cmp::DecisionTree tree;
   if (!cmp::LoadTree(tree_path, &tree)) {
     std::cerr << "failed to read " << tree_path << "\n";
-    return 1;
+    return kExitIo;
   }
   const cmp::Evaluation eval = cmp::Evaluate(tree, ds);
   std::cout << eval.ToString(ds.schema());
-  return 0;
+  return kExitOk;
 }
 
 // Batch scoring through the compiled inference path: one tree gives a
@@ -289,7 +303,7 @@ int CmdPredict(int argc, char** argv) {
   cmp::Dataset ds;
   if (!LoadAnyDataset(data, &ds)) {
     std::cerr << "failed to read " << data << "\n";
-    return 1;
+    return kExitIo;
   }
 
   std::vector<cmp::DecisionTree> trees;
@@ -298,7 +312,7 @@ int CmdPredict(int argc, char** argv) {
     cmp::DecisionTree tree;
     if (!cmp::LoadTree(path, &tree)) {
       std::cerr << "failed to read " << path << "\n";
-      return 1;
+      return kExitIo;
     }
     trees.push_back(std::move(tree));
   }
@@ -313,7 +327,7 @@ int CmdPredict(int argc, char** argv) {
   const std::string vote_name = GetFlag(argc, argv, "--vote", "majority");
   if (vote_name != "majority" && vote_name != "prob") {
     std::cerr << "unknown vote kind " << vote_name << "\n";
-    return 2;
+    return kExitBadArgs;
   }
 
   const cmp::Schema& model_schema = trees.front().schema();
@@ -339,7 +353,7 @@ int CmdPredict(int argc, char** argv) {
     file.open(out_path);
     if (!file) {
       std::cerr << "failed to write " << out_path << "\n";
-      return 1;
+      return kExitIo;
     }
   }
   std::ostream& csv = out_path.empty() ? std::cout : file;
@@ -400,7 +414,7 @@ int CmdPredict(int argc, char** argv) {
           << trees.size() << " tree(s) in " << seconds << "s ("
           << static_cast<int64_t>(ds.num_records() / std::max(seconds, 1e-9))
           << " rows/s, " << opts.num_threads << " thread(s))\n";
-  return 0;
+  return kExitOk;
 }
 
 int CmdDot(int argc, char** argv) {
@@ -409,10 +423,10 @@ int CmdDot(int argc, char** argv) {
   cmp::DecisionTree tree;
   if (!cmp::LoadTree(tree_path, &tree)) {
     std::cerr << "failed to read " << tree_path << "\n";
-    return 1;
+    return kExitIo;
   }
   std::cout << cmp::ToDot(tree);
-  return 0;
+  return kExitOk;
 }
 
 int CmdExplain(int argc, char** argv) {
@@ -423,22 +437,22 @@ int CmdExplain(int argc, char** argv) {
   cmp::Dataset ds;
   if (!LoadAnyDataset(data, &ds)) {
     std::cerr << "failed to read " << data << "\n";
-    return 1;
+    return kExitIo;
   }
   cmp::DecisionTree tree;
   if (!cmp::LoadTree(tree_path, &tree)) {
     std::cerr << "failed to read " << tree_path << "\n";
-    return 1;
+    return kExitIo;
   }
   if (record < 0 || record >= ds.num_records()) {
     std::cerr << "record out of range\n";
-    return 2;
+    return kExitBadArgs;
   }
   const cmp::Explanation why = cmp::Explain(tree, ds, record);
   std::cout << "record " << record << " (actual: "
             << ds.schema().class_name(ds.label(record)) << ")\n"
             << why.ToString(ds.schema());
-  return 0;
+  return kExitOk;
 }
 
 int CmdInfo(int argc, char** argv) {
@@ -447,10 +461,10 @@ int CmdInfo(int argc, char** argv) {
   cmp::Dataset ds;
   if (!LoadAnyDataset(data, &ds)) {
     std::cerr << "failed to read " << data << "\n";
-    return 1;
+    return kExitIo;
   }
   std::cout << cmp::Summarize(ds).ToString(ds.schema());
-  return 0;
+  return kExitOk;
 }
 
 int CmdImportance(int argc, char** argv) {
@@ -459,11 +473,11 @@ int CmdImportance(int argc, char** argv) {
   cmp::DecisionTree tree;
   if (!cmp::LoadTree(tree_path, &tree)) {
     std::cerr << "failed to read " << tree_path << "\n";
-    return 1;
+    return kExitIo;
   }
   const std::vector<double> importance = cmp::GiniImportance(tree);
   std::cout << cmp::ImportanceToString(tree, importance);
-  return 0;
+  return kExitOk;
 }
 
 int CmdShow(int argc, char** argv) {
@@ -472,10 +486,10 @@ int CmdShow(int argc, char** argv) {
   cmp::DecisionTree tree;
   if (!cmp::LoadTree(tree_path, &tree)) {
     std::cerr << "failed to read " << tree_path << "\n";
-    return 1;
+    return kExitIo;
   }
   std::cout << tree.ToString();
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace

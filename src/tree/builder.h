@@ -1,14 +1,18 @@
 #ifndef CMP_TREE_BUILDER_H_
 #define CMP_TREE_BUILDER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/dataset.h"
 #include "common/stats.h"
 #include "tree/tree.h"
 
 namespace cmp {
+
+class TrainObserver;  // tree/observer.h
 
 /// Options shared by every tree builder in the library so comparison
 /// benchmarks (Figures 16-19) drive all algorithms identically.
@@ -30,6 +34,10 @@ struct BuilderOptions {
   /// std::thread::hardware_concurrency. The built tree is bit-identical
   /// for every value of this knob (see DESIGN.md, "Parallel training").
   int num_threads = 1;
+  /// Optional training observability hook (per-pass timings, scan bytes,
+  /// frontier sizes; see tree/observer.h). Borrowed, may be null; the
+  /// built tree is identical with or without an observer.
+  TrainObserver* observer = nullptr;
 };
 
 /// Result of building a tree: the classifier plus the cost counters used
@@ -51,6 +59,37 @@ class TreeBuilder {
   /// Short algorithm name for benchmark tables ("SPRINT", "CMP-B", ...).
   virtual std::string name() const = 0;
 };
+
+// ---------------------------------------------------------------------
+// Builder registry: one factory for every algorithm in the library, so
+// tools, cross-validation, tests and benches dispatch by name instead of
+// each hand-rolling its own if-chain. Implemented in tree/registry.cc
+// (CMake target cmp_registry, which links every algorithm library).
+
+/// Configuration handed to registry factories. `base` is forwarded to
+/// every builder; `intervals` parameterizes the histogram/grid-based
+/// ones (CMP family, CLOUDS) and is ignored by the rest.
+struct BuilderConfig {
+  BuilderOptions base;
+  int intervals = 100;
+};
+
+using TreeBuilderFactory =
+    std::function<std::unique_ptr<TreeBuilder>(const BuilderConfig&)>;
+
+/// Registers `factory` under `name` (lowercase, e.g. "cmp-b"). The
+/// library's own algorithms are pre-registered; call this to add
+/// external builders to the same dispatch surface. Re-registering a name
+/// replaces the previous factory.
+void RegisterTreeBuilder(const std::string& name, TreeBuilderFactory factory);
+
+/// Constructs the builder registered under `name`, or null when the name
+/// is unknown (callers render RegisteredTreeBuilders() in their error).
+std::unique_ptr<TreeBuilder> MakeTreeBuilder(const std::string& name,
+                                             const BuilderConfig& config = {});
+
+/// All registered names, sorted ascending.
+std::vector<std::string> RegisteredTreeBuilders();
 
 }  // namespace cmp
 

@@ -1,0 +1,92 @@
+#ifndef CMP_TREE_OBSERVER_H_
+#define CMP_TREE_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cmp {
+
+/// One completed pass (scan round / tree level) of a scan-based tree
+/// builder. CMP fills every field from its layered pipeline; the other
+/// builders report the coarse subset that exists for them (pass index,
+/// records, frontier size, tree size) and leave the rest at zero.
+struct PassObservation {
+  int pass = 0;  // 0-based pass index
+  /// Wall seconds routing records + filling histograms this pass.
+  double scan_seconds = 0.0;
+  /// Wall seconds analyzing bundles, planning and resolving splits.
+  double plan_seconds = 0.0;
+  /// Wall seconds finishing in-memory partitions with the exact builder.
+  double finish_seconds = 0.0;
+  int64_t records_scanned = 0;
+  /// Bytes read this pass (real I/O for streamed builds, disk-simulation
+  /// charges otherwise).
+  int64_t bytes_read = 0;
+  /// Frontier composition at the start of the pass.
+  int64_t frontier_fresh = 0;    // nodes awaiting their first histograms
+  int64_t frontier_pending = 0;  // approximate splits awaiting resolution
+  int64_t frontier_collect = 0;  // partitions being collected for exact finish
+  /// Alive intervals across all pending splits (nested ones included).
+  int64_t alive_intervals = 0;
+  /// Records set aside in pending buffers during this pass.
+  int64_t buffered_records = 0;
+  /// Bytes of pending/buffer state (plus the streamed stash) after the
+  /// scan — the build's frontier-memory high-water contribution.
+  int64_t buffer_bytes = 0;
+  /// Nodes in the tree after the pass was applied.
+  int64_t tree_nodes = 0;
+};
+
+/// Training observability hook. Builders that support it (all library
+/// builders; CMP with full per-phase detail) invoke the callbacks from
+/// the build thread, in pass order. Implementations must not retain
+/// references past the callback. See `cmptool train --stats-json` for
+/// the ready-made JSON surface.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+
+  /// Called once before the first pass. `builder` is the algorithm's
+  /// display name, `records` the training-set size.
+  virtual void OnBuildStart(const std::string& builder, int64_t records) {
+    (void)builder;
+    (void)records;
+  }
+
+  /// Called after each completed pass.
+  virtual void OnPass(const PassObservation& pass) { (void)pass; }
+
+  /// Called once after construction (post-pruning) with the final
+  /// counters.
+  virtual void OnBuildEnd(const BuildStats& stats) { (void)stats; }
+};
+
+/// Ready-made observer that records every pass and renders the whole
+/// training run as JSON (used by `cmptool train --stats-json`).
+class TrainStatsCollector : public TrainObserver {
+ public:
+  void OnBuildStart(const std::string& builder, int64_t records) override;
+  void OnPass(const PassObservation& pass) override;
+  void OnBuildEnd(const BuildStats& stats) override;
+
+  const std::vector<PassObservation>& passes() const { return passes_; }
+  const BuildStats& final_stats() const { return final_stats_; }
+
+  /// The run as a JSON object: builder, record count, per-pass metrics
+  /// and the final BuildStats counters.
+  std::string ToJson() const;
+
+ private:
+  std::string builder_;
+  int64_t records_ = 0;
+  std::vector<PassObservation> passes_;
+  BuildStats final_stats_;
+  bool finished_ = false;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_TREE_OBSERVER_H_

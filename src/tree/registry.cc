@@ -1,0 +1,120 @@
+// The TreeBuilder registry (declared in tree/builder.h): one factory per
+// algorithm, keyed by the lowercase names cmptool and the benches use.
+// Registration is centralized here instead of static initializers in
+// each algorithm library — with static archives the linker would happily
+// drop a translation unit whose only purpose is self-registration, so
+// the registry seeds itself on first use.
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "exact/exact.h"
+#include "rainforest/rainforest.h"
+#include "sampling/windowing.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/builder.h"
+
+namespace cmp {
+
+namespace {
+
+std::map<std::string, TreeBuilderFactory>& Factories() {
+  static std::map<std::string, TreeBuilderFactory> factories;
+  return factories;
+}
+
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::unique_ptr<TreeBuilder> MakeCmpVariant(CmpOptions options,
+                                            const BuilderConfig& config) {
+  options.base = config.base;
+  options.intervals = config.intervals;
+  return std::make_unique<CmpBuilder>(options);
+}
+
+// Called under RegistryMutex(). Seeds the library's own builders once.
+void EnsureDefaults() {
+  std::map<std::string, TreeBuilderFactory>& factories = Factories();
+  if (!factories.empty()) return;
+  factories["cmp"] = [](const BuilderConfig& c) {
+    return MakeCmpVariant(CmpFullOptions(), c);
+  };
+  factories["cmp-b"] = [](const BuilderConfig& c) {
+    return MakeCmpVariant(CmpBOptions(), c);
+  };
+  factories["cmp-s"] = [](const BuilderConfig& c) {
+    return MakeCmpVariant(CmpSOptions(), c);
+  };
+  factories["clouds"] = [](const BuilderConfig& c) {
+    CloudsOptions o;
+    o.base = c.base;
+    o.intervals = c.intervals;
+    return std::make_unique<CloudsBuilder>(o);
+  };
+  factories["sliq"] = [](const BuilderConfig& c) {
+    SliqOptions o;
+    o.base = c.base;
+    return std::make_unique<SliqBuilder>(o);
+  };
+  factories["sprint"] = [](const BuilderConfig& c) {
+    SprintOptions o;
+    o.base = c.base;
+    return std::make_unique<SprintBuilder>(o);
+  };
+  factories["rainforest"] = [](const BuilderConfig& c) {
+    RainForestOptions o;
+    o.base = c.base;
+    return std::make_unique<RainForestBuilder>(o);
+  };
+  factories["exact"] = [](const BuilderConfig& c) {
+    return std::make_unique<ExactBuilder>(c.base);
+  };
+  factories["windowing"] = [](const BuilderConfig& c) {
+    return std::make_unique<WindowingBuilder>(
+        std::make_unique<ExactBuilder>(c.base));
+  };
+  factories["sampled"] = [](const BuilderConfig& c) {
+    return std::make_unique<SampledBuilder>(
+        std::make_unique<ExactBuilder>(c.base), 0.1);
+  };
+}
+
+}  // namespace
+
+void RegisterTreeBuilder(const std::string& name,
+                         TreeBuilderFactory factory) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureDefaults();
+  Factories()[name] = std::move(factory);
+}
+
+std::unique_ptr<TreeBuilder> MakeTreeBuilder(const std::string& name,
+                                             const BuilderConfig& config) {
+  TreeBuilderFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    EnsureDefaults();
+    const auto it = Factories().find(name);
+    if (it == Factories().end()) return nullptr;
+    factory = it->second;
+  }
+  return factory(config);
+}
+
+std::vector<std::string> RegisteredTreeBuilders() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureDefaults();
+  std::vector<std::string> names;
+  names.reserve(Factories().size());
+  for (const auto& [name, factory] : Factories()) names.push_back(name);
+  return names;  // std::map iterates sorted ascending
+}
+
+}  // namespace cmp

@@ -1,8 +1,12 @@
 // End-to-end smoke test of the cmptool CLI: gen -> info -> train ->
 // eval -> show -> dot -> explain -> importance, via std::system. The
 // binary path is injected by CMake as CMPTOOL_PATH.
+//
+// cmptool's exit-code contract (tested below): 0 success, 2 bad
+// arguments, 3 I/O failure, 4 training failure.
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,17 +16,22 @@
 
 namespace {
 
+constexpr int kBadArgs = 2;
+constexpr int kIo = 3;
+constexpr int kTrain = 4;
+
 std::string ToolPath() { return CMPTOOL_PATH; }
 
 std::string TempPath(const std::string& name) {
   return std::string(::testing::TempDir()) + "/" + name;
 }
 
-// Runs a command, returns its exit code, captures stdout into `out`.
+// Runs a command, returns the tool's exit code (-1 if it died on a
+// signal), captures stdout+stderr into `out`.
 int RunTool(const std::string& args, std::string* out = nullptr) {
   const std::string capture = TempPath("cmptool_out.txt");
   const std::string cmd = ToolPath() + " " + args + " > " + capture + " 2>&1";
-  const int code = std::system(cmd.c_str());
+  const int raw = std::system(cmd.c_str());
   if (out != nullptr) {
     std::ifstream is(capture);
     std::ostringstream buffer;
@@ -30,7 +39,7 @@ int RunTool(const std::string& args, std::string* out = nullptr) {
     *out = buffer.str();
   }
   std::remove(capture.c_str());
-  return code;
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
 }
 
 class CmptoolTest : public ::testing::Test {
@@ -163,6 +172,111 @@ TEST_F(CmptoolTest, BadInputsFailGracefully) {
             0);
   EXPECT_NE(RunTool("frobnicate"), 0);
   EXPECT_NE(RunTool(""), 0);
+}
+
+TEST_F(CmptoolTest, ExitCodesDistinguishFailureKinds) {
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo exact --out " + tree_),
+            0);
+
+  // Bad arguments: unknown algorithm, unknown subcommand, missing flags,
+  // out-of-range record.
+  std::string out;
+  EXPECT_EQ(RunTool("train --data " + data_ + " --algo bogus --out " + tree_,
+                &out),
+            kBadArgs);
+  // The unknown-algorithm error lists the registry's names.
+  EXPECT_NE(out.find("have:"), std::string::npos) << out;
+  EXPECT_NE(out.find("rainforest"), std::string::npos) << out;
+  EXPECT_EQ(RunTool("frobnicate"), kBadArgs);
+  EXPECT_EQ(RunTool("train --data " + data_), kBadArgs);
+  EXPECT_EQ(RunTool("train --data " + data_ + " --algo cmp --stream"
+                " --block 0 --out " + tree_),
+            kBadArgs);
+  EXPECT_EQ(RunTool("explain --data " + data_ + " --tree " + tree_ +
+                " --record 99999999"),
+            kBadArgs);
+
+  // I/O failures: unreadable inputs.
+  EXPECT_EQ(RunTool("train --data /does/not/exist --algo cmp --out " + tree_),
+            kIo);
+  EXPECT_EQ(RunTool("train --data /does/not/exist --algo cmp --stream"
+                " --out " + tree_),
+            kIo);
+  EXPECT_EQ(RunTool("eval --data " + data_ + " --tree /does/not/exist"),
+            kIo);
+  EXPECT_EQ(RunTool("show --tree /does/not/exist"), kIo);
+
+  // A truncated table is caught by the scanner's size check at open.
+  const std::string truncated = TempPath("truncated.cmpt");
+  {
+    std::ifstream is(data_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string bytes = buffer.str();
+    std::ofstream os(truncated, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_EQ(RunTool("train --data " + truncated + " --algo cmp --stream"
+                " --out " + tree_),
+            kIo);
+  std::remove(truncated.c_str());
+
+  // Training failure: the label column holds garbage. The file's size
+  // is intact so it opens fine, and the streamed build (which sees raw
+  // column bytes, unlike the in-memory loader) must fail cleanly.
+  const std::string corrupt = TempPath("corrupt.cmpt");
+  {
+    std::ifstream is(data_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    std::string bytes = buffer.str();
+    ASSERT_GT(bytes.size(), 4u);
+    for (size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+      bytes[i] = '\x7f';
+    }
+    std::ofstream os(corrupt, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(RunTool("train --data " + corrupt + " --algo cmp --stream"
+                " --out " + tree_),
+            kTrain);
+  std::remove(corrupt.c_str());
+}
+
+TEST_F(CmptoolTest, StatsJsonEmitsObserverMetrics) {
+  const std::string stats = TempPath("stats.json");
+  std::string out;
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp --out " + tree_ +
+                " --stats-json " + stats,
+                &out),
+            0);
+  std::ifstream is(stats);
+  ASSERT_TRUE(is.good());
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"builder\": \"CMP\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"records\": 4000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"passes\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scan_seconds\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"frontier_fresh\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tree_nodes\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos) << json;
+  std::remove(stats.c_str());
+
+  // The streamed path feeds the same observer (real I/O bytes included).
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp-b --stream"
+                " --block 512 --out " + tree_ + " --stats-json " + stats,
+                &out),
+            0);
+  std::ifstream is2(stats);
+  ASSERT_TRUE(is2.good());
+  std::ostringstream buffer2;
+  buffer2 << is2.rdbuf();
+  const std::string json2 = buffer2.str();
+  EXPECT_NE(json2.find("\"builder\": \"CMP-B\""), std::string::npos) << json2;
+  EXPECT_NE(json2.find("\"bytes_read\""), std::string::npos) << json2;
+  std::remove(stats.c_str());
 }
 
 }  // namespace

@@ -52,6 +52,50 @@ TEST(Explain, SingleLeafTree) {
   EXPECT_EQ(why.predicted, 1);
 }
 
+// Records routed through a linear-combination split get the rendered
+// a*x + b*y <= c test in their path, marked with the side they took.
+TEST(Explain, LinearSplitRenderedInPath) {
+  const Dataset ds = LoanExampleDataset();
+  DecisionTree tree(ds.schema());
+  TreeNode root;
+  root.is_leaf = false;
+  root.split = Split::Linear(/*salary*/ 1, /*commission*/ 2, 1.0, 1.0,
+                             64999.0);
+  root.class_counts = {3, 3};
+  const NodeId root_id = tree.AddNode(root);
+  TreeNode lo;
+  lo.leaf_class = 0;
+  lo.class_counts = {3, 0};
+  lo.depth = 1;
+  TreeNode hi;
+  hi.leaf_class = 1;
+  hi.class_counts = {0, 3};
+  hi.depth = 1;
+  tree.mutable_node(root_id).left = tree.AddNode(lo);
+  tree.mutable_node(root_id).right = tree.AddNode(hi);
+
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    const Explanation why = Explain(tree, ds, r);
+    ASSERT_EQ(why.path.size(), 1u);
+    EXPECT_NE(why.path[0].test.find("salary"), std::string::npos);
+    EXPECT_NE(why.path[0].test.find("commission"), std::string::npos);
+    const double sum = ds.numeric(1, r) + ds.numeric(2, r);
+    EXPECT_EQ(why.path[0].went_left, sum <= 64999.0);
+    EXPECT_EQ(why.predicted, sum <= 64999.0 ? 0 : 1);
+  }
+}
+
+// The leaf's training distribution rides along in the explanation.
+TEST(Explain, CarriesLeafCounts) {
+  const Dataset ds = LoanExampleDataset();
+  ExactBuilder builder(NoPrune());
+  const BuildResult result = builder.Build(ds);
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    const Explanation why = Explain(result.tree, ds, r);
+    EXPECT_EQ(why.leaf_counts, result.tree.node(why.leaf).class_counts);
+  }
+}
+
 TEST(ToDot, WellFormedOutput) {
   const Dataset ds = LoanExampleDataset();
   ExactBuilder builder(NoPrune());

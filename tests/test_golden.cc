@@ -1,0 +1,138 @@
+// Golden-tree regression fixtures: every algorithm retrains on a fixed
+// synthetic dataset and its serialized tree is byte-compared against a
+// committed fixture under tests/golden/. Any refactor that changes a
+// single split threshold, node id, or class count — even one that only
+// reorders floating-point operations — fails here before it can silently
+// alter model outputs.
+//
+// To regenerate after an INTENTIONAL behavior change:
+//   CMP_UPDATE_GOLDEN=1 ./test_golden
+// then review and commit the rewritten files under tests/golden/.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "clouds/clouds.h"
+#include "cmp/cmp.h"
+#include "datagen/agrawal.h"
+#include "exact/exact.h"
+#include "rainforest/rainforest.h"
+#include "sliq/sliq.h"
+#include "sprint/sprint.h"
+#include "tree/serialize.h"
+
+namespace cmp {
+namespace {
+
+Dataset GoldenData() {
+  // Mixed numeric/categorical predicates (F5 uses salary, zipcode,
+  // hvalue) on enough records to force several scan rounds for the
+  // grid-based builders once the in-memory switch is lowered.
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF2;
+  gen.num_records = 6000;
+  gen.seed = 71;
+  return GenerateAgrawal(gen);
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(CMP_GOLDEN_DIR) + "/" + name + ".tree";
+}
+
+void CheckGolden(const std::string& name, const DecisionTree& tree) {
+  const std::string serialized = SerializeTree(tree);
+  const std::string path = GoldenPath(name);
+  if (std::getenv("CMP_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+    os << serialized;
+    ASSERT_TRUE(os.good());
+    std::cout << "updated " << path << " (" << serialized.size()
+              << " bytes)\n";
+    return;
+  }
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good()) << "missing fixture " << path
+                         << " (regenerate with CMP_UPDATE_GOLDEN=1)";
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  EXPECT_EQ(buffer.str(), serialized)
+      << name << ": retrained tree differs from committed fixture "
+      << path << " — an algorithm change leaked into model outputs";
+}
+
+// CMP variants with the in-memory switch lowered so pending splits,
+// buffer flushes and multi-level growth all execute before the exact
+// finisher takes over.
+CmpOptions ScanHeavy(CmpOptions o) {
+  o.base.in_memory_threshold = 512;
+  return o;
+}
+
+TEST(Golden, CmpS) {
+  CmpBuilder builder(ScanHeavy(CmpSOptions()));
+  CheckGolden("cmp_s", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, CmpB) {
+  CmpBuilder builder(ScanHeavy(CmpBOptions()));
+  CheckGolden("cmp_b", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, CmpFull) {
+  CmpBuilder builder(ScanHeavy(CmpFullOptions()));
+  CheckGolden("cmp_full", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, CmpFullDefaultThreshold) {
+  // The default configuration (large in-memory switch) exercises the
+  // exact-finish handoff at the root partition level.
+  CmpBuilder builder(CmpFullOptions());
+  CheckGolden("cmp_full_default", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, CmpSNoPrune) {
+  CmpOptions o = ScanHeavy(CmpSOptions());
+  o.base.prune = false;
+  CmpBuilder builder(o);
+  CheckGolden("cmp_s_noprune", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, Sprint) {
+  SprintOptions o;
+  SprintBuilder builder(o);
+  CheckGolden("sprint", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, Sliq) {
+  SliqOptions o;
+  o.base.in_memory_threshold = 512;
+  SliqBuilder builder(o);
+  CheckGolden("sliq", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, Clouds) {
+  CloudsOptions o;
+  o.base.in_memory_threshold = 512;
+  CloudsBuilder builder(o);
+  CheckGolden("clouds", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, RainForest) {
+  RainForestOptions o;
+  RainForestBuilder builder(o);
+  CheckGolden("rainforest", builder.Build(GoldenData()).tree);
+}
+
+TEST(Golden, Exact) {
+  ExactBuilder builder;
+  CheckGolden("exact", builder.Build(GoldenData()).tree);
+}
+
+}  // namespace
+}  // namespace cmp

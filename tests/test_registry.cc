@@ -1,0 +1,131 @@
+#include "tree/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "datagen/agrawal.h"
+#include "tree/observer.h"
+
+namespace cmp {
+namespace {
+
+Dataset SmallAgrawal(int64_t n = 2000, uint64_t seed = 901) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF1;
+  gen.num_records = n;
+  gen.seed = seed;
+  return GenerateAgrawal(gen);
+}
+
+TEST(Registry, ListsEveryLibraryAlgorithmSorted) {
+  const std::vector<std::string> names = RegisteredTreeBuilders();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected :
+       {"clouds", "cmp", "cmp-b", "cmp-s", "exact", "rainforest", "sampled",
+        "sliq", "sprint", "windowing"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Registry, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeTreeBuilder("frobnicate"), nullptr);
+  EXPECT_EQ(MakeTreeBuilder(""), nullptr);
+  EXPECT_EQ(MakeTreeBuilder("CMP"), nullptr);  // names are lowercase
+}
+
+// Every registered algorithm constructs and trains through the one
+// factory — the acceptance contract for registry-driven dispatch.
+TEST(Registry, AllRegisteredBuildersTrain) {
+  const Dataset ds = SmallAgrawal();
+  for (const std::string& name : RegisteredTreeBuilders()) {
+    std::unique_ptr<TreeBuilder> builder = MakeTreeBuilder(name);
+    ASSERT_NE(builder, nullptr) << name;
+    EXPECT_FALSE(builder->name().empty()) << name;
+    const BuildResult result = builder->Build(ds);
+    EXPECT_GE(result.tree.num_nodes(), 1) << name;
+    const double acc = [&] {
+      int64_t hits = 0;
+      for (RecordId r = 0; r < ds.num_records(); ++r) {
+        hits += result.tree.Classify(ds, r) == ds.label(r) ? 1 : 0;
+      }
+      return static_cast<double>(hits) / static_cast<double>(ds.num_records());
+    }();
+    EXPECT_GT(acc, 0.85) << name;
+  }
+}
+
+TEST(Registry, ConfigForwardsOptions) {
+  BuilderConfig config;
+  config.base.prune = false;
+  config.base.num_threads = 2;
+  config.intervals = 25;
+  for (const char* name : {"cmp", "cmp-s", "cmp-b", "clouds", "sprint"}) {
+    std::unique_ptr<TreeBuilder> builder = MakeTreeBuilder(name, config);
+    ASSERT_NE(builder, nullptr) << name;
+    const BuildResult result = builder->Build(SmallAgrawal(1000, 903));
+    EXPECT_GE(result.tree.num_nodes(), 1) << name;
+  }
+}
+
+TEST(Registry, RegisteringOverridesAndDispatches) {
+  // A stub that tags its name with the interval count it was given, to
+  // prove the config reaches the factory.
+  class Stub : public TreeBuilder {
+   public:
+    explicit Stub(int intervals) : intervals_(intervals) {}
+    BuildResult Build(const Dataset& train) override {
+      BuildResult r;
+      r.tree = DecisionTree(train.schema());
+      TreeNode leaf;
+      leaf.class_counts.assign(train.schema().num_classes(), 0);
+      leaf.leaf_class = 0;
+      r.tree.AddNode(leaf);
+      return r;
+    }
+    std::string name() const override {
+      return "stub-" + std::to_string(intervals_);
+    }
+
+   private:
+    int intervals_;
+  };
+
+  RegisterTreeBuilder("test-stub", [](const BuilderConfig& c) {
+    return std::make_unique<Stub>(c.intervals);
+  });
+  BuilderConfig config;
+  config.intervals = 7;
+  std::unique_ptr<TreeBuilder> made = MakeTreeBuilder("test-stub", config);
+  ASSERT_NE(made, nullptr);
+  EXPECT_EQ(made->name(), "stub-7");
+
+  // Re-registering the same name replaces the factory.
+  RegisterTreeBuilder("test-stub", [](const BuilderConfig&) {
+    return std::make_unique<Stub>(-1);
+  });
+  EXPECT_EQ(MakeTreeBuilder("test-stub")->name(), "stub--1");
+}
+
+TEST(Registry, ObserverOptionReachesBuilders) {
+  const Dataset ds = SmallAgrawal(1500, 905);
+  for (const char* name : {"cmp", "clouds", "sliq", "sprint", "rainforest"}) {
+    TrainStatsCollector collector;
+    BuilderConfig config;
+    config.base.observer = &collector;
+    std::unique_ptr<TreeBuilder> builder = MakeTreeBuilder(name, config);
+    ASSERT_NE(builder, nullptr) << name;
+    const BuildResult result = builder->Build(ds);
+    EXPECT_GE(collector.passes().size(), 1u) << name;
+    EXPECT_EQ(collector.final_stats().tree_nodes, result.stats.tree_nodes)
+        << name;
+    const std::string json = collector.ToJson();
+    EXPECT_NE(json.find("\"builder\""), std::string::npos) << name;
+    EXPECT_NE(json.find("\"passes\""), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cmp

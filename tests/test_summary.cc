@@ -4,6 +4,7 @@
 
 #include "datagen/agrawal.h"
 #include "datagen/loan_example.h"
+#include "tree/builder.h"
 #include "tree/importance.h"
 
 #include "cmp/cmp.h"
@@ -99,6 +100,28 @@ TEST(GiniImportance, SingleLeafAllZero) {
   tree.AddNode(leaf);
   const std::vector<double> imp = GiniImportance(tree);
   for (double v : imp) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// Importance scores are a distribution: non-negative, summing to one
+// for any tree with at least one split, no matter which builder made it.
+TEST(GiniImportance, NonNegativeAndNormalizedAcrossBuilders) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF3;
+  gen.num_records = 6000;
+  gen.seed = 409;
+  const Dataset ds = GenerateAgrawal(gen);
+  for (const char* algo : {"cmp", "cmp-s", "exact"}) {
+    const BuildResult result = MakeTreeBuilder(algo)->Build(ds);
+    ASSERT_FALSE(result.tree.node(0).is_leaf) << algo;
+    const std::vector<double> imp = GiniImportance(result.tree);
+    ASSERT_EQ(imp.size(), static_cast<size_t>(ds.schema().num_attrs()));
+    double total = 0;
+    for (double v : imp) {
+      EXPECT_GE(v, 0.0) << algo;
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << algo;
+  }
 }
 
 TEST(ImportanceToString, SortedDescending) {

@@ -136,6 +136,100 @@ TEST(DecisionTree, ToStringContainsSplitsAndLeaves) {
   EXPECT_NE(s.find("leaf: Yes"), std::string::npos);
 }
 
+// Grafting a detached single-leaf tree just overwrites the target node
+// (no new nodes), keeping the target's depth.
+TEST(DecisionTreeGraft, SingleLeafOverwritesInPlace) {
+  DecisionTree tree = PaperLoanTree();
+  DecisionTree sub(LoanExampleSchema());
+  TreeNode leaf;
+  leaf.leaf_class = 1;
+  leaf.class_counts = {0, 2};
+  sub.AddNode(leaf);
+
+  tree.Graft(/*at=*/1, sub);
+  EXPECT_EQ(tree.num_nodes(), 5);
+  EXPECT_TRUE(tree.node(1).is_leaf);
+  EXPECT_EQ(tree.node(1).leaf_class, 1);
+  EXPECT_EQ(tree.node(1).depth, 1);  // keeps the graft point's depth
+}
+
+// Grafting a subtree splices its root over the target and appends the
+// remaining nodes in the subtree's own id order, with depths shifted to
+// the graft point.
+TEST(DecisionTreeGraft, SubtreeAppendsInIdOrderAndShiftsDepth) {
+  DecisionTree tree = PaperLoanTree();
+  const int before = tree.num_nodes();
+
+  // A detached 3-node tree: salary test with two leaves.
+  DecisionTree sub(LoanExampleSchema());
+  TreeNode sroot;
+  sroot.is_leaf = false;
+  sroot.split = Split::Numeric(/*salary*/ 1, 30000.0);
+  sroot.class_counts = {2, 0};
+  const NodeId sroot_id = sub.AddNode(sroot);
+  TreeNode sleft;
+  sleft.leaf_class = 0;
+  sleft.class_counts = {2, 0};
+  sleft.depth = 1;
+  TreeNode sright;
+  sright.leaf_class = 1;
+  sright.class_counts = {0, 0};
+  sright.depth = 1;
+  sub.mutable_node(sroot_id).left = sub.AddNode(sleft);
+  sub.mutable_node(sroot_id).right = sub.AddNode(sright);
+
+  // Graft over the depth-1 leaf (node 1).
+  tree.Graft(/*at=*/1, sub);
+  ASSERT_EQ(tree.num_nodes(), before + 2);
+
+  const TreeNode& at = tree.node(1);
+  EXPECT_FALSE(at.is_leaf);
+  EXPECT_EQ(at.depth, 1);
+  // Children are the appended copies, in sub's id order.
+  EXPECT_EQ(at.left, before);
+  EXPECT_EQ(at.right, before + 1);
+  EXPECT_EQ(tree.node(at.left).depth, 2);
+  EXPECT_EQ(tree.node(at.right).depth, 2);
+  EXPECT_EQ(tree.node(at.left).leaf_class, 0);
+  EXPECT_EQ(tree.node(at.right).leaf_class, 1);
+}
+
+// The refactored parallel collect-finish path relies on grafting being
+// equivalent to building in place: routing through the grafted region
+// must classify like the detached subtree did.
+TEST(DecisionTreeGraft, ClassificationRoutesThroughGraftedRegion) {
+  const Dataset ds = LoanExampleDataset();
+  DecisionTree tree = PaperLoanTree();
+
+  // Replace the linear-split inner node (node 2) with a detached subtree
+  // that declines everyone, then check routing honors the new subtree.
+  DecisionTree sub(LoanExampleSchema());
+  TreeNode sroot;
+  sroot.is_leaf = false;
+  sroot.split = Split::Numeric(/*age*/ 0, 200.0);  // everyone goes left
+  sroot.class_counts = {4, 0};
+  const NodeId sroot_id = sub.AddNode(sroot);
+  TreeNode always;
+  always.leaf_class = 0;
+  always.class_counts = {4, 0};
+  always.depth = 1;
+  TreeNode never;
+  never.leaf_class = 1;
+  never.class_counts = {0, 0};
+  never.depth = 1;
+  sub.mutable_node(sroot_id).left = sub.AddNode(always);
+  sub.mutable_node(sroot_id).right = sub.AddNode(never);
+
+  tree.Graft(/*at=*/2, sub);
+  for (RecordId r = 0; r < ds.num_records(); ++r) {
+    // Records over the age threshold used to reach the linear test; they
+    // must now all land in the grafted "declined" leaf.
+    if (ds.numeric(/*age*/ 0, r) > 24.999) {
+      EXPECT_EQ(tree.Classify(ds, r), 0) << "record " << r;
+    }
+  }
+}
+
 TEST(Serialize, RoundTripPreservesClassification) {
   const DecisionTree tree = PaperLoanTree();
   const std::string text = SerializeTree(tree);
