@@ -1,0 +1,176 @@
+// bench_hist: throughput of the binned scan kernels.
+//
+// Three questions, answered on one Agrawal-generated table:
+//
+//  1. Kernel speedup — filling a node's HistBundle through the
+//     attribute-major batch kernels (bin-code loads, one histogram hot
+//     at a time) vs the record-major Add path (per-record binary search
+//     across every attribute). Counts are verified cell-identical before
+//     any number is reported.
+//  2. Cache amortization — how many histogram passes the one-time
+//     bin-code encode costs, i.e. after how many scan passes the cache
+//     has paid for itself.
+//  3. Sibling subtraction — end-to-end CMP training time with the
+//     optimization on vs off, with the byte-identical-trees check that
+//     makes the comparison meaningful.
+//
+// Results go to stdout and BENCH_hist.json (or argv[1]). CMP_BENCH_SCALE
+// scales the record count (default 0.1 => 100k rows). Exits nonzero on
+// any count or tree mismatch.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cmp/bundle.h"
+#include "cmp/cmp.h"
+#include "common/timer.h"
+#include "datagen/agrawal.h"
+#include "hist/bin_codes.h"
+#include "hist/grids.h"
+#include "tree/serialize.h"
+
+namespace {
+
+constexpr size_t kBatch = 512;  // the scan path's batch size
+
+bool SameCells(const cmp::HistBundle& a, const cmp::HistBundle& b,
+               int num_attrs) {
+  for (cmp::AttrId attr = 0; attr < num_attrs; ++attr) {
+    const cmp::Histogram1D ha = a.HistFor(attr);
+    const cmp::Histogram1D hb = b.HistFor(attr);
+    if (ha.num_intervals() != hb.num_intervals()) return false;
+    for (int i = 0; i < ha.num_intervals(); ++i) {
+      for (cmp::ClassId c = 0; c < ha.num_classes(); ++c) {
+        if (ha.count(i, c) != hb.count(i, c)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_hist.json";
+  const int64_t n = std::max<int64_t>(
+      static_cast<int64_t>(1000000 * cmp::bench::Scale()), 20000);
+
+  cmp::AgrawalOptions gen;
+  gen.function = cmp::AgrawalFunction::kF7;
+  gen.perturbation = 0.3;
+  gen.num_records = n;
+  gen.seed = 17;
+  const cmp::Dataset train = cmp::GenerateAgrawal(gen);
+  const std::vector<cmp::IntervalGrid> grids =
+      cmp::ComputeEqualDepthGrids(train, 100, nullptr);
+
+  // --- one-time encode (the cache build the first pass pays) ---------
+  cmp::Timer encode_timer;
+  cmp::BinCodeCache codes(train.schema(), n, /*max_intervals=*/100);
+  for (cmp::AttrId a = 0; a < train.num_attrs(); ++a) {
+    if (train.schema().is_numeric(a)) {
+      codes.EncodeNumericColumn(a, grids[a], train.numeric_column(a));
+    } else {
+      codes.EncodeCategoricalColumn(a, train.categorical_column(a));
+    }
+  }
+  codes.SetLabels(train.labels());
+  const double encode_seconds = encode_timer.Seconds();
+
+  std::vector<cmp::RecordId> rids(n);
+  for (int64_t i = 0; i < n; ++i) rids[i] = i;
+
+  // --- record-major vs kernel accumulation, best of 3 passes each ----
+  double record_major_s = 1e30;
+  double kernel_s = 1e30;
+  cmp::HistBundle serial;
+  cmp::HistBundle batched;
+  for (int pass = 0; pass < 3; ++pass) {
+    serial = cmp::HistBundle::MakeUnivariate(train.schema(), grids);
+    cmp::Timer t;
+    for (int64_t r = 0; r < n; ++r) serial.Add(train, grids, r);
+    record_major_s = std::min(record_major_s, t.Seconds());
+  }
+  cmp::KernelScratch scratch;
+  for (int pass = 0; pass < 3; ++pass) {
+    batched = cmp::HistBundle::MakeUnivariate(train.schema(), grids);
+    cmp::Timer t;
+    for (int64_t i = 0; i < n; i += kBatch) {
+      const size_t count =
+          static_cast<size_t>(std::min<int64_t>(kBatch, n - i));
+      batched.AccumulateBatch(codes, rids.data() + i, count, &scratch);
+    }
+    kernel_s = std::min(kernel_s, t.Seconds());
+  }
+  const bool counts_match = SameCells(batched, serial, train.num_attrs());
+  const double speedup = record_major_s / kernel_s;
+  // Passes until the encode cost is recovered by the per-pass saving.
+  const double amortize_passes =
+      record_major_s > kernel_s
+          ? encode_seconds / (record_major_s - kernel_s)
+          : -1.0;
+
+  // --- whole-build effect of sibling subtraction ---------------------
+  double train_with_s = 1e30;
+  double train_without_s = 1e30;
+  std::string tree_with;
+  std::string tree_without;
+  for (const bool subtract : {true, false}) {
+    cmp::CmpOptions o = cmp::CmpFullOptions();
+    o.base.prune = false;
+    o.sibling_subtraction = subtract;
+    double& best = subtract ? train_with_s : train_without_s;
+    std::string& bytes = subtract ? tree_with : tree_without;
+    for (int pass = 0; pass < 2; ++pass) {
+      cmp::CmpBuilder builder(o);
+      cmp::Timer t;
+      const cmp::BuildResult result = builder.Build(train);
+      best = std::min(best, t.Seconds());
+      bytes = cmp::SerializeTree(result.tree);
+    }
+  }
+  const bool trees_match = tree_with == tree_without;
+
+  std::cout << "histogram accumulation over " << n << " records, "
+            << train.num_attrs() << " attrs, q=100\n\n"
+            << "record-major Add:     " << record_major_s << " s\n"
+            << "attribute-major kernels: " << kernel_s << " s  ("
+            << speedup << "x)\n"
+            << "counts cell-identical: " << (counts_match ? "yes" : "NO")
+            << "\n\n"
+            << "bin-code encode: " << encode_seconds << " s, "
+            << codes.MemoryBytes() << " bytes resident\n"
+            << "encode amortized after " << amortize_passes
+            << " scan passes\n\n"
+            << "CMP train, subtraction on:  " << train_with_s << " s\n"
+            << "CMP train, subtraction off: " << train_without_s << " s  ("
+            << train_without_s / train_with_s << "x)\n"
+            << "trees byte-identical: "
+            << (trees_match ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"hist\",\n"
+       << "  \"rows\": " << n << ",\n"
+       << "  \"record_major_rows_per_sec\": " << n / record_major_s << ",\n"
+       << "  \"kernel_rows_per_sec\": " << n / kernel_s << ",\n"
+       << "  \"kernel_speedup\": " << speedup << ",\n"
+       << "  \"counts_match\": " << (counts_match ? "true" : "false")
+       << ",\n"
+       << "  \"code_cache_bytes\": " << codes.MemoryBytes() << ",\n"
+       << "  \"encode_seconds\": " << encode_seconds << ",\n"
+       << "  \"encode_amortize_passes\": " << amortize_passes << ",\n"
+       << "  \"train_subtract_seconds\": " << train_with_s << ",\n"
+       << "  \"train_no_subtract_seconds\": " << train_without_s << ",\n"
+       << "  \"subtract_speedup\": " << train_without_s / train_with_s
+       << ",\n"
+       << "  \"deterministic\": " << (trees_match ? "true" : "false")
+       << "\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return counts_match && trees_match ? 0 : 1;
+}

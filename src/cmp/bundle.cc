@@ -109,6 +109,42 @@ void HistBundle::MergeSameShape(const HistBundle& other) {
   }
 }
 
+void HistBundle::SubtractSameShape(const HistBundle& other) {
+  assert(SameShapeAs(other));
+  for (size_t i = 0; i < hists_.size(); ++i) {
+    hists_[i].Subtract(other.hists_[i]);
+  }
+  for (size_t i = 0; i < matrices_.size(); ++i) {
+    if (static_cast<AttrId>(i) == x_attr_) continue;
+    matrices_[i].Subtract(other.matrices_[i]);
+  }
+}
+
+void HistBundle::AccumulateBatch(const BinCodeCache& codes,
+                                 const RecordId* rids, size_t n,
+                                 KernelScratch* scratch) {
+  if (n == 0) return;
+  GatherLabels(codes.labels(), rids, n, &scratch->labels);
+  const ClassId* batch_labels = scratch->labels.data();
+  const Schema& schema = *schema_;
+  const int nc = schema.num_classes();
+  if (!bivariate_) {
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      AccumulateHist1D(codes.view(a), batch_labels, rids, n, nc,
+                       hists_[a].data());
+    }
+    return;
+  }
+  GatherXRows(codes.view(x_attr_), x_lo_, rids, n, &scratch->xrows);
+  const int32_t* xrows = scratch->xrows.data();
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (a == x_attr_) continue;
+    HistogramMatrix& m = matrices_[a];
+    AccumulateHist2D(xrows, codes.view(a), batch_labels, rids, n,
+                     m.y_intervals(), nc, m.data());
+  }
+}
+
 Histogram1D HistBundle::HistFor(AttrId a) const {
   if (!bivariate_) return hists_[a];
   if (a == x_attr_) {

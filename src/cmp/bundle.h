@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/dataset.h"
+#include "hist/bin_codes.h"
 #include "hist/grids.h"
+#include "hist/hist_kernels.h"
 #include "hist/histogram1d.h"
 #include "hist/histogram2d.h"
 
@@ -79,6 +81,37 @@ class HistBundle {
     }
   }
 
+  /// Record-major add through the bin-code cache: same effect as Add but
+  /// the interval index is a 1-2 byte load instead of a binary search.
+  /// Used where records arrive one at a time with interleaved routing
+  /// (pending-buffer flushes), where batching cannot help.
+  void AddCoded(const BinCodeCache& codes, RecordId r) {
+    const Schema& schema = *schema_;
+    const ClassId label = codes.label(r);
+    if (!bivariate_) {
+      for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+        hists_[a].Add(codes.code(a, r), label);
+      }
+      return;
+    }
+    const int gx = codes.code(x_attr_, r);
+    assert(gx >= x_lo_ && gx < x_hi_);
+    const int x = gx - x_lo_;
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      if (a == x_attr_) continue;
+      matrices_[a].Add(x, codes.code(a, r), label);
+    }
+  }
+
+  /// Attribute-major batch accumulation: adds the `n` records of `rids`
+  /// to every histogram of the bundle using the hist/hist_kernels.h
+  /// kernels — the batch's labels (and X rows, for bivariate bundles)
+  /// are gathered once into `scratch`, then each attribute's histogram
+  /// is filled by one tight loop over the batch. Byte-for-byte the same
+  /// counts as calling Add record by record.
+  void AccumulateBatch(const BinCodeCache& codes, const RecordId* rids,
+                       size_t n, KernelScratch* scratch);
+
   /// The 1-D class histogram of attribute `a`:
   ///  - univariate: the stored histogram (numeric rows are global
   ///    intervals);
@@ -95,6 +128,22 @@ class HistBundle {
   /// Adds every histogram of `other` into this bundle. Both bundles must
   /// have identical shape (same variant, X attribute and X range).
   void MergeSameShape(const HistBundle& other);
+
+  /// Subtracts every histogram of `other` (identical shape, cell-wise
+  /// lower bound) from this bundle. Sibling subtraction derives the
+  /// larger child of a split as parent-minus-sibling: the parent's
+  /// records partition exactly into its two children, so the result is
+  /// the same integer counts a direct scan would produce.
+  void SubtractSameShape(const HistBundle& other);
+
+  /// True when `other` has this bundle's exact shape (variant, X
+  /// attribute, X range) — the precondition of MergeSameShape /
+  /// SubtractSameShape. Univariate bundles of one build always match;
+  /// bivariate ones match only when the X axis and covered X range agree.
+  bool SameShapeAs(const HistBundle& other) const {
+    return bivariate_ == other.bivariate_ && x_attr_ == other.x_attr_ &&
+           x_lo_ == other.x_lo_ && x_hi_ == other.x_hi_;
+  }
 
   /// An empty bundle of this bundle's exact shape (variant, X attribute,
   /// X range, histogram/matrix dimensions) with all counts zero. Parallel

@@ -54,6 +54,7 @@ class CmpBuild {
 
  private:
   void BuildGrids(int64_t n);
+  void BuildCodes();
 
   Store& store_;
   BlockSource& source_;
@@ -74,6 +75,14 @@ class CmpBuild {
   std::vector<std::vector<char>> interior_;
   std::vector<AttrId> numeric_attrs_;
   std::vector<NodeId> nid_;
+
+  // Pass-invariant bin-code cache (hist/bin_codes.h): every attribute's
+  // interval index / categorical value, encoded once right after grid
+  // construction, read by every scan pass after it. Disabled (and empty)
+  // when the option is off, when the build finishes entirely in memory
+  // before the first histogram scan, or when an attribute needs more
+  // than 16 bits per code.
+  BinCodeCache codes_;
 
   // Optional all-pairs extension: the best root-level pairwise linear
   // relation discovered during the initial pass (empty if disabled or
@@ -97,9 +106,18 @@ void CmpBuild<Store>::BuildGrids(int64_t n) {
   grids_.assign(schema_.num_attrs(), IntervalGrid());
   interior_.assign(schema_.num_attrs(), {});
   auto build_attr = [&](AttrId a) {
-    std::vector<double> sorted;
-    if (!source_.ReadNumericColumn(a, &sorted)) {
+    std::vector<double> column;
+    if (!source_.ReadNumericColumn(a, &column)) {
       throw std::runtime_error("cmp: failed to read numeric column");
+    }
+    // When the bin-code cache is on, the same column read feeds both the
+    // grid build (sorted copy) and the code encoding (record order) —
+    // no extra pass over the data.
+    std::vector<double> sorted;
+    if (codes_.enabled()) {
+      sorted = column;
+    } else {
+      sorted = std::move(column);
     }
     std::sort(sorted.begin(), sorted.end());
     grids_[a] =
@@ -120,6 +138,9 @@ void CmpBuild<Store>::BuildGrids(int64_t n) {
         interior_[a][bi] = 1;
       }
     }
+    if (codes_.enabled()) {
+      codes_.EncodeNumericColumn(a, grids_[a], column);
+    }
   };
   if (pool_->parallelism() > 1 && numeric_attrs_.size() > 1) {
     pool_->ParallelFor(static_cast<int64_t>(numeric_attrs_.size()), 1,
@@ -136,6 +157,43 @@ void CmpBuild<Store>::BuildGrids(int64_t n) {
       tracker_.ChargeSort(n);
     }
   }
+}
+
+// Completes the bin-code cache after the grids exist: the label column
+// and the categorical columns (numeric columns were encoded inside
+// BuildGrids, riding the discretization pass's column reads). For the
+// out-of-core build this is the compact resident sidecar of the streamed
+// table — 1-2 bytes per value instead of 8 — so it is charged against
+// the peak-memory high-water mark.
+template <class Store>
+void CmpBuild<Store>::BuildCodes() {
+  if (!codes_.enabled()) return;
+  {
+    std::vector<ClassId> labels;
+    if (!source_.ReadLabels(&labels)) {
+      throw std::runtime_error("cmp: failed to read label column");
+    }
+    codes_.SetLabels(std::move(labels));
+  }
+  const std::vector<AttrId> cat_attrs = schema_.CategoricalAttrs();
+  auto encode_attr = [&](AttrId a) {
+    std::vector<int32_t> column;
+    if (!source_.ReadCategoricalColumn(a, &column)) {
+      throw std::runtime_error("cmp: failed to read categorical column");
+    }
+    codes_.EncodeCategoricalColumn(a, column);
+  };
+  if (pool_->parallelism() > 1 && cat_attrs.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(cat_attrs.size()), 1,
+                       [&](int64_t lo, int64_t hi) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           encode_attr(cat_attrs[i]);
+                         }
+                       });
+  } else {
+    for (AttrId a : cat_attrs) encode_attr(a);
+  }
+  tracker_.NotePeakMemory(codes_.MemoryBytes());
 }
 
 template <class Store>
@@ -190,7 +248,15 @@ void CmpBuild<Store>::Run() {
   }
 
   numeric_attrs_ = schema_.NumericAttrs();
+  // A build that finishes entirely in memory (root collected before any
+  // histogram scan) never reads a bin code; skip the cache outright.
+  const bool collect_only = options_.base.in_memory_threshold > 0 &&
+                            n <= options_.base.in_memory_threshold;
+  if (options_.bin_code_cache && !collect_only) {
+    codes_ = BinCodeCache(schema_, n, options_.intervals);
+  }
   BuildGrids(n);
+  BuildCodes();
   charge_real_bytes();
 
   if (options_.all_pairs_root && policy_.search_linear) {
@@ -210,10 +276,10 @@ void CmpBuild<Store>::Run() {
   const SplitPlanner planner(schema_, options_, policy_, grids_, interior_,
                              numeric_attrs_, pool_);
   SplitExecutor<Store> executor(planner, store_, options_, result_,
-                                &tracker_, pool_, &next_);
+                                &tracker_, pool_, &next_, &codes_);
   executor.set_root_relations(&root_relations_);
   ScanPass<Store> scan(store_, source_, grids_, result_->tree, nid_, pool_,
-                       &tracker_);
+                       &tracker_, &codes_, options_.scan_shards);
 
   if (options_.base.in_memory_threshold > 0 &&
       n <= options_.base.in_memory_threshold) {
@@ -239,7 +305,7 @@ void CmpBuild<Store>::Run() {
     const int64_t bytes_before = result_->stats.bytes_read;
 
     Timer scan_timer;
-    scan.Run(work_);
+    scan.Run(work_, &po);
     charge_real_bytes();
     po.scan_seconds = scan_timer.Seconds();
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cmp/bundle.h"
+#include "hist/bin_codes.h"
 #include "hist/quantiles.h"
 #include "tree/split.h"
 
@@ -120,9 +121,19 @@ int64_t CountBufferedRecords(const Pending& p);
 // active node of the tree's growth frontier.
 
 /// A node awaiting its first complete histogram bundle.
+///
+/// When `derive_from_sibling` is >= 0 the node's bundle is not
+/// accumulated during the scan at all: `bundle` arrives holding the
+/// PARENT's full histograms, and after the scan the sink at that index
+/// of the same fresh list (the node's sibling) is subtracted from it.
+/// A split partitions the parent's records exactly into its two
+/// children, so parent-minus-sibling is cell-for-cell the counts a
+/// direct scan of this child would have produced — the scan only pays
+/// for the smaller child.
 struct FreshWork {
   NodeId node;
   HistBundle bundle;
+  int derive_from_sibling = -1;
 };
 
 /// A node whose approximate split resolves after the next scan.
@@ -163,11 +174,17 @@ struct FrontierQueues {
 /// Routes record `r` through a pending split (at most one nested
 /// level). Returns true if the record was set aside in a (possibly
 /// nested) pending buffer — i.e. it will be re-read at resolve time.
+/// `codes` (nullable) is the build's bin-code cache: when present, bundle
+/// adds read the cached interval index instead of binary-searching the
+/// grid — identical counts either way, since codes agree with IntervalOf
+/// by construction.
 template <class Store>
 bool RoutePending(Pending* p, const Store& store,
-                  const std::vector<IntervalGrid>& grids, RecordId r) {
+                  const std::vector<IntervalGrid>& grids,
+                  const BinCodeCache* codes, RecordId r) {
   const double v = store.numeric(p->attr, r);
-  const int iv = grids[p->attr].IntervalOf(v);
+  const int iv =
+      codes != nullptr ? codes->code(p->attr, r) : grids[p->attr].IntervalOf(v);
   int k = 0;
   for (int a : p->alive) {
     if (iv == a) {
@@ -180,17 +197,31 @@ bool RoutePending(Pending* p, const Store& store,
   seg.counts[store.label(r)]++;
   switch (seg.plan) {
     case PlanKind::kGrow:
-      if (seg.bundle_fresh) seg.bundle.Add(store, grids, r);
+      if (seg.bundle_fresh) {
+        if (codes != nullptr) {
+          seg.bundle.AddCoded(*codes, r);
+        } else {
+          seg.bundle.Add(store, grids, r);
+        }
+      }
       break;
     case PlanKind::kPending:
-      return RoutePending(seg.sub.get(), store, grids, r);
+      return RoutePending(seg.sub.get(), store, grids, codes, r);
     case PlanKind::kExact:
       if (seg.exact_split.RoutesLeft(store, r)) {
         seg.exact_left_counts[store.label(r)]++;
-        seg.exact_left.Add(store, grids, r);
+        if (codes != nullptr) {
+          seg.exact_left.AddCoded(*codes, r);
+        } else {
+          seg.exact_left.Add(store, grids, r);
+        }
       } else {
         seg.exact_right_counts[store.label(r)]++;
-        seg.exact_right.Add(store, grids, r);
+        if (codes != nullptr) {
+          seg.exact_right.AddCoded(*codes, r);
+        } else {
+          seg.exact_right.Add(store, grids, r);
+        }
       }
       break;
   }
@@ -201,25 +232,38 @@ bool RoutePending(Pending* p, const Store& store,
 /// split: a nested pending, an exact sub-split, or a plain bundle.
 template <class Store>
 void FlushIntoSegment(Segment* seg, const Store& store,
-                      const std::vector<IntervalGrid>& grids, RecordId r) {
+                      const std::vector<IntervalGrid>& grids,
+                      const BinCodeCache* codes, RecordId r) {
   seg->counts[store.label(r)]++;
   switch (seg->plan) {
     case PlanKind::kGrow:
-      seg->bundle.Add(store, grids, r);
+      if (codes != nullptr) {
+        seg->bundle.AddCoded(*codes, r);
+      } else {
+        seg->bundle.Add(store, grids, r);
+      }
       break;
     case PlanKind::kPending:
       // A flushed record can land in a nested pending's buffer; it was
       // already stashed when it was first buffered, so the nested
       // resolve (later this round) can still read it.
-      RoutePending(seg->sub.get(), store, grids, r);
+      RoutePending(seg->sub.get(), store, grids, codes, r);
       break;
     case PlanKind::kExact:
       if (seg->exact_split.RoutesLeft(store, r)) {
         seg->exact_left_counts[store.label(r)]++;
-        seg->exact_left.Add(store, grids, r);
+        if (codes != nullptr) {
+          seg->exact_left.AddCoded(*codes, r);
+        } else {
+          seg->exact_left.Add(store, grids, r);
+        }
       } else {
         seg->exact_right_counts[store.label(r)]++;
-        seg->exact_right.Add(store, grids, r);
+        if (codes != nullptr) {
+          seg->exact_right.AddCoded(*codes, r);
+        } else {
+          seg->exact_right.Add(store, grids, r);
+        }
       }
       break;
   }

@@ -42,6 +42,25 @@ struct CmpOptions {
   /// each line evaluation quadratically more expensive without changing
   /// which relationships are detected).
   int linear_grid = 32;
+  /// Build the pass-invariant bin-code cache after grid construction and
+  /// accumulate histograms from the 1-2 byte codes with attribute-major
+  /// batch kernels (hist/bin_codes.h, hist/hist_kernels.h). Off falls
+  /// back to the record-major IntervalOf path; the tree is byte-identical
+  /// either way. The cache also disables itself when an attribute needs
+  /// more than 16 bits per code.
+  bool bin_code_cache = true;
+  /// Derive the larger child of each fresh split pair as parent minus its
+  /// scanned sibling instead of accumulating it during the scan (exact
+  /// integer counts, byte-identical trees; univariate bundles always
+  /// qualify, bivariate ones only when both children keep the parent's
+  /// full X axis).
+  bool sibling_subtraction = true;
+  /// Shard count for parallel scan passes. 0 = auto: the pool's
+  /// parallelism, additionally capped at the hardware thread count so an
+  /// oversubscribed pool on a small machine does not pay mirror-merge
+  /// overhead for shards that cannot run concurrently. The tree is
+  /// byte-identical for every value.
+  int scan_shards = 0;
   /// Extension beyond the paper (addressing its Section 2.3 limitation):
   /// when true, the full CMP variant additionally builds ALL N(N-1)/2
   /// coarse pairwise matrices during the initial pass and may adopt a

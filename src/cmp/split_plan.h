@@ -1,6 +1,7 @@
 #ifndef CMP_CMP_SPLIT_PLAN_H_
 #define CMP_CMP_SPLIT_PLAN_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -160,16 +161,20 @@ class SplitPlanner {
 template <class Store>
 class SplitExecutor {
  public:
+  /// `codes` (nullable) is the build's bin-code cache; buffer flushes
+  /// read cached interval indices through it when present.
   SplitExecutor(const SplitPlanner& planner, const Store& store,
                 const CmpOptions& options, BuildResult* result,
-                ScanTracker* tracker, ThreadPool* pool, FrontierQueues* next)
+                ScanTracker* tracker, ThreadPool* pool, FrontierQueues* next,
+                const BinCodeCache* codes = nullptr)
       : planner_(planner),
         store_(store),
         options_(options),
         result_(result),
         tracker_(tracker),
         pool_(pool),
-        next_(next) {}
+        next_(next),
+        codes_(codes != nullptr && codes->enabled() ? codes : nullptr) {}
 
   /// Root-level pairwise linear relations from the all-pairs extension
   /// (may stay empty; see CmpOptions::all_pairs_root).
@@ -256,12 +261,11 @@ class SplitExecutor {
         node.left = left_id;
         node.right = right_id;
         const AttrId x = planner_.PredictX(probe);
-        next_->fresh.push_back(
-            {left_id,
-             planner_.MakeFreshBundle(x, 0, grids[x].num_intervals())});
-        next_->fresh.push_back(
-            {right_id,
-             planner_.MakeFreshBundle(x, 0, grids[x].num_intervals())});
+        PushFreshPair(
+            left_id, right_id, std::move(bundle),
+            planner_.MakeFreshBundle(x, 0, grids[x].num_intervals()),
+            planner_.MakeFreshBundle(x, 0, grids[x].num_intervals()),
+            left_counts, right_counts);
         return;
       }
     }
@@ -345,17 +349,16 @@ class SplitExecutor {
                                                    left_r);
           const AttrId rx = planner_.PredictChildX(bundle, an.attr_est,
                                                    right_r);
-          next_->fresh.push_back(
-              {left_id,
-               planner_.MakeFreshBundle(lx, 0, grids[lx].num_intervals())});
-          next_->fresh.push_back(
-              {right_id,
-               planner_.MakeFreshBundle(rx, 0, grids[rx].num_intervals())});
+          PushFreshPair(
+              left_id, right_id, std::move(bundle),
+              planner_.MakeFreshBundle(lx, 0, grids[lx].num_intervals()),
+              planner_.MakeFreshBundle(rx, 0, grids[rx].num_intervals()),
+              an.exact_left_counts, right_counts);
         } else {
-          next_->fresh.push_back(
-              {left_id, HistBundle::MakeUnivariate(schema, grids)});
-          next_->fresh.push_back(
-              {right_id, HistBundle::MakeUnivariate(schema, grids)});
+          PushFreshPair(left_id, right_id, std::move(bundle),
+                        HistBundle::MakeUnivariate(schema, grids),
+                        HistBundle::MakeUnivariate(schema, grids),
+                        an.exact_left_counts, right_counts);
         }
         return;
       }
@@ -409,17 +412,16 @@ class SplitExecutor {
             // marginal exists, so fall back to parent-level estimates.
             lx = rx = planner_.PredictX(an);
           }
-          next_->fresh.push_back(
-              {left_id,
-               planner_.MakeFreshBundle(lx, 0, grids[lx].num_intervals())});
-          next_->fresh.push_back(
-              {right_id,
-               planner_.MakeFreshBundle(rx, 0, grids[rx].num_intervals())});
+          PushFreshPair(
+              left_id, right_id, std::move(bundle),
+              planner_.MakeFreshBundle(lx, 0, grids[lx].num_intervals()),
+              planner_.MakeFreshBundle(rx, 0, grids[rx].num_intervals()),
+              left_counts, right_counts);
         } else {
-          next_->fresh.push_back(
-              {left_id, HistBundle::MakeUnivariate(schema, grids)});
-          next_->fresh.push_back(
-              {right_id, HistBundle::MakeUnivariate(schema, grids)});
+          PushFreshPair(left_id, right_id, std::move(bundle),
+                        HistBundle::MakeUnivariate(schema, grids),
+                        HistBundle::MakeUnivariate(schema, grids),
+                        left_counts, right_counts);
         }
         return;
       }
@@ -550,7 +552,7 @@ class SplitExecutor {
 
     for (size_t i = 0; i < p->buffer.size(); ++i) {
       FlushIntoSegment(i < best_buf_left ? &left_seg : &right_seg, store_,
-                       grids, p->buffer[i].rid);
+                       grids, codes_, p->buffer[i].rid);
     }
     p->buffer.clear();
 
@@ -632,6 +634,53 @@ class SplitExecutor {
   }
 
  private:
+  /// Pushes the two fresh children of a just-split node onto the next
+  /// round's work list. When sibling subtraction is on and the parent's
+  /// bundle has the children's exact shape (univariate: always;
+  /// bivariate: only when both children keep the parent's X axis and
+  /// full X range), the LARGER child (by seeded counts) is not scanned
+  /// at all: it is queued holding the parent's histograms and derived
+  /// after the scan as parent minus its scanned sibling — exact, because
+  /// the split partitions the parent's records into exactly these two
+  /// children. Ties scan the left child and derive the right. A cost
+  /// gate skips the derivation for small nodes, where subtracting every
+  /// histogram cell would cost more than the scan it avoids. The
+  /// (left, right) push order is preserved either way, so node-creation
+  /// order — and the serialized tree — is unchanged.
+  void PushFreshPair(NodeId left_id, NodeId right_id, HistBundle&& parent,
+                     HistBundle&& left_b, HistBundle&& right_b,
+                     const std::vector<int64_t>& left_counts,
+                     const std::vector<int64_t>& right_counts) {
+    const int base = static_cast<int>(next_->fresh.size());
+    // Deriving trades the larger child's accumulation (~num_attrs adds
+    // per record) for one subtract per histogram cell, so it only pays
+    // off when the child is big relative to the bundle — bivariate
+    // matrices hold q*q cells per attribute, and deep nodes with few
+    // records would spend more on the subtract than the skipped scan.
+    // Both sides of the comparison are deterministic (seeded class
+    // counts, shape-derived cell count), so the choice — and the tree —
+    // is identical on every run.
+    const int64_t larger =
+        std::max(CountSum(left_counts), CountSum(right_counts));
+    const int64_t cells =
+        static_cast<int64_t>(parent.MemoryBytes()) /
+        static_cast<int64_t>(sizeof(int64_t));
+    if (options_.sibling_subtraction && parent.SameShapeAs(left_b) &&
+        parent.SameShapeAs(right_b) &&
+        larger * planner_.schema().num_attrs() > cells) {
+      if (CountSum(left_counts) > CountSum(right_counts)) {
+        next_->fresh.push_back({left_id, std::move(parent), base + 1});
+        next_->fresh.push_back({right_id, std::move(right_b), -1});
+      } else {
+        next_->fresh.push_back({left_id, std::move(left_b), -1});
+        next_->fresh.push_back({right_id, std::move(parent), base});
+      }
+      return;
+    }
+    next_->fresh.push_back({left_id, std::move(left_b), -1});
+    next_->fresh.push_back({right_id, std::move(right_b), -1});
+  }
+
   NodeId AddChild(const std::vector<int64_t>& counts, int depth) {
     TreeNode child;
     child.depth = depth;
@@ -674,6 +723,7 @@ class SplitExecutor {
   ScanTracker* tracker_;
   ThreadPool* pool_;  // borrowed, never null
   FrontierQueues* next_;
+  const BinCodeCache* codes_;  // null when the cache is disabled
   const std::vector<PairRelation>* root_relations_ = nullptr;
 };
 

@@ -35,6 +35,11 @@ class Histogram1D {
     return counts_.data() + static_cast<size_t>(interval) * num_classes_;
   }
 
+  /// Mutable row-major cell array (num_intervals × num_classes) for the
+  /// attribute-major batch kernels in hist/hist_kernels.h, which add
+  /// straight into it.
+  int64_t* data() { return counts_.data(); }
+
   /// Total records in interval `i`.
   int64_t IntervalTotal(int i) const;
 
@@ -46,6 +51,12 @@ class Histogram1D {
 
   /// Adds every cell of `other` into this histogram. Shapes must match.
   void Merge(const Histogram1D& other);
+
+  /// Subtracts every cell of `other` from this histogram. Shapes must
+  /// match and `other` must be a cell-wise lower bound (sibling
+  /// subtraction derives a child as parent minus its sibling, so no cell
+  /// can go negative).
+  void Subtract(const Histogram1D& other);
 
   /// Per-class counts in intervals [0, i) (records strictly left of
   /// interval i). Convenience for split scans and tests.

@@ -164,6 +164,16 @@ bool TableScanner::ReadNumericColumn(AttrId a, std::vector<double>* out) {
   return true;
 }
 
+bool TableScanner::ReadCategoricalColumn(AttrId a, std::vector<int32_t>* out) {
+  out->resize(num_records_);
+  file_.seekg(column_offsets_[a]);
+  file_.read(reinterpret_cast<char*>(out->data()),
+             num_records_ * static_cast<int64_t>(sizeof(int32_t)));
+  if (!file_.good() && !(file_.eof() && num_records_ == 0)) return false;
+  bytes_read_ += num_records_ * static_cast<int64_t>(sizeof(int32_t));
+  return true;
+}
+
 bool TableScanner::ReadLabelColumn(std::vector<ClassId>* out) {
   out->resize(num_records_);
   file_.seekg(label_offset_);

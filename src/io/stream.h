@@ -119,6 +119,10 @@ class TableScanner {
   /// cursor.
   bool ReadNumericColumn(AttrId a, std::vector<double>* out);
 
+  /// Reads one whole categorical column in a single bulk read. `a` must
+  /// be a categorical attribute. Does not move the sequential cursor.
+  bool ReadCategoricalColumn(AttrId a, std::vector<int32_t>* out);
+
   /// Reads the whole label column; rejects out-of-range labels.
   bool ReadLabelColumn(std::vector<ClassId>* out);
 

@@ -71,9 +71,13 @@ int Usage() {
       "  cmptool train --data FILE --algo <" << AlgoList() << ">\n"
       "                [--intervals Q] [--no-prune] [--threads N]"
       " [--stats-json FILE]\n"
-      "                [--stream [--block B] [--no-prefetch]] --out FILE\n"
+      "                [--stream [--block B] [--no-prefetch] [--no-codes]\n"
+      "                 [--no-subtract] [--scan-shards S]] --out FILE\n"
       "                (--stream trains out-of-core from a .cmpt table in\n"
-      "                 blocks of B records; cmp/cmp-b/cmp-s only)\n"
+      "                 blocks of B records; cmp/cmp-b/cmp-s only.\n"
+      "                 --no-codes / --no-subtract fall back to the\n"
+      "                 record-major scan; --scan-shards overrides the\n"
+      "                 auto shard count. Same tree either way.)\n"
       "  cmptool eval  --data FILE --tree FILE\n"
       "  cmptool predict --data FILE --tree FILE[,FILE...] [--out FILE]\n"
       "                [--threads N] [--block B] [--probs] [--top-k K]\n"
@@ -199,6 +203,10 @@ int CmdTrainStreamed(int argc, char** argv) {
   o.base.num_threads =
       std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
   o.intervals = std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
+  o.bin_code_cache = !HasFlag(argc, argv, "--no-codes");
+  o.sibling_subtraction = !HasFlag(argc, argv, "--no-subtract");
+  o.scan_shards =
+      std::atoi(GetFlag(argc, argv, "--scan-shards", "0").c_str());
   const std::string stats_path = GetFlag(argc, argv, "--stats-json");
   cmp::TrainStatsCollector collector;
   if (!stats_path.empty()) o.base.observer = &collector;

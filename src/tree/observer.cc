@@ -69,7 +69,10 @@ std::string TrainStatsCollector::ToJson() const {
        << ", \"alive_intervals\": " << p.alive_intervals
        << ", \"buffered_records\": " << p.buffered_records
        << ", \"buffer_bytes\": " << p.buffer_bytes
-       << ", \"tree_nodes\": " << p.tree_nodes << "}"
+       << ", \"tree_nodes\": " << p.tree_nodes
+       << ", \"kernel_seconds\": " << p.kernel_seconds
+       << ", \"code_cache_bytes\": " << p.code_cache_bytes
+       << ", \"sibling_subtractions\": " << p.sibling_subtractions << "}"
        << (i + 1 < passes_.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

@@ -38,6 +38,15 @@ struct PassObservation {
   int64_t buffer_bytes = 0;
   /// Nodes in the tree after the pass was applied.
   int64_t tree_nodes = 0;
+  /// Wall seconds spent inside the attribute-major histogram kernels
+  /// this pass, summed across shards (a subset of scan_seconds; 0 when
+  /// the bin-code cache is disabled).
+  double kernel_seconds = 0.0;
+  /// Resident bytes of the bin-code cache (0 when disabled).
+  int64_t code_cache_bytes = 0;
+  /// Fresh bundles this pass derived by sibling subtraction
+  /// (parent minus scanned sibling) instead of being accumulated.
+  int64_t sibling_subtractions = 0;
 };
 
 /// Training observability hook. Builders that support it (all library

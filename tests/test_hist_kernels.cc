@@ -1,0 +1,247 @@
+// The attribute-major batch kernels must reproduce the record-major
+// counts EXACTLY — same integer cells, any batch split — because the
+// scan path swaps them in under the bit-identical-trees contract. Tested
+// bottom-up: raw kernels vs direct counting (both code widths), then
+// HistBundle::AccumulateBatch vs Add, then whole builds across the
+// {codes, subtraction} toggles.
+#include "hist/hist_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cmp/bundle.h"
+#include "cmp/cmp.h"
+#include "common/random.h"
+#include "datagen/agrawal.h"
+#include "hist/grids.h"
+#include "tree/serialize.h"
+
+namespace cmp {
+namespace {
+
+// Encodes a full dataset the way the builder does after grid
+// construction: numeric columns as interval indices, categorical
+// columns as values, labels riding along.
+BinCodeCache EncodeDataset(const Dataset& ds,
+                           const std::vector<IntervalGrid>& grids,
+                           int max_intervals) {
+  BinCodeCache codes(ds.schema(), ds.num_records(), max_intervals);
+  EXPECT_TRUE(codes.enabled());
+  for (AttrId a = 0; a < ds.num_attrs(); ++a) {
+    if (ds.schema().is_numeric(a)) {
+      codes.EncodeNumericColumn(a, grids[a], ds.numeric_column(a));
+    } else {
+      codes.EncodeCategoricalColumn(a, ds.categorical_column(a));
+    }
+  }
+  codes.SetLabels(ds.labels());
+  return codes;
+}
+
+class HistKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AgrawalOptions gen;
+    gen.function = AgrawalFunction::kF3;  // numeric + categorical splits
+    gen.num_records = 3000;
+    gen.seed = 149;
+    ds_ = GenerateAgrawal(gen);
+    grids_ = ComputeEqualDepthGrids(ds_, 20, nullptr);
+    codes_ = EncodeDataset(ds_, grids_, 20);
+    // An uneven subset of the records, in the ascending order a scan
+    // delivers them.
+    Rng rng(151);
+    for (RecordId r = 0; r < ds_.num_records(); ++r) {
+      if (rng.UniformDouble() < 0.6) rids_.push_back(r);
+    }
+  }
+
+  void ExpectSameCells(const HistBundle& got, const HistBundle& want) {
+    for (AttrId a = 0; a < ds_.num_attrs(); ++a) {
+      const Histogram1D hg = got.HistFor(a);
+      const Histogram1D hw = want.HistFor(a);
+      ASSERT_EQ(hg.num_intervals(), hw.num_intervals()) << "attr " << a;
+      for (int i = 0; i < hg.num_intervals(); ++i) {
+        for (ClassId c = 0; c < hg.num_classes(); ++c) {
+          ASSERT_EQ(hg.count(i, c), hw.count(i, c))
+              << "attr " << a << " row " << i << " class " << c;
+        }
+      }
+    }
+  }
+
+  Dataset ds_;
+  std::vector<IntervalGrid> grids_;
+  BinCodeCache codes_;
+  std::vector<RecordId> rids_;
+};
+
+TEST_F(HistKernelsTest, Accumulate1DMatchesDirectCounts) {
+  const AttrId salary = ds_.schema().FindAttr("salary");
+  KernelScratch scratch;
+  GatherLabels(codes_.labels(), rids_.data(), rids_.size(), &scratch.labels);
+
+  Histogram1D hist(grids_[salary].num_intervals(), 2);
+  AccumulateHist1D(codes_.view(salary), scratch.labels.data(), rids_.data(),
+                   rids_.size(), 2, hist.data());
+
+  Histogram1D direct(grids_[salary].num_intervals(), 2);
+  for (const RecordId r : rids_) {
+    direct.Add(grids_[salary].IntervalOf(ds_.numeric(salary, r)),
+               ds_.label(r));
+  }
+  for (int i = 0; i < hist.num_intervals(); ++i) {
+    for (ClassId c = 0; c < 2; ++c) {
+      EXPECT_EQ(hist.count(i, c), direct.count(i, c)) << "row " << i;
+    }
+  }
+}
+
+TEST_F(HistKernelsTest, Accumulate1DSixteenBitCodes) {
+  // Force the uint16_t kernel instantiation with a >256-interval grid.
+  std::vector<double> cuts;
+  for (int i = 0; i < 300; ++i) cuts.push_back(static_cast<double>(i));
+  const IntervalGrid grid =
+      IntervalGrid::FromBoundaries(std::move(cuts), 0.0, 300.0);
+  Rng rng(157);
+  const int64_t n = 2000;
+  std::vector<double> column(n);
+  std::vector<ClassId> labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    column[i] = rng.Uniform(-2.0, 302.0);
+    labels[i] = rng.UniformInt(0, 1);
+  }
+  Schema schema({{"x", AttrKind::kNumeric, 0}}, {"neg", "pos"});
+  BinCodeCache codes(schema, n, /*max_intervals=*/1024);
+  ASSERT_TRUE(codes.enabled());
+  codes.EncodeNumericColumn(0, grid, column);
+  codes.SetLabels(labels);
+  ASSERT_EQ(codes.width(0), 2);
+
+  std::vector<RecordId> all(n);
+  for (int64_t i = 0; i < n; ++i) all[i] = i;
+  KernelScratch scratch;
+  GatherLabels(codes.labels(), all.data(), all.size(), &scratch.labels);
+  Histogram1D hist(grid.num_intervals(), 2);
+  AccumulateHist1D(codes.view(0), scratch.labels.data(), all.data(),
+                   all.size(), 2, hist.data());
+  Histogram1D direct(grid.num_intervals(), 2);
+  for (int64_t i = 0; i < n; ++i) {
+    direct.Add(grid.IntervalOf(column[i]), labels[i]);
+  }
+  for (int i = 0; i < hist.num_intervals(); ++i) {
+    for (ClassId c = 0; c < 2; ++c) {
+      EXPECT_EQ(hist.count(i, c), direct.count(i, c)) << "row " << i;
+    }
+  }
+}
+
+TEST_F(HistKernelsTest, BatchMatchesRecordMajorUnivariate) {
+  HistBundle batched = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  HistBundle serial = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  for (const RecordId r : rids_) serial.Add(ds_, grids_, r);
+  // Flush in two uneven batches — cell counts must not care where the
+  // batch boundary falls.
+  KernelScratch scratch;
+  const size_t cut = rids_.size() / 3;
+  batched.AccumulateBatch(codes_, rids_.data(), cut, &scratch);
+  batched.AccumulateBatch(codes_, rids_.data() + cut, rids_.size() - cut,
+                          &scratch);
+  ExpectSameCells(batched, serial);
+}
+
+TEST_F(HistKernelsTest, BatchMatchesRecordMajorBivariate) {
+  const AttrId x = ds_.schema().FindAttr("age");
+  const int qx = grids_[x].num_intervals();
+  HistBundle batched =
+      HistBundle::MakeBivariate(ds_.schema(), grids_, x, 0, qx);
+  HistBundle serial =
+      HistBundle::MakeBivariate(ds_.schema(), grids_, x, 0, qx);
+  for (const RecordId r : rids_) serial.Add(ds_, grids_, r);
+  KernelScratch scratch;
+  batched.AccumulateBatch(codes_, rids_.data(), rids_.size(), &scratch);
+  ExpectSameCells(batched, serial);
+}
+
+TEST_F(HistKernelsTest, BatchMatchesRecordMajorBivariateSubRange) {
+  // A child bundle covering only X-intervals [x_lo, x_hi): GatherXRows
+  // must rebase the X codes by x_lo exactly like Add does.
+  const AttrId x = ds_.schema().FindAttr("age");
+  const int qx = grids_[x].num_intervals();
+  const int x_lo = qx / 4;
+  const int x_hi = qx - qx / 4;
+  std::vector<RecordId> inside;
+  for (const RecordId r : rids_) {
+    const int gx = grids_[x].IntervalOf(ds_.numeric(x, r));
+    if (gx >= x_lo && gx < x_hi) inside.push_back(r);
+  }
+  ASSERT_FALSE(inside.empty());
+  HistBundle batched =
+      HistBundle::MakeBivariate(ds_.schema(), grids_, x, x_lo, x_hi);
+  HistBundle serial =
+      HistBundle::MakeBivariate(ds_.schema(), grids_, x, x_lo, x_hi);
+  for (const RecordId r : inside) serial.Add(ds_, grids_, r);
+  KernelScratch scratch;
+  batched.AccumulateBatch(codes_, inside.data(), inside.size(), &scratch);
+  ExpectSameCells(batched, serial);
+}
+
+TEST_F(HistKernelsTest, SubtractSameShapeEqualsDirectScanOfOtherChild) {
+  // The sibling-subtraction identity: parent minus left child == right
+  // child, as exact integer counts.
+  const AttrId split_attr = ds_.schema().FindAttr("salary");
+  const double cut = 65000.0;
+  HistBundle parent = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  HistBundle left = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  HistBundle right = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  for (RecordId r = 0; r < ds_.num_records(); ++r) {
+    parent.Add(ds_, grids_, r);
+    (ds_.numeric(split_attr, r) <= cut ? left : right).Add(ds_, grids_, r);
+  }
+  ASSERT_TRUE(parent.SameShapeAs(left));
+  parent.SubtractSameShape(left);
+  ExpectSameCells(parent, right);
+}
+
+// Build-level identity: the tree bytes must not depend on which scan
+// path ran. Every combination of {code cache, sibling subtraction} and
+// thread count must reproduce the plain record-major single-thread tree,
+// for every CMP variant.
+TEST(HistKernelsBuild, TreeBytesInvariantAcrossScanPaths) {
+  AgrawalOptions gen;
+  gen.function = AgrawalFunction::kF6;  // pendings + linear splits
+  gen.num_records = 6000;
+  gen.seed = 163;
+  const Dataset train = GenerateAgrawal(gen);
+
+  for (CmpOptions base :
+       {CmpSOptions(), CmpBOptions(), CmpFullOptions()}) {
+    base.base.in_memory_threshold = 256;  // keep the collect path in play
+    CmpOptions plain = base;
+    plain.bin_code_cache = false;
+    plain.sibling_subtraction = false;
+    const std::string reference =
+        SerializeTree(CmpBuilder(plain).Build(train).tree);
+    ASSERT_FALSE(reference.empty());
+    for (const bool codes : {false, true}) {
+      for (const bool subtract : {false, true}) {
+        for (const int threads : {1, 4}) {
+          CmpOptions o = base;
+          o.bin_code_cache = codes;
+          o.sibling_subtraction = subtract;
+          o.base.num_threads = threads;
+          o.scan_shards = threads;
+          EXPECT_EQ(SerializeTree(CmpBuilder(o).Build(train).tree),
+                    reference)
+              << "codes=" << codes << " subtract=" << subtract
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmp

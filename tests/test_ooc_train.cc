@@ -61,6 +61,9 @@ TEST_F(OocTrainTest, StreamedTreeIdenticalAcrossBlockSizesAndThreads) {
   for (const int64_t block : kBlocks) {
     for (const int threads : {1, 2, 4}) {
       options.base.num_threads = threads;
+      // Pin the shard count so this keeps exercising multi-shard merges
+      // even on a single-hardware-thread runner (auto caps shards there).
+      options.scan_shards = threads;
       const BuildResult streamed = BuildStreamed(options, block);
       EXPECT_EQ(SerializeTree(streamed.tree), reference)
           << "block=" << block << " threads=" << threads;
@@ -137,6 +140,7 @@ TEST_F(OocTrainTest, DatasetBlockSourceMatchesToo) {
       SerializeTree(CmpBuilder(options).Build(ds_).tree);
   for (const int threads : {1, 4}) {
     options.base.num_threads = threads;
+    options.scan_shards = threads;
     DatasetBlockSource source(ds_, /*block_records=*/600);
     CmpBuilder builder(options);
     const BuildResult streamed = builder.BuildStreamed(source);

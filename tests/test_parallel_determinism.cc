@@ -31,9 +31,14 @@ Dataset MakeData(AgrawalFunction f, int64_t n, uint64_t seed) {
 
 const int kThreadCounts[] = {1, 2, 4, 8};
 
-// Serializes the tree built with the given thread count.
+// Serializes the tree built with the given thread count. The shard
+// count is pinned to the thread count: the auto setting caps shards at
+// the machine's hardware concurrency, which on a small CI runner would
+// quietly collapse every build to one shard and stop exercising the
+// multi-shard mirror/merge path this suite exists to verify.
 std::string BuildSerialized(CmpOptions o, const Dataset& train, int threads) {
   o.base.num_threads = threads;
+  o.scan_shards = threads;
   CmpBuilder builder(o);
   return SerializeTree(builder.Build(train).tree);
 }

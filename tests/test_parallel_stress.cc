@@ -31,6 +31,7 @@ CmpOptions SmallTreeOptions(CmpVariant variant, int threads) {
   CmpOptions o;
   o.variant = variant;
   o.base.num_threads = threads;
+  o.scan_shards = threads;  // keep multi-shard merges live on small runners
   // A small threshold keeps the collect (exact-finish) machinery in
   // play even for these tiny datasets.
   o.base.in_memory_threshold = 256;
