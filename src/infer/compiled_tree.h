@@ -4,11 +4,16 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/dataset.h"
 #include "common/schema.h"
 #include "common/types.h"
+#include "io/model_blob.h"
 #include "tree/tree.h"
 
 namespace cmp {
@@ -26,6 +31,15 @@ namespace cmp {
 /// round-trip through float — lives in small side tables reached through a
 /// sentinel in `attr`. Nodes are stored in depth-first preorder so the
 /// left child of node i is node i+1.
+///
+/// Storage: a CompiledTree is a *view*. All of its arrays live inside one
+/// relocatable `.cmpb` blob (io/model_blob.h) which the tree keeps alive
+/// through a shared_ptr — whether that blob was packed in memory by
+/// Compile(), read in one gulp, or mmap'd straight off disk, the view
+/// code is identical and the bytes are identical. Copying a CompiledTree
+/// copies pointers and bumps the blob refcount, which is what lets a
+/// serving process hand out a model version to in-flight batches and
+/// retire the bytes only when the last batch drains.
 ///
 /// Predictions are bit-exact with DecisionTree::Classify: numeric
 /// comparisons stay in double (an inline float threshold is only used
@@ -80,19 +94,35 @@ class CompiledTree {
 
   CompiledTree() = default;
 
-  /// Compiles `tree` (which must be non-empty) into the flat layout.
-  /// Unreachable nodes are dropped; leaf class counts are normalized into
-  /// per-class probabilities (a leaf with no recorded counts gets
-  /// probability 1 on its predicted class).
+  /// Compiles `tree` into the flat layout, packed into an in-memory
+  /// `.cmpb` blob (byte-identical to what SaveModelBlob writes for the
+  /// same tree). Unreachable nodes are dropped; leaf class counts are
+  /// normalized into per-class probabilities (a leaf with no recorded
+  /// counts gets probability 1 on its predicted class). An empty input
+  /// tree yields an empty() CompiledTree.
   static CompiledTree Compile(const DecisionTree& tree);
 
-  bool empty() const { return attr_.empty(); }
-  int num_nodes() const { return static_cast<int>(attr_.size()); }
-  int num_leaves() const {
-    return static_cast<int>(leaf_probs_.size()) / std::max(num_classes_, 1);
-  }
+  /// Binds a view onto tree `tree_index` of a parsed blob, validating
+  /// the section table and every node against the blob's own bounds
+  /// (children in range and strictly forward — descent on a hostile
+  /// blob cannot loop or index out of bounds; side-table and leaf
+  /// indices in range; attribute ids valid for `schema`). On failure
+  /// returns false, fills `error`, and leaves `out` empty.
+  static bool FromBlob(std::shared_ptr<const ModelBlob> blob,
+                       std::shared_ptr<const Schema> schema,
+                       uint32_t tree_index, CompiledTree* out,
+                       std::string* error);
+
+  bool empty() const { return num_nodes_ == 0; }
+  int num_nodes() const { return num_nodes_; }
+  int num_leaves() const { return num_leaves_; }
   int32_t num_classes() const { return num_classes_; }
-  const Schema& schema() const { return schema_; }
+  /// Valid only for a non-empty tree.
+  const Schema& schema() const { return *schema_; }
+  std::shared_ptr<const Schema> shared_schema() const { return schema_; }
+  /// The blob whose memory this view points into (null only for a
+  /// default-constructed or empty tree).
+  const std::shared_ptr<const ModelBlob>& storage() const { return storage_; }
 
   /// Index (into the leaf tables) of the leaf record `r` of `ds` lands in.
   int32_t LeafIndexOf(const Dataset& ds, RecordId r) const {
@@ -114,7 +144,7 @@ class CompiledTree {
   /// row-major with one slot per schema attribute).
   void LeafIndicesOfRows(const double* numeric, const int32_t* categorical,
                          int64_t begin, int64_t end, int32_t* out) const {
-    const int32_t na = schema_.num_attrs();
+    const int32_t na = schema_->num_attrs();
     DescendRange(begin, end, out, [=](int64_t i) {
       return RawRow{numeric + i * na,
                     categorical == nullptr ? nullptr : categorical + i * na};
@@ -148,13 +178,19 @@ class CompiledTree {
   /// `num_classes()` training-frequency probabilities for leaf
   /// `leaf_index`; non-negative, summing to 1.
   const float* leaf_probs(int32_t leaf_index) const {
-    return leaf_probs_.data() +
+    return leaf_probs_ +
            static_cast<size_t>(leaf_index) * static_cast<size_t>(num_classes_);
   }
 
-  const std::vector<CatSplit>& cat_splits() const { return cat_splits_; }
-  const std::vector<LinSplit>& lin_splits() const { return lin_splits_; }
-  const std::vector<WideSplit>& wide_splits() const { return wide_splits_; }
+  std::span<const CatSplit> cat_splits() const {
+    return {cat_splits_, static_cast<size_t>(num_cat_)};
+  }
+  std::span<const LinSplit> lin_splits() const {
+    return {lin_splits_, static_cast<size_t>(num_lin_)};
+  }
+  std::span<const WideSplit> wide_splits() const {
+    return {wide_splits_, static_cast<size_t>(num_wide_)};
+  }
 
   /// Rows descended in lockstep by the batch path.
   static constexpr int kLanes = 8;
@@ -262,26 +298,67 @@ class CompiledTree {
     }
   }
 
-  Schema schema_;
+  // Cold identity; the schema is shared with every other tree bound to
+  // the same blob.
+  std::shared_ptr<const Schema> schema_;
+  std::shared_ptr<const ModelBlob> storage_;
   int32_t num_classes_ = 0;
+  int32_t num_nodes_ = 0;
+  int32_t num_leaves_ = 0;
 
-  // Hot structure-of-arrays node storage (preorder, root at 0). Children
-  // are interleaved: children_[2i] left, children_[2i+1] right — for
-  // leaves, the class id and the leaf-table index respectively.
-  std::vector<int16_t> attr_;
-  std::vector<float> threshold_;
-  std::vector<int32_t> children_;
+  // Hot structure-of-arrays node views into the blob (preorder, root at
+  // 0). Children are interleaved: children_[2i] left, children_[2i+1]
+  // right — for leaves, the class id and the leaf-table index
+  // respectively.
+  const int16_t* attr_ = nullptr;
+  const float* threshold_ = nullptr;
+  const int32_t* children_ = nullptr;
 
-  // Cold side tables.
-  std::vector<CatSplit> cat_splits_;
-  std::vector<uint8_t> cat_bits_;
-  std::vector<LinSplit> lin_splits_;
-  std::vector<WideSplit> wide_splits_;
+  // Cold side-table views.
+  const CatSplit* cat_splits_ = nullptr;
+  const uint8_t* cat_bits_ = nullptr;
+  const LinSplit* lin_splits_ = nullptr;
+  const WideSplit* wide_splits_ = nullptr;
+  int32_t num_cat_ = 0;
+  int64_t num_cat_bits_ = 0;
+  int32_t num_lin_ = 0;
+  int32_t num_wide_ = 0;
 
-  // Leaf payload, indexed by leaf index.
-  std::vector<ClassId> leaf_class_;
-  std::vector<float> leaf_probs_;  // num_leaves x num_classes, row-major
+  // Leaf payload views, indexed by leaf index.
+  const ClassId* leaf_class_ = nullptr;
+  const float* leaf_probs_ = nullptr;  // num_leaves x num_classes, row-major
 };
+
+// The blob stores these structs raw; pin their layout so a blob written
+// by any build of this library parses in any other.
+static_assert(std::is_trivially_copyable_v<CompiledTree::CatSplit> &&
+              sizeof(CompiledTree::CatSplit) == 12);
+static_assert(std::is_trivially_copyable_v<CompiledTree::LinSplit> &&
+              sizeof(CompiledTree::LinSplit) == 32);
+static_assert(std::is_trivially_copyable_v<CompiledTree::WideSplit> &&
+              sizeof(CompiledTree::WideSplit) == 16);
+
+/// The mutable staging form of one compiled tree: plain vectors filled by
+/// the compiler pass, then packed verbatim into blob sections. Exists so
+/// the packer (infer/model_io.h) and Compile() share one compilation and
+/// one byte layout.
+struct CompiledTreeArrays {
+  int32_t num_classes = 0;
+  std::vector<int16_t> attr;
+  std::vector<float> threshold;
+  std::vector<int32_t> children;
+  std::vector<CompiledTree::CatSplit> cat_splits;
+  std::vector<uint8_t> cat_bits;
+  std::vector<CompiledTree::LinSplit> lin_splits;
+  std::vector<CompiledTree::WideSplit> wide_splits;
+  std::vector<ClassId> leaf_class;
+  std::vector<float> leaf_probs;
+};
+
+/// Flattens `tree` (non-empty) into preorder structure-of-arrays form;
+/// the semantics (side tables, float-threshold gating, leaf-prob
+/// normalization) are documented on CompiledTree.
+CompiledTreeArrays CompileTreeToArrays(const DecisionTree& tree);
 
 }  // namespace cmp
 

@@ -27,10 +27,15 @@ EnsemblePredictor EnsemblePredictor::Compile(
   return EnsemblePredictor(std::move(compiled), vote);
 }
 
-BatchResult EnsemblePredictor::Predict(const Dataset& ds,
-                                       const PredictOptions& opts,
-                                       ThreadPool* pool) const {
-  const int64_t n = ds.num_records();
+// The shared scoring loop: `leaf_of(tree, i)` answers which leaf row i
+// lands in for one member tree; everything else (vote combination,
+// probabilities, top-k, abstention) is row-source-agnostic, so the
+// Dataset and raw-row entry points stay combiner-identical by
+// construction.
+template <typename LeafOf>
+BatchResult EnsemblePredictor::Run(int64_t n, const PredictOptions& opts,
+                                   ThreadPool* pool,
+                                   const LeafOf& leaf_of) const {
   const int32_t nc = num_classes();
   const int k = std::clamp(opts.top_k, 1, nc);
   const bool abstain = opts.abstain_threshold > 0.0;
@@ -51,7 +56,7 @@ BatchResult EnsemblePredictor::Predict(const Dataset& ds,
     for (int64_t i = begin; i < end; ++i) {
       std::fill(acc.begin(), acc.end(), 0.0);
       for (const CompiledTree& t : trees_) {
-        const int32_t leaf = t.LeafIndexOf(ds, i);
+        const int32_t leaf = leaf_of(t, i);
         if (vote_ == VoteKind::kMajority) {
           acc[t.leaf_class(leaf)] += 1.0;
         } else {
@@ -102,6 +107,29 @@ BatchResult EnsemblePredictor::Predict(const Dataset& ds,
                                    kInvalidClass);
   }
   return out;
+}
+
+BatchResult EnsemblePredictor::Predict(const Dataset& ds,
+                                       const PredictOptions& opts,
+                                       ThreadPool* pool) const {
+  return Run(ds.num_records(), opts, pool,
+             [&ds](const CompiledTree& t, int64_t i) {
+               return t.LeafIndexOf(ds, i);
+             });
+}
+
+BatchResult EnsemblePredictor::PredictRaw(const double* numeric,
+                                          const int32_t* categorical,
+                                          int64_t n,
+                                          const PredictOptions& opts,
+                                          ThreadPool* pool) const {
+  const int32_t na = schema().num_attrs();
+  return Run(n, opts, pool,
+             [numeric, categorical, na](const CompiledTree& t, int64_t i) {
+               return t.LeafIndexOfRow(
+                   numeric + i * na,
+                   categorical == nullptr ? nullptr : categorical + i * na);
+             });
 }
 
 }  // namespace cmp

@@ -57,7 +57,18 @@ class EnsemblePredictor {
   BatchResult Predict(const Dataset& ds, const PredictOptions& opts = {},
                       ThreadPool* pool = nullptr) const;
 
+  /// Scores `n` raw dense rows (layout as in BatchPredictor::PredictRaw:
+  /// row-major, one slot per schema attribute, `categorical` may be null
+  /// for all-numeric schemas). Same combining rules as Predict — this is
+  /// the entry point the serving path feeds micro-batches through.
+  BatchResult PredictRaw(const double* numeric, const int32_t* categorical,
+                         int64_t n, const PredictOptions& opts = {},
+                         ThreadPool* pool = nullptr) const;
+
  private:
+  template <typename LeafOf>
+  BatchResult Run(int64_t n, const PredictOptions& opts, ThreadPool* pool,
+                  const LeafOf& leaf_of) const;
   std::vector<CompiledTree> trees_;
   VoteKind vote_;
   // Cached internal pool; shared_ptr so a concurrent Predict that asked

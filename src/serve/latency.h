@@ -1,0 +1,102 @@
+#ifndef CMP_SERVE_LATENCY_H_
+#define CMP_SERVE_LATENCY_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace cmp {
+
+/// A lock-free log-scale latency histogram.
+///
+/// Values (nanoseconds) land in 4 sub-buckets per power of two —
+/// HDR-style — so quantile estimates carry at most ~12.5% relative
+/// error across the full uint64 range with a fixed 256-counter
+/// footprint and no allocation. Record() is two relaxed atomic adds
+/// plus a CAS max update; many request threads hammer one histogram
+/// with no shared cache line written twice per event beyond the
+/// counters themselves.
+///
+/// Snapshots read the counters relaxed while writers keep recording, so
+/// a snapshot is not a single instant — each counter is exact but the
+/// set may straddle a few in-flight events. For monitoring percentiles
+/// that is the right trade; nothing here is used for control decisions.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kBuckets = 64 * kSubBuckets;
+
+  void Record(uint64_t ns);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+  Snapshot Snap() const;
+
+  /// Bucket index for `ns`; exposed for tests.
+  static int BucketOf(uint64_t ns);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// Serving-wide counters: request latency plus throughput/traffic
+/// totals, all relaxed atomics so the hot path never takes a lock to
+/// account for itself. Rendered as one JSON object by the `stats`
+/// admin verb.
+class ServeStats {
+ public:
+  ServeStats() : start_(std::chrono::steady_clock::now()) {}
+
+  LatencyHistogram& request_latency() { return request_latency_; }
+  const LatencyHistogram& request_latency() const { return request_latency_; }
+
+  void AddRows(uint64_t n) { rows_.fetch_add(n, std::memory_order_relaxed); }
+  void AddRequests(uint64_t n) {
+    requests_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddBatch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+  void AddSwap() { swaps_.fetch_add(1, std::memory_order_relaxed); }
+  void AddConnection() {
+    connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddProtocolError() {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+
+  double UptimeSeconds() const;
+
+  /// One-line JSON: totals, sustained rows/sec since start, and the
+  /// request-latency percentiles.
+  std::string ToJson() const;
+
+ private:
+  LatencyHistogram request_latency_;
+  std::atomic<uint64_t> rows_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_SERVE_LATENCY_H_

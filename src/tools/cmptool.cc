@@ -6,6 +6,7 @@
 //         --out tree.txt [--intervals 100] [--no-prune] [--stats-json FILE]
 //   eval  --data data.cmpt --tree tree.txt
 //   predict --data data.cmpt --tree tree.txt --out preds.csv
+//   compile --tree tree.txt[,tree2.txt...] --out model.cmpb
 //   show  --tree tree.txt
 //
 // Algorithms are constructed through the TreeBuilder registry
@@ -37,6 +38,7 @@
 #include "infer/batch_predictor.h"
 #include "infer/compiled_tree.h"
 #include "infer/ensemble.h"
+#include "infer/model_io.h"
 #include "io/table_file.h"
 #include "tree/builder.h"
 #include "tree/evaluate.h"
@@ -79,7 +81,11 @@ int Usage() {
       "                 record-major scan; --scan-shards overrides the\n"
       "                 auto shard count. Same tree either way.)\n"
       "  cmptool eval  --data FILE --tree FILE\n"
+      "  cmptool compile --tree FILE[,FILE...] --out FILE.cmpb\n"
+      "                (packs text trees into one mmap-able blob for\n"
+      "                 cmpserve / predict)\n"
       "  cmptool predict --data FILE --tree FILE[,FILE...] [--out FILE]\n"
+      "                (--tree also accepts one compiled .cmpb blob)\n"
       "                [--threads N] [--block B] [--probs] [--top-k K]\n"
       "                [--abstain P] [--vote majority|prob]\n"
       "  cmptool show  --tree FILE\n"
@@ -302,6 +308,38 @@ int CmdEval(int argc, char** argv) {
 // BatchPredictor, a comma-separated list gives a voting ensemble.
 // Predictions go to --out as CSV (stdout when omitted, with the summary
 // moved to stderr so the two streams stay separable).
+// Packs one or more text trees into a single .cmpb blob. The blob is
+// the serving format: cmpserve mmaps it, and predict accepts it
+// directly.
+int CmdCompile(int argc, char** argv) {
+  const std::string tree_arg = GetFlag(argc, argv, "--tree");
+  const std::string out = GetFlag(argc, argv, "--out");
+  if (tree_arg.empty() || out.empty()) return Usage();
+
+  std::vector<cmp::DecisionTree> trees;
+  std::stringstream paths(tree_arg);
+  for (std::string path; std::getline(paths, path, ',');) {
+    cmp::DecisionTree tree;
+    if (!cmp::LoadTree(path, &tree)) {
+      std::cerr << "failed to read " << path << "\n";
+      return kExitIo;
+    }
+    trees.push_back(std::move(tree));
+  }
+  if (trees.empty()) return Usage();
+
+  std::vector<const cmp::DecisionTree*> ptrs;
+  ptrs.reserve(trees.size());
+  for (const cmp::DecisionTree& t : trees) ptrs.push_back(&t);
+  std::string error;
+  if (!cmp::SaveModelBlob(ptrs, out, &error)) {
+    std::cerr << "failed to compile " << out << ": " << error << "\n";
+    return kExitIo;
+  }
+  std::cerr << "compiled " << trees.size() << " tree(s) -> " << out << "\n";
+  return kExitOk;
+}
+
 int CmdPredict(int argc, char** argv) {
   const std::string data = GetFlag(argc, argv, "--data");
   const std::string tree_arg = GetFlag(argc, argv, "--tree");
@@ -314,15 +352,28 @@ int CmdPredict(int argc, char** argv) {
     return kExitIo;
   }
 
+  // The model is either comma-separated text trees or one compiled
+  // .cmpb blob (cmptool compile's output).
+  const bool is_blob = tree_arg.size() > 5 &&
+                       tree_arg.substr(tree_arg.size() - 5) == ".cmpb";
   std::vector<cmp::DecisionTree> trees;
-  std::stringstream paths(tree_arg);
-  for (std::string path; std::getline(paths, path, ',');) {
-    cmp::DecisionTree tree;
-    if (!cmp::LoadTree(path, &tree)) {
-      std::cerr << "failed to read " << path << "\n";
+  cmp::CompiledModel model;
+  if (is_blob) {
+    std::string error;
+    if (!cmp::LoadCompiledModel(tree_arg, &model, &error)) {
+      std::cerr << "failed to read " << tree_arg << ": " << error << "\n";
       return kExitIo;
     }
-    trees.push_back(std::move(tree));
+  } else {
+    std::stringstream paths(tree_arg);
+    for (std::string path; std::getline(paths, path, ',');) {
+      cmp::DecisionTree tree;
+      if (!cmp::LoadTree(path, &tree)) {
+        std::cerr << "failed to read " << path << "\n";
+        return kExitIo;
+      }
+      trees.push_back(std::move(tree));
+    }
   }
 
   cmp::PredictOptions opts;
@@ -338,20 +389,27 @@ int CmdPredict(int argc, char** argv) {
     return kExitBadArgs;
   }
 
-  const cmp::Schema& model_schema = trees.front().schema();
+  const cmp::Schema& model_schema =
+      is_blob ? *model.schema : trees.front().schema();
   // The predictors clamp top_k to the class count internally; clamp here
   // too so the CSV writer below indexes the returned topk table with the
   // same k the predictor sized it with.
   opts.top_k = std::min(opts.top_k, model_schema.num_classes());
+  const cmp::VoteKind vote = vote_name == "prob"
+                                 ? cmp::VoteKind::kAverageProb
+                                 : cmp::VoteKind::kMajority;
   cmp::Timer timer;
   cmp::BatchResult result;
-  if (trees.size() == 1) {
+  if (is_blob && model.num_trees() == 1) {
+    result = cmp::BatchPredictor(&model.trees.front(), opts).Predict(ds);
+  } else if (is_blob) {
+    result = cmp::EnsemblePredictor(model.trees, vote).Predict(ds, opts);
+  } else if (trees.size() == 1) {
     const cmp::CompiledTree compiled = cmp::CompiledTree::Compile(trees[0]);
     result = cmp::BatchPredictor(&compiled, opts).Predict(ds);
   } else {
-    const cmp::EnsemblePredictor ensemble = cmp::EnsemblePredictor::Compile(
-        trees, vote_name == "prob" ? cmp::VoteKind::kAverageProb
-                                   : cmp::VoteKind::kMajority);
+    const cmp::EnsemblePredictor ensemble =
+        cmp::EnsemblePredictor::Compile(trees, vote);
     result = ensemble.Predict(ds, opts);
   }
   const double seconds = timer.Seconds();
@@ -419,7 +477,9 @@ int CmdPredict(int argc, char** argv) {
     summary << "abstained: " << result.num_abstained << "\n";
   }
   summary << "scored " << ds.num_records() << " records with "
-          << trees.size() << " tree(s) in " << seconds << "s ("
+          << (is_blob ? static_cast<size_t>(model.num_trees())
+                      : trees.size())
+          << " tree(s) in " << seconds << "s ("
           << static_cast<int64_t>(ds.num_records() / std::max(seconds, 1e-9))
           << " rows/s, " << opts.num_threads << " thread(s))\n";
   return kExitOk;
@@ -508,6 +568,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
   if (cmd == "train") return CmdTrain(argc - 2, argv + 2);
   if (cmd == "eval") return CmdEval(argc - 2, argv + 2);
+  if (cmd == "compile") return CmdCompile(argc - 2, argv + 2);
   if (cmd == "predict") return CmdPredict(argc - 2, argv + 2);
   if (cmd == "show") return CmdShow(argc - 2, argv + 2);
   if (cmd == "dot") return CmdDot(argc - 2, argv + 2);

@@ -1,11 +1,19 @@
 #include "tree/serialize.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
 namespace cmp {
 
 namespace {
+
+// Caps on header-declared counts: a corrupt or hostile count must fail
+// the parse, not drive a giant allocation before any content check.
+constexpr int kMaxAttrs = 1 << 20;
+constexpr int kMaxClasses = 1 << 20;
+constexpr int kMaxNodes = 1 << 28;
+constexpr size_t kMaxClassCounts = 1 << 20;
 
 void WriteDouble(std::ostringstream& os, double v) {
   os << std::hexfloat << v << std::defaultfloat;
@@ -93,7 +101,8 @@ bool DeserializeTree(const std::string& text, DecisionTree* out) {
 
   if (!next_line(&ls)) return false;
   int num_attrs = 0;
-  if (!(ls >> tag >> num_attrs) || tag != "attrs" || num_attrs < 0) {
+  if (!(ls >> tag >> num_attrs) || tag != "attrs" || num_attrs < 0 ||
+      num_attrs > kMaxAttrs) {
     return false;
   }
   std::vector<AttrInfo> attrs(num_attrs);
@@ -116,7 +125,8 @@ bool DeserializeTree(const std::string& text, DecisionTree* out) {
 
   if (!next_line(&ls)) return false;
   int num_classes = 0;
-  if (!(ls >> tag >> num_classes) || tag != "classes" || num_classes <= 0) {
+  if (!(ls >> tag >> num_classes) || tag != "classes" || num_classes <= 0 ||
+      num_classes > kMaxClasses) {
     return false;
   }
   std::vector<std::string> class_names(num_classes);
@@ -126,7 +136,8 @@ bool DeserializeTree(const std::string& text, DecisionTree* out) {
 
   if (!next_line(&ls)) return false;
   int num_nodes = 0;
-  if (!(ls >> tag >> num_nodes) || tag != "nodes" || num_nodes < 0) {
+  if (!(ls >> tag >> num_nodes) || tag != "nodes" || num_nodes < 0 ||
+      num_nodes > kMaxNodes) {
     return false;
   }
 
@@ -171,7 +182,7 @@ bool DeserializeTree(const std::string& text, DecisionTree* out) {
     std::string cctag;
     size_t cc = 0;
     if (!(ls >> dtag >> n.depth >> cctag >> cc) || dtag != "d" ||
-        cctag != "cc") {
+        cctag != "cc" || n.depth < 0 || cc > kMaxClassCounts) {
       return false;
     }
     n.class_counts.resize(cc);
@@ -180,6 +191,54 @@ bool DeserializeTree(const std::string& text, DecisionTree* out) {
     }
     tree.AddNode(std::move(n));
   }
+
+  // A node count larger than the node list is caught above (missing
+  // lines); a smaller one would silently truncate the tree, so reject
+  // any trailing non-empty lines too.
+  while (std::getline(lines, line)) {
+    if (!line.empty()) return false;
+  }
+
+  // Validate the finished structure so a malformed file yields a clean
+  // error here instead of out-of-range indexing during Classify:
+  // children must point strictly forward (no cycles, no dangling ids),
+  // split attributes must exist with the right kind, and leaf classes
+  // must name real classes.
+  const Schema& schema = tree.schema();
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& n = tree.node(id);
+    if (n.is_leaf) {
+      if (n.leaf_class < 0 || n.leaf_class >= schema.num_classes()) {
+        return false;
+      }
+      continue;
+    }
+    if (n.left <= id || n.left >= tree.num_nodes() || n.right <= id ||
+        n.right >= tree.num_nodes()) {
+      return false;
+    }
+    if (n.split.attr < 0 || n.split.attr >= schema.num_attrs()) return false;
+    switch (n.split.kind) {
+      case Split::Kind::kNumeric:
+        if (!schema.is_numeric(n.split.attr)) return false;
+        break;
+      case Split::Kind::kCategorical: {
+        if (schema.is_numeric(n.split.attr)) return false;
+        const size_t card = static_cast<size_t>(
+            std::max<int32_t>(schema.attr(n.split.attr).cardinality, 0));
+        if (n.split.left_subset.size() != card) return false;
+        break;
+      }
+      case Split::Kind::kLinear:
+        if (!schema.is_numeric(n.split.attr)) return false;
+        if (n.split.attr2 < 0 || n.split.attr2 >= schema.num_attrs() ||
+            !schema.is_numeric(n.split.attr2)) {
+          return false;
+        }
+        break;
+    }
+  }
+
   *out = std::move(tree);
   return true;
 }

@@ -243,6 +243,74 @@ TEST_F(CmptoolTest, ExitCodesDistinguishFailureKinds) {
   std::remove(corrupt.c_str());
 }
 
+TEST_F(CmptoolTest, CompileAndBlobPredictFollowTheExitCodeContract) {
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp --out " + tree_),
+            0);
+
+  // Success path: compile a blob, then predict from it. The blob's
+  // accuracy must match the text tree's digit for digit.
+  const std::string blob = TempPath("smoke.cmpb");
+  const std::string csv = TempPath("blob_pred.csv");
+  std::string out;
+  ASSERT_EQ(RunTool("compile --tree " + tree_ + " --out " + blob, &out), 0);
+  EXPECT_NE(out.find("compiled 1 tree"), std::string::npos) << out;
+
+  std::string text_out;
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + tree_ +
+                " --out " + csv,
+                &text_out),
+            0);
+  std::string blob_out;
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + blob +
+                " --out " + csv,
+                &blob_out),
+            0);
+  EXPECT_EQ(AccuracyLine(blob_out), AccuracyLine(text_out));
+
+  // An ensemble blob compiles from a comma-separated tree list and
+  // predicts through the same path.
+  const std::string blob2 = TempPath("smoke2.cmpb");
+  ASSERT_EQ(RunTool("compile --tree " + tree_ + "," + tree_ + " --out " +
+                blob2),
+            0);
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + blob2 +
+                " --out " + csv,
+                &blob_out),
+            0);
+  EXPECT_EQ(AccuracyLine(blob_out), AccuracyLine(text_out));
+
+  // Bad arguments: missing flags.
+  EXPECT_EQ(RunTool("compile --tree " + tree_), kBadArgs);
+  EXPECT_EQ(RunTool("compile --out " + blob), kBadArgs);
+  EXPECT_EQ(RunTool("compile"), kBadArgs);
+
+  // I/O failures: unreadable tree, unwritable output, corrupt blob.
+  EXPECT_EQ(RunTool("compile --tree /does/not/exist --out " + blob), kIo);
+  EXPECT_EQ(RunTool("compile --tree " + tree_ + " --out /no/such/dir/x.cmpb"),
+            kIo);
+  const std::string corrupt = TempPath("corrupt.cmpb");
+  {
+    std::ifstream is(blob, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    std::string bytes = buffer.str();
+    ASSERT_GT(bytes.size(), 16u);
+    bytes[9] ^= '\x5a';  // inside the header, past the magic
+    std::ofstream os(corrupt, std::ios::binary);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(RunTool("predict --data " + data_ + " --tree " + corrupt +
+                " --out " + csv),
+            kIo);
+  EXPECT_EQ(RunTool("predict --data " + data_ + " --tree /absent.cmpb" +
+                " --out " + csv),
+            kIo);
+
+  for (const std::string& p : {blob, blob2, csv, corrupt}) {
+    std::remove(p.c_str());
+  }
+}
+
 TEST_F(CmptoolTest, StatsJsonEmitsObserverMetrics) {
   const std::string stats = TempPath("stats.json");
   std::string out;

@@ -94,5 +94,96 @@ TEST(SerializeFuzz, GarbageBlobsRejected) {
   }
 }
 
+// Targeted malformed inputs: each line below corrupts one structural
+// invariant the hardened deserializer must now reject outright —
+// backward/out-of-range child indices, out-of-range leaf classes and
+// attribute ids, kind mismatches, absurd header counts, node-count
+// mismatches, and trailing garbage.
+TEST(SerializeFuzz, StructuralViolationsRejected) {
+  const std::string header =
+      "cmp-tree 1\n"
+      "attrs 2\n"
+      "num 0 x\n"
+      "cat 3 c\n"
+      "classes 2\n"
+      "a\n"
+      "b\n";
+  auto parses = [&](const std::string& nodes_block) {
+    DecisionTree out;
+    return DeserializeTree(header + nodes_block, &out);
+  };
+
+  // Baseline: a well-formed two-node... three-node tree parses.
+  ASSERT_TRUE(parses(
+      "nodes 3\n"
+      "num 0 0x1p+0 1 2 d 0 cc 0\n"
+      "leaf 0 d 1 cc 0\n"
+      "leaf 1 d 1 cc 0\n"));
+
+  // Child index out of range.
+  EXPECT_FALSE(parses(
+      "nodes 3\n"
+      "num 0 0x1p+0 1 7 d 0 cc 0\n"
+      "leaf 0 d 1 cc 0\n"
+      "leaf 1 d 1 cc 0\n"));
+  // Backward child pointer (cycle through the root).
+  EXPECT_FALSE(parses(
+      "nodes 3\n"
+      "num 0 0x1p+0 1 0 d 0 cc 0\n"
+      "leaf 0 d 1 cc 0\n"
+      "leaf 1 d 1 cc 0\n"));
+  // Leaf class out of range / negative.
+  EXPECT_FALSE(parses("nodes 1\nleaf 2 d 0 cc 0\n"));
+  EXPECT_FALSE(parses("nodes 1\nleaf -1 d 0 cc 0\n"));
+  // Split attribute out of range.
+  EXPECT_FALSE(parses(
+      "nodes 3\n"
+      "num 5 0x1p+0 1 2 d 0 cc 0\n"
+      "leaf 0 d 1 cc 0\n"
+      "leaf 1 d 1 cc 0\n"));
+  // Numeric split on a categorical attribute (and vice versa).
+  EXPECT_FALSE(parses(
+      "nodes 3\n"
+      "num 1 0x1p+0 1 2 d 0 cc 0\n"
+      "leaf 0 d 1 cc 0\n"
+      "leaf 1 d 1 cc 0\n"));
+  EXPECT_FALSE(parses(
+      "nodes 3\n"
+      "cat 0 3 101 1 2 d 0 cc 0\n"
+      "leaf 0 d 1 cc 0\n"
+      "leaf 1 d 1 cc 0\n"));
+  // Categorical subset size disagrees with the schema cardinality.
+  EXPECT_FALSE(parses(
+      "nodes 3\n"
+      "cat 1 2 10 1 2 d 0 cc 0\n"
+      "leaf 0 d 1 cc 0\n"
+      "leaf 1 d 1 cc 0\n"));
+  // Node count larger than the list (truncated) and smaller (trailing
+  // garbage lines).
+  EXPECT_FALSE(parses("nodes 2\nleaf 0 d 0 cc 0\n"));
+  EXPECT_FALSE(parses(
+      "nodes 1\n"
+      "leaf 0 d 0 cc 0\n"
+      "leaf 1 d 0 cc 0\n"));
+  // Negative depth; absurd class-count length.
+  EXPECT_FALSE(parses("nodes 1\nleaf 0 d -1 cc 0\n"));
+  EXPECT_FALSE(parses("nodes 1\nleaf 0 d 0 cc 99999999999\n"));
+
+  // Absurd header counts must fail before allocating.
+  DecisionTree out;
+  EXPECT_FALSE(DeserializeTree("cmp-tree 1\nattrs 2000000000\n", &out));
+  EXPECT_FALSE(DeserializeTree(
+      "cmp-tree 1\nattrs 0\nclasses 2000000000\n", &out));
+}
+
+// The hardened validator must keep accepting every tree the builders
+// produce (including pruned ones) — round-trip stays lossless.
+TEST(SerializeFuzz, RealTreesStillRoundTrip) {
+  const std::string text = ValidSerialization();
+  DecisionTree out;
+  ASSERT_TRUE(DeserializeTree(text, &out));
+  EXPECT_EQ(SerializeTree(out), text);
+}
+
 }  // namespace
 }  // namespace cmp
