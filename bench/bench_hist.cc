@@ -28,8 +28,10 @@
 #include "bench_util.h"
 #include "cmp/bundle.h"
 #include "cmp/cmp.h"
+#include "common/cpu_features.h"
 #include "common/timer.h"
 #include "datagen/agrawal.h"
+#include "gini/gini.h"
 #include "hist/bin_codes.h"
 #include "hist/grids.h"
 #include "tree/serialize.h"
@@ -109,6 +111,162 @@ int main(int argc, char** argv) {
   }
   const bool counts_match = SameCells(batched, serial, train.num_attrs());
   const double speedup = record_major_s / kernel_s;
+
+  // --- scalar vs SIMD tiers of the same kernels ----------------------
+  // Two batch shapes, because they stress different code paths:
+  //  * contiguous — the root pass; every tier does sequential widening
+  //    loads and the scattered increment dominates, so this is the
+  //    tiers' FLOOR (expect parity, not speedup);
+  //  * gapped — ascending rids with holes, the shape every post-root
+  //    node sees; the SIMD tiers' vector gathers and index math replace
+  //    a serial dependent-load chain, and this is where they earn their
+  //    keep.
+  // The cells are re-verified against the record-major reference per
+  // tier, so a speedup number can never come from a kernel that
+  // drifted.
+  std::vector<cmp::RecordId> gapped;
+  gapped.reserve(n / 2);
+  {
+    uint64_t state = 0x243F6A8885A308D3ULL;  // fixed: same rids each run
+    for (int64_t r = 0; r < n; ++r) {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      if ((state & 1) != 0) gapped.push_back(r);
+    }
+  }
+  cmp::HistBundle gapped_serial =
+      cmp::HistBundle::MakeUnivariate(train.schema(), grids);
+  for (const cmp::RecordId r : gapped) gapped_serial.Add(train, grids, r);
+
+  struct TierRow {
+    const char* name;
+    double contiguous_s = 1e30;
+    double gapped_s = 1e30;
+    bool match = false;
+  };
+  std::vector<TierRow> tiers;
+  const cmp::KernelIsa restore = cmp::ActiveKernelIsa();
+  for (const cmp::KernelIsa isa :
+       {cmp::KernelIsa::kScalar, cmp::KernelIsa::kSse2,
+        cmp::KernelIsa::kAvx2}) {
+    if (!cmp::SetKernelIsa(isa)) continue;
+    TierRow row;
+    row.name = cmp::KernelIsaName(isa);
+    cmp::HistBundle tier_bundle;
+    for (int pass = 0; pass < 5; ++pass) {
+      tier_bundle = cmp::HistBundle::MakeUnivariate(train.schema(), grids);
+      cmp::Timer t;
+      for (int64_t i = 0; i < n; i += kBatch) {
+        const size_t count =
+            static_cast<size_t>(std::min<int64_t>(kBatch, n - i));
+        tier_bundle.AccumulateBatch(codes, rids.data() + i, count,
+                                    &scratch);
+      }
+      row.contiguous_s = std::min(row.contiguous_s, t.Seconds());
+    }
+    const bool contiguous_ok =
+        SameCells(tier_bundle, serial, train.num_attrs());
+    const int64_t gn = static_cast<int64_t>(gapped.size());
+    for (int pass = 0; pass < 5; ++pass) {
+      tier_bundle = cmp::HistBundle::MakeUnivariate(train.schema(), grids);
+      cmp::Timer t;
+      for (int64_t i = 0; i < gn; i += kBatch) {
+        const size_t count =
+            static_cast<size_t>(std::min<int64_t>(kBatch, gn - i));
+        tier_bundle.AccumulateBatch(codes, gapped.data() + i, count,
+                                    &scratch);
+      }
+      row.gapped_s = std::min(row.gapped_s, t.Seconds());
+    }
+    row.match = contiguous_ok &&
+                SameCells(tier_bundle, gapped_serial, train.num_attrs());
+    tiers.push_back(row);
+  }
+  // --- the gini boundary scan, scalar vs vector tiers ----------------
+  // The division-heavy half of the SIMD work: 5 divides per boundary,
+  // where 4-wide vdivpd genuinely multiplies throughput (the histogram
+  // kernels above are integer-increment-bound, so their tiers converge
+  // on the memory system instead). Bit-equality with the scalar scan is
+  // re-checked on every tier before its time is reported.
+  const int gini_nb = 99;
+  const int gini_nc = 2;
+  const int gini_nodes = 2000;  // distinct prefix matrices, scanned in turn
+  std::vector<int64_t> gini_prefix(
+      static_cast<size_t>(gini_nodes) * gini_nb * gini_nc);
+  std::vector<int64_t> gini_totals(
+      static_cast<size_t>(gini_nodes) * gini_nc);
+  {
+    uint64_t state = 0x452821E638D01377ULL;
+    for (int node = 0; node < gini_nodes; ++node) {
+      int64_t acc[2] = {0, 0};
+      for (int b = 0; b < gini_nb; ++b) {
+        for (int c = 0; c < gini_nc; ++c) {
+          state ^= state << 13;
+          state ^= state >> 7;
+          state ^= state << 17;
+          acc[c] += static_cast<int64_t>(state % 9);
+          gini_prefix[(static_cast<size_t>(node) * gini_nb + b) * gini_nc +
+                      c] = acc[c];
+        }
+      }
+      for (int c = 0; c < gini_nc; ++c) {
+        gini_totals[static_cast<size_t>(node) * gini_nc + c] = acc[c] + 3;
+      }
+    }
+  }
+  struct GiniRow {
+    const char* name;
+    double seconds = 1e30;
+    bool match = true;
+  };
+  std::vector<GiniRow> gini_tiers;
+  std::vector<double> gini_ref(static_cast<size_t>(gini_nodes) * gini_nb);
+  std::vector<double> gini_out(gini_ref.size());
+  for (const cmp::KernelIsa isa :
+       {cmp::KernelIsa::kScalar, cmp::KernelIsa::kSse2,
+        cmp::KernelIsa::kAvx2}) {
+    if (!cmp::SetKernelIsa(isa)) continue;
+    GiniRow row;
+    row.name = cmp::KernelIsaName(isa);
+    for (int pass = 0; pass < 5; ++pass) {
+      cmp::Timer t;
+      for (int node = 0; node < gini_nodes; ++node) {
+        cmp::ScanBoundaryGinis(
+            gini_prefix.data() +
+                static_cast<size_t>(node) * gini_nb * gini_nc,
+            gini_nb, gini_nc,
+            gini_totals.data() + static_cast<size_t>(node) * gini_nc,
+            gini_out.data() + static_cast<size_t>(node) * gini_nb);
+      }
+      row.seconds = std::min(row.seconds, t.Seconds());
+    }
+    if (isa == cmp::KernelIsa::kScalar) {
+      gini_ref = gini_out;
+    } else {
+      row.match = gini_out == gini_ref;  // bitwise: operator== on doubles
+    }
+    gini_tiers.push_back(row);
+  }
+  const double gini_scalar_s = gini_tiers.front().seconds;
+  double gini_best_simd_s = gini_scalar_s;
+  for (const GiniRow& row : gini_tiers) {
+    gini_best_simd_s = std::min(gini_best_simd_s, row.seconds);
+  }
+  const double gini_simd_speedup = gini_scalar_s / gini_best_simd_s;
+  const bool gini_match =
+      std::all_of(gini_tiers.begin(), gini_tiers.end(),
+                  [](const GiniRow& r) { return r.match; });
+
+  cmp::SetKernelIsa(restore);
+  const double scalar_gapped_s = tiers.front().gapped_s;
+  double best_simd_gapped_s = scalar_gapped_s;
+  for (const TierRow& row : tiers) {
+    best_simd_gapped_s = std::min(best_simd_gapped_s, row.gapped_s);
+  }
+  const double simd_speedup = scalar_gapped_s / best_simd_gapped_s;
+  const bool tiers_match = std::all_of(
+      tiers.begin(), tiers.end(), [](const TierRow& r) { return r.match; });
   // Passes until the encode cost is recovered by the per-pass saving.
   const double amortize_passes =
       record_major_s > kernel_s
@@ -142,7 +300,26 @@ int main(int argc, char** argv) {
             << "attribute-major kernels: " << kernel_s << " s  ("
             << speedup << "x)\n"
             << "counts cell-identical: " << (counts_match ? "yes" : "NO")
-            << "\n\n"
+            << "\n\n";
+  for (const TierRow& row : tiers) {
+    std::cout << "kernel tier " << row.name << ": contiguous "
+              << n / row.contiguous_s << " rows/s, gapped "
+              << gapped.size() / row.gapped_s << " rows/s ("
+              << scalar_gapped_s / row.gapped_s << "x scalar, cells "
+              << (row.match ? "ok" : "MISMATCH") << ")\n";
+  }
+  std::cout << "best SIMD tier vs scalar (gapped): " << simd_speedup
+            << "x\n\n";
+  const double gini_boundaries =
+      static_cast<double>(gini_nodes) * gini_nb;
+  for (const GiniRow& row : gini_tiers) {
+    std::cout << "gini scan tier " << row.name << ": "
+              << gini_boundaries / row.seconds << " boundaries/s ("
+              << gini_scalar_s / row.seconds << "x scalar, bits "
+              << (row.match ? "ok" : "MISMATCH") << ")\n";
+  }
+  std::cout << "best SIMD gini scan vs scalar: " << gini_simd_speedup
+            << "x\n\n"
             << "bin-code encode: " << encode_seconds << " s, "
             << codes.MemoryBytes() << " bytes resident\n"
             << "encode amortized after " << amortize_passes
@@ -161,7 +338,19 @@ int main(int argc, char** argv) {
        << "  \"kernel_rows_per_sec\": " << n / kernel_s << ",\n"
        << "  \"kernel_speedup\": " << speedup << ",\n"
        << "  \"counts_match\": " << (counts_match ? "true" : "false")
-       << ",\n"
+       << ",\n";
+  for (const TierRow& row : tiers) {
+    json << "  \"" << row.name << "_rows_per_sec\": "
+         << n / row.contiguous_s << ",\n"
+         << "  \"" << row.name << "_gapped_rows_per_sec\": "
+         << gapped.size() / row.gapped_s << ",\n";
+  }
+  json << "  \"simd_speedup\": " << simd_speedup << ",\n";
+  for (const GiniRow& row : gini_tiers) {
+    json << "  \"gini_scan_" << row.name << "_boundaries_per_sec\": "
+         << gini_boundaries / row.seconds << ",\n";
+  }
+  json << "  \"gini_simd_speedup\": " << gini_simd_speedup << ",\n"
        << "  \"code_cache_bytes\": " << codes.MemoryBytes() << ",\n"
        << "  \"encode_seconds\": " << encode_seconds << ",\n"
        << "  \"encode_amortize_passes\": " << amortize_passes << ",\n"
@@ -172,5 +361,5 @@ int main(int argc, char** argv) {
        << "  \"deterministic\": " << (trees_match ? "true" : "false")
        << "\n}\n";
   std::cout << "wrote " << json_path << "\n";
-  return counts_match && trees_match ? 0 : 1;
+  return counts_match && trees_match && tiers_match && gini_match ? 0 : 1;
 }

@@ -106,23 +106,33 @@ AttrAnalysis AnalyzeAttribute(const Histogram1D& hist) {
   const int nc = hist.num_classes();
   const std::vector<int64_t> totals = hist.ClassTotals();
 
-  out.boundary_gini.reserve(std::max(0, q - 1));
   out.interval_est.resize(q, 1.0);
 
-  std::vector<int64_t> below(nc, 0);
-  // First compute every boundary gini (cut after interval i).
-  std::vector<std::vector<int64_t>> prefixes;
-  prefixes.reserve(q);
+  // Flat (q + 1) x nc prefix matrix: row i holds the per-class
+  // below-counts at the LEFT edge of interval i (row 0 is zero, row q the
+  // totals). One allocation instead of the per-interval vector-of-vectors
+  // this loop used to build, and rows 1..q-1 are exactly the row-major
+  // boundary matrix the vectorized scan consumes (boundary after interval
+  // i = row i + 1).
+  std::vector<int64_t> prefix(static_cast<size_t>(q + 1) * nc, 0);
   for (int i = 0; i < q; ++i) {
-    prefixes.push_back(below);  // below-counts at the left edge of i
     const int64_t* r = hist.row(i);
-    for (int c = 0; c < nc; ++c) below[c] += r[c];
-    if (i + 1 < q) {
-      const double g = BoundaryGini(below, totals);
-      out.boundary_gini.push_back(g);
-      if (g < out.gini_min) {
-        out.gini_min = g;
-        out.best_boundary = i;
+    const int64_t* cur = prefix.data() + static_cast<size_t>(i) * nc;
+    int64_t* next = prefix.data() + static_cast<size_t>(i + 1) * nc;
+    for (int c = 0; c < nc; ++c) next[c] = cur[c] + r[c];
+  }
+
+  const int nb = q - 1;
+  if (nb > 0) {
+    out.boundary_gini.resize(nb);
+    ScanBoundaryGinis(prefix.data() + nc, nb, nc, totals.data(),
+                      out.boundary_gini.data());
+    // First-strictly-less argmin, in boundary order (matches the running
+    // scalar loop this replaced).
+    for (int b = 0; b < nb; ++b) {
+      if (out.boundary_gini[b] < out.gini_min) {
+        out.gini_min = out.boundary_gini[b];
+        out.best_boundary = b;
       }
     }
   }
@@ -137,8 +147,10 @@ AttrAnalysis AnalyzeAttribute(const Histogram1D& hist) {
   std::vector<int64_t> interval_counts(nc);
   for (int i = 0; i < q; ++i) {
     for (int c = 0; c < nc; ++c) interval_counts[c] = hist.count(i, c);
-    out.interval_est[i] =
-        EstimateIntervalGini(prefixes[i], interval_counts, totals);
+    out.interval_est[i] = EstimateIntervalGini(
+        std::span<const int64_t>(prefix.data() + static_cast<size_t>(i) * nc,
+                                 static_cast<size_t>(nc)),
+        interval_counts, totals);
     out.est_min = std::min(out.est_min, out.interval_est[i]);
   }
   return out;

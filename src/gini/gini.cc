@@ -1,5 +1,7 @@
 #include "gini/gini.h"
 
+#include "common/cpu_features.h"
+
 namespace cmp {
 
 double Gini(std::span<const int64_t> class_counts) {
@@ -46,6 +48,41 @@ double BoundaryGini(std::span<const int64_t> below,
   std::vector<int64_t> above(totals.size());
   for (size_t i = 0; i < totals.size(); ++i) above[i] = totals[i] - below[i];
   return SplitGini(below, above);
+}
+
+namespace {
+
+// Scalar tier: literally BoundaryGini per row, so the scan's reference
+// semantics are the function the golden fixtures were built on — not a
+// reimplementation that could drift by an IEEE op.
+void ScanBoundaryGinisScalar(const int64_t* prefix, int num_boundaries,
+                             int nc, const int64_t* totals, double* out) {
+  const std::span<const int64_t> t(totals, static_cast<size_t>(nc));
+  for (int b = 0; b < num_boundaries; ++b) {
+    out[b] = BoundaryGini(
+        std::span<const int64_t>(prefix + static_cast<size_t>(b) * nc,
+                                 static_cast<size_t>(nc)),
+        t);
+  }
+}
+
+BoundaryGiniScanFn ScanFnFor(KernelIsa isa) {
+  if (isa == KernelIsa::kAvx2) {
+    if (BoundaryGiniScanFn fn = Avx2BoundaryGiniScanOrNull()) return fn;
+    isa = KernelIsa::kSse2;
+  }
+  if (isa == KernelIsa::kSse2) {
+    if (BoundaryGiniScanFn fn = Sse2BoundaryGiniScanOrNull()) return fn;
+  }
+  return ScanBoundaryGinisScalar;
+}
+
+}  // namespace
+
+void ScanBoundaryGinis(const int64_t* prefix, int num_boundaries, int nc,
+                       const int64_t* totals, double* out) {
+  if (num_boundaries <= 0) return;
+  ScanFnFor(ActiveKernelIsa())(prefix, num_boundaries, nc, totals, out);
 }
 
 }  // namespace cmp

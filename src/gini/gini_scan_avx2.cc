@@ -1,0 +1,106 @@
+// AVX2 tier of the gini boundary scan (see gini.h). Four boundaries per
+// iteration, one __m256d lane each; the class loop stays sequential
+// inside the lanes so every lane executes exactly the scalar
+// BoundaryGini op sequence (convert, div, mul, add, sub — elementwise,
+// same order). Compiled with -mavx2 ONLY — never -mfma — so GCC cannot
+// contract mul+add into an FMA and perturb the low bits. Together those
+// two properties make this tier bit-identical to the scalar tier, which
+// the byte-identical-trees contract depends on.
+//
+// The 0/0 = NaN a one-sided boundary produces is masked to the scalar's
+// 0.0 (Gini of an empty set) with cmp+andnot before the weighting.
+
+#include "gini/gini.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace cmp {
+
+namespace {
+
+// Lane k <- row (b + k), class c of the converted prefix matrix.
+inline __m256d Lanes4(const double* p0, int c, int nc) {
+  return _mm256_set_pd(p0[3 * nc + c], p0[2 * nc + c], p0[nc + c], p0[c]);
+}
+
+void ScanAvx2(const int64_t* prefix, int num_boundaries, int nc,
+              const int64_t* totals, double* out) {
+  // Convert the integer counts to doubles up front: every count is far
+  // below 2^53, so the conversions — and any sums of converted counts —
+  // are exact, and the arithmetic below sees the very values the scalar
+  // path's int64 -> double casts produce. (There is no 4 x i64 -> 4 x
+  // f64 convert below AVX-512 anyway.)
+  const size_t cells = static_cast<size_t>(num_boundaries) * nc;
+  std::vector<double> dp(cells);
+  for (size_t i = 0; i < cells; ++i) dp[i] = static_cast<double>(prefix[i]);
+  std::vector<double> dt(static_cast<size_t>(nc));
+  int64_t n = 0;
+  for (int c = 0; c < nc; ++c) {
+    n += totals[c];
+    dt[c] = static_cast<double>(totals[c]);
+  }
+  if (n == 0) {  // SplitGini of an empty node is 0.
+    for (int b = 0; b < num_boundaries; ++b) out[b] = 0.0;
+    return;
+  }
+  const __m256d vn = _mm256_set1_pd(static_cast<double>(n));
+  const __m256d vone = _mm256_set1_pd(1.0);
+  const __m256d vzero = _mm256_setzero_pd();
+  int b = 0;
+  for (; b + 4 <= num_boundaries; b += 4) {
+    const double* p0 = dp.data() + static_cast<size_t>(b) * nc;
+    __m256d vnl = vzero;
+    for (int c = 0; c < nc; ++c) {
+      vnl = _mm256_add_pd(vnl, Lanes4(p0, c, nc));
+    }
+    const __m256d vnr = _mm256_sub_pd(vn, vnl);
+    // Per-lane Gini of both sides, classes in the scalar order. An empty
+    // side divides 0/0; its NaN is masked to the scalar's 0.0 below.
+    __m256d sl = vzero;
+    __m256d sr = vzero;
+    for (int c = 0; c < nc; ++c) {
+      const __m256d x = Lanes4(p0, c, nc);
+      const __m256d r = _mm256_sub_pd(_mm256_set1_pd(dt[c]), x);
+      const __m256d pl = _mm256_div_pd(x, vnl);
+      const __m256d pr = _mm256_div_pd(r, vnr);
+      sl = _mm256_add_pd(sl, _mm256_mul_pd(pl, pl));
+      sr = _mm256_add_pd(sr, _mm256_mul_pd(pr, pr));
+    }
+    __m256d gl = _mm256_sub_pd(vone, sl);
+    __m256d gr = _mm256_sub_pd(vone, sr);
+    gl = _mm256_andnot_pd(_mm256_cmp_pd(vnl, vzero, _CMP_EQ_OQ), gl);
+    gr = _mm256_andnot_pd(_mm256_cmp_pd(vnr, vzero, _CMP_EQ_OQ), gr);
+    const __m256d g =
+        _mm256_add_pd(_mm256_mul_pd(_mm256_div_pd(vnl, vn), gl),
+                      _mm256_mul_pd(_mm256_div_pd(vnr, vn), gr));
+    _mm256_storeu_pd(out + b, g);
+  }
+  // Tail boundaries through the reference path.
+  const std::span<const int64_t> t(totals, static_cast<size_t>(nc));
+  for (; b < num_boundaries; ++b) {
+    out[b] = BoundaryGini(
+        std::span<const int64_t>(prefix + static_cast<size_t>(b) * nc,
+                                 static_cast<size_t>(nc)),
+        t);
+  }
+}
+
+}  // namespace
+
+BoundaryGiniScanFn Avx2BoundaryGiniScanOrNull() { return ScanAvx2; }
+
+}  // namespace cmp
+
+#else  // !defined(__AVX2__)
+
+namespace cmp {
+
+BoundaryGiniScanFn Avx2BoundaryGiniScanOrNull() { return nullptr; }
+
+}  // namespace cmp
+
+#endif  // defined(__AVX2__)

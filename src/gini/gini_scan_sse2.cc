@@ -1,0 +1,93 @@
+// SSE2 tier of the gini boundary scan (see gini.h): the AVX2 tier's
+// structure at two boundaries per iteration. SSE2 is the x86-64
+// baseline, so no special compile flags are needed; the same
+// bit-identity argument applies (sequential class loop per lane, scalar
+// op order, no FMA contraction, 0/0 NaN of one-sided boundaries masked
+// to the scalar's 0.0).
+
+#include "gini/gini.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstddef>
+
+namespace cmp {
+
+namespace {
+
+// Lane k <- row (b + k), class c of the converted prefix matrix.
+inline __m128d Lanes2(const double* p0, int c, int nc) {
+  return _mm_set_pd(p0[nc + c], p0[c]);
+}
+
+void ScanSse2(const int64_t* prefix, int num_boundaries, int nc,
+              const int64_t* totals, double* out) {
+  // Exact up-front int64 -> double conversion; see gini_scan_avx2.cc.
+  const size_t cells = static_cast<size_t>(num_boundaries) * nc;
+  std::vector<double> dp(cells);
+  for (size_t i = 0; i < cells; ++i) dp[i] = static_cast<double>(prefix[i]);
+  std::vector<double> dt(static_cast<size_t>(nc));
+  int64_t n = 0;
+  for (int c = 0; c < nc; ++c) {
+    n += totals[c];
+    dt[c] = static_cast<double>(totals[c]);
+  }
+  if (n == 0) {  // SplitGini of an empty node is 0.
+    for (int b = 0; b < num_boundaries; ++b) out[b] = 0.0;
+    return;
+  }
+  const __m128d vn = _mm_set1_pd(static_cast<double>(n));
+  const __m128d vone = _mm_set1_pd(1.0);
+  const __m128d vzero = _mm_setzero_pd();
+  int b = 0;
+  for (; b + 2 <= num_boundaries; b += 2) {
+    const double* p0 = dp.data() + static_cast<size_t>(b) * nc;
+    __m128d vnl = vzero;
+    for (int c = 0; c < nc; ++c) {
+      vnl = _mm_add_pd(vnl, Lanes2(p0, c, nc));
+    }
+    const __m128d vnr = _mm_sub_pd(vn, vnl);
+    __m128d sl = vzero;
+    __m128d sr = vzero;
+    for (int c = 0; c < nc; ++c) {
+      const __m128d x = Lanes2(p0, c, nc);
+      const __m128d r = _mm_sub_pd(_mm_set1_pd(dt[c]), x);
+      const __m128d pl = _mm_div_pd(x, vnl);
+      const __m128d pr = _mm_div_pd(r, vnr);
+      sl = _mm_add_pd(sl, _mm_mul_pd(pl, pl));
+      sr = _mm_add_pd(sr, _mm_mul_pd(pr, pr));
+    }
+    __m128d gl = _mm_sub_pd(vone, sl);
+    __m128d gr = _mm_sub_pd(vone, sr);
+    gl = _mm_andnot_pd(_mm_cmpeq_pd(vnl, vzero), gl);
+    gr = _mm_andnot_pd(_mm_cmpeq_pd(vnr, vzero), gr);
+    const __m128d g = _mm_add_pd(_mm_mul_pd(_mm_div_pd(vnl, vn), gl),
+                                 _mm_mul_pd(_mm_div_pd(vnr, vn), gr));
+    _mm_storeu_pd(out + b, g);
+  }
+  const std::span<const int64_t> t(totals, static_cast<size_t>(nc));
+  for (; b < num_boundaries; ++b) {
+    out[b] = BoundaryGini(
+        std::span<const int64_t>(prefix + static_cast<size_t>(b) * nc,
+                                 static_cast<size_t>(nc)),
+        t);
+  }
+}
+
+}  // namespace
+
+BoundaryGiniScanFn Sse2BoundaryGiniScanOrNull() { return ScanSse2; }
+
+}  // namespace cmp
+
+#else  // !defined(__SSE2__)
+
+namespace cmp {
+
+BoundaryGiniScanFn Sse2BoundaryGiniScanOrNull() { return nullptr; }
+
+}  // namespace cmp
+
+#endif  // defined(__SSE2__)

@@ -1,0 +1,219 @@
+// AVX2 tier of the histogram kernels (see hist_kernels.h). Compiled with
+// -mavx2 (and only that — no -mfma; these are integer kernels, but the
+// flag policy is shared with the gini scan tier where contraction would
+// break bit-exactness). The table is only ever selected after the
+// runtime CPUID/XCR0 check in common/cpu_features.cc passes.
+//
+// Strategy: the scattered `counts[cell]++` itself cannot vectorize
+// without AVX-512 conflict detection, so the kernels split each batch
+// into chunks, compute the 32-bit cell indices of a whole chunk with
+// vector code (sequential widening loads when the chunk's rids are
+// contiguous, `vpgatherqd` code loads otherwise) into a small stack
+// buffer, and then run an unrolled scalar increment sweep over the
+// buffer. The cells are integer counts, so this reordering of work —
+// not of adds — keeps every histogram byte-identical to the scalar
+// tier.
+//
+// Code columns are loaded 4 bytes at a time (both the gathers and
+// nothing else), so CodeView columns must carry kCodeColumnPadding
+// readable bytes past the last record; BinCodeCache allocates them.
+
+#include "hist/hist_kernels.h"
+#include "hist/hist_kernels_impl.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace cmp {
+
+namespace {
+
+constexpr size_t kChunk = 256;
+
+// codes[rids[k..k+8)] widened to 8 x i32, via two 4-wide 32-bit gathers
+// at byte (scale 1) or word (scale 2) offsets plus an element mask.
+template <typename Code>
+inline __m256i GatherCodes8(const Code* codes, const RecordId* r) {
+  const __m256i vr0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r));
+  const __m256i vr1 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + 4));
+  const __m128i g0 = _mm256_i64gather_epi32(
+      reinterpret_cast<const int*>(codes), vr0, sizeof(Code));
+  const __m128i g1 = _mm256_i64gather_epi32(
+      reinterpret_cast<const int*>(codes), vr1, sizeof(Code));
+  const __m256i mask =
+      _mm256_set1_epi32(sizeof(Code) == 1 ? 0xFF : 0xFFFF);
+  return _mm256_and_si256(_mm256_set_m128i(g1, g0), mask);
+}
+
+// codes[r0 + k .. r0 + k + 8) widened to 8 x i32 with sequential loads.
+inline __m256i LoadCodes8(const uint8_t* c0) {
+  return _mm256_cvtepu8_epi32(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c0)));
+}
+inline __m256i LoadCodes8(const uint16_t* c0) {
+  return _mm256_cvtepu16_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(c0)));
+}
+
+inline void IncrementSweep(const int32_t* idx, size_t m, int64_t* counts) {
+  size_t k = 0;
+  for (; k + 4 <= m; k += 4) {
+    counts[idx[k]]++;
+    counts[idx[k + 1]]++;
+    counts[idx[k + 2]]++;
+    counts[idx[k + 3]]++;
+  }
+  for (; k < m; ++k) counts[idx[k]]++;
+}
+
+template <typename Code>
+void Accum1DAvx2(const Code* codes, const ClassId* batch_labels,
+                 const RecordId* rids, size_t n, int nc, int64_t* counts) {
+  alignas(32) int32_t idx[kChunk];
+  const __m256i vnc = _mm256_set1_epi32(nc);
+  size_t done = 0;
+  while (done < n) {
+    const size_t m = std::min(kChunk, n - done);
+    const RecordId* r = rids + done;
+    const ClassId* l = batch_labels + done;
+    size_t k = 0;
+    if (hist_impl::ContiguousRids(r, m)) {
+      const Code* c0 = codes + r[0];
+      for (; k + 8 <= m; k += 8) {
+        const __m256i vcode = LoadCodes8(c0 + k);
+        const __m256i vlab =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(l + k));
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(idx + k),
+            _mm256_add_epi32(_mm256_mullo_epi32(vcode, vnc), vlab));
+      }
+    } else {
+      for (; k + 8 <= m; k += 8) {
+        const __m256i vcode = GatherCodes8(codes, r + k);
+        const __m256i vlab =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(l + k));
+        _mm256_store_si256(
+            reinterpret_cast<__m256i*>(idx + k),
+            _mm256_add_epi32(_mm256_mullo_epi32(vcode, vnc), vlab));
+      }
+    }
+    for (; k < m; ++k) {
+      idx[k] = static_cast<int32_t>(codes[r[k]]) * nc + l[k];
+    }
+    IncrementSweep(idx, m, counts);
+    done += m;
+  }
+}
+
+template <typename Code>
+void Accum2DAvx2(const int32_t* xrows, const Code* codes,
+                 const ClassId* batch_labels, const RecordId* rids, size_t n,
+                 int ny, int nc, int64_t* counts) {
+  alignas(32) int32_t idx[kChunk];
+  const __m256i vnc = _mm256_set1_epi32(nc);
+  const __m256i vny = _mm256_set1_epi32(ny);
+  size_t done = 0;
+  while (done < n) {
+    const size_t m = std::min(kChunk, n - done);
+    const RecordId* r = rids + done;
+    const ClassId* l = batch_labels + done;
+    const int32_t* x = xrows + done;
+    size_t k = 0;
+    const bool contiguous = hist_impl::ContiguousRids(r, m);
+    const Code* c0 = contiguous ? codes + r[0] : nullptr;
+    for (; k + 8 <= m; k += 8) {
+      const __m256i vcode =
+          contiguous ? LoadCodes8(c0 + k) : GatherCodes8(codes, r + k);
+      const __m256i vx =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + k));
+      const __m256i vlab =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(l + k));
+      const __m256i vcell =
+          _mm256_add_epi32(_mm256_mullo_epi32(vx, vny), vcode);
+      _mm256_store_si256(
+          reinterpret_cast<__m256i*>(idx + k),
+          _mm256_add_epi32(_mm256_mullo_epi32(vcell, vnc), vlab));
+    }
+    for (; k < m; ++k) {
+      idx[k] = (x[k] * ny + static_cast<int32_t>(codes[r[k]])) * nc + l[k];
+    }
+    IncrementSweep(idx, m, counts);
+    done += m;
+  }
+}
+
+void GatherLabelsAvx2(const ClassId* labels, const RecordId* rids, size_t n,
+                      ClassId* out) {
+  if (hist_impl::ContiguousRids(rids, n)) {
+    if (n > 0) std::memcpy(out, labels + rids[0], n * sizeof(ClassId));
+    return;
+  }
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vr0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rids + i));
+    const __m256i vr1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rids + i + 4));
+    // Scale-4 gathers read exactly the 4-byte label, no padding needed.
+    const __m128i g0 = _mm256_i64gather_epi32(labels, vr0, 4);
+    const __m128i g1 = _mm256_i64gather_epi32(labels, vr1, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_set_m128i(g1, g0));
+  }
+  for (; i < n; ++i) out[i] = labels[rids[i]];
+}
+
+template <typename Code>
+void GatherXRowsAvx2(const Code* codes, int x_lo, const RecordId* rids,
+                     size_t n, int32_t* out) {
+  const __m256i vlo = _mm256_set1_epi32(x_lo);
+  if (hist_impl::ContiguousRids(rids, n)) {
+    const Code* c0 = n > 0 ? codes + rids[0] : codes;
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_sub_epi32(LoadCodes8(c0 + i), vlo));
+    }
+    for (; i < n; ++i) out[i] = static_cast<int32_t>(c0[i]) - x_lo;
+    return;
+  }
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_sub_epi32(GatherCodes8(codes, rids + i), vlo));
+  }
+  for (; i < n; ++i) out[i] = static_cast<int32_t>(codes[rids[i]]) - x_lo;
+}
+
+constexpr HistKernelOps kAvx2Ops = {
+    GatherLabelsAvx2,
+    GatherXRowsAvx2<uint8_t>,
+    GatherXRowsAvx2<uint16_t>,
+    Accum1DAvx2<uint8_t>,
+    Accum1DAvx2<uint16_t>,
+    Accum2DAvx2<uint8_t>,
+    Accum2DAvx2<uint16_t>,
+};
+
+}  // namespace
+
+const HistKernelOps* Avx2HistKernelOpsOrNull() { return &kAvx2Ops; }
+
+}  // namespace cmp
+
+#else  // !defined(__AVX2__)
+
+namespace cmp {
+
+const HistKernelOps* Avx2HistKernelOpsOrNull() { return nullptr; }
+
+}  // namespace cmp
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,84 @@
+#ifndef CMP_HIST_HIST_KERNELS_IMPL_H_
+#define CMP_HIST_HIST_KERNELS_IMPL_H_
+
+// Internal: the width-templated scalar accumulators, shared between the
+// scalar dispatch tier (hist_kernels.cc) and the vector tiers, which
+// reuse them for batch tails shorter than a vector and for shapes the
+// vector path does not cover. Not part of the public kernel API.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace cmp {
+namespace hist_impl {
+
+// The width template moves the u8/u16 branch out of the inner loops; the
+// nc == 2 specialization strength-reduces the row multiply to a shift
+// (binary classification is the common case in the paper's workloads).
+template <typename Code>
+inline void Accum1D(const Code* codes, const ClassId* batch_labels,
+                    const RecordId* rids, size_t n, int nc,
+                    int64_t* counts) {
+  if (nc == 2) {
+    for (size_t i = 0; i < n; ++i) {
+      counts[(static_cast<size_t>(codes[rids[i]]) << 1) + batch_labels[i]]++;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    counts[static_cast<size_t>(codes[rids[i]]) * nc + batch_labels[i]]++;
+  }
+}
+
+template <typename Code>
+inline void Accum2D(const int32_t* xrows, const Code* codes,
+                    const ClassId* batch_labels, const RecordId* rids,
+                    size_t n, int ny, int nc, int64_t* counts) {
+  if (nc == 2) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t cell =
+          static_cast<size_t>(xrows[i]) * ny + codes[rids[i]];
+      counts[(cell << 1) + batch_labels[i]]++;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t cell = static_cast<size_t>(xrows[i]) * ny + codes[rids[i]];
+    counts[cell * nc + batch_labels[i]]++;
+  }
+}
+
+inline void GatherLabelsScalar(const ClassId* labels, const RecordId* rids,
+                               size_t n, ClassId* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = labels[rids[i]];
+}
+
+template <typename Code>
+inline void GatherXRowsScalar(const Code* codes, int x_lo,
+                              const RecordId* rids, size_t n, int32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int32_t>(codes[rids[i]]) - x_lo;
+  }
+}
+
+// True when `rids[0..n)` is exactly rid0, rid0+1, ..., rid0+n-1 — the
+// shape of a root-pass batch and of any batch whose node partition is a
+// contiguous record range. The vector tiers use it to swap gathers for
+// sequential widening loads. Checked exactly (no monotonicity
+// assumption) so arbitrary rid sets from tests and future callers stay
+// correct.
+inline bool ContiguousRids(const RecordId* rids, size_t n) {
+  if (n == 0) return true;
+  const RecordId base = rids[0];
+  for (size_t i = 1; i < n; ++i) {
+    if (rids[i] != base + static_cast<RecordId>(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace hist_impl
+}  // namespace cmp
+
+#endif  // CMP_HIST_HIST_KERNELS_IMPL_H_

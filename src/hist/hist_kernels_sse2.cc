@@ -1,0 +1,203 @@
+// SSE2 tier of the histogram kernels (see hist_kernels.h). SSE2 is the
+// x86-64 architectural baseline, so this file needs no special compile
+// flags there; it exists so hosts (or forced selections) without
+// OS-enabled AVX state still get vector code-widening on the
+// contiguous-batch fast path. Without gathers, non-contiguous batches
+// fall through to the scalar accumulators — the tiers only ever differ
+// in speed, never in cells.
+
+#include "hist/hist_kernels.h"
+#include "hist/hist_kernels_impl.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace cmp {
+
+namespace {
+
+constexpr size_t kChunk = 256;
+
+// 32-bit lane-wise multiply out of SSE2 parts (pmulld is SSE4.1): even
+// and odd lanes via pmuludq, re-interleaved.
+inline __m128i Mullo32(__m128i a, __m128i b) {
+  const __m128i even = _mm_mul_epu32(a, b);
+  const __m128i odd =
+      _mm_mul_epu32(_mm_srli_epi64(a, 32), _mm_srli_epi64(b, 32));
+  return _mm_unpacklo_epi32(
+      _mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0)),
+      _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0)));
+}
+
+// Widens 8 sequential codes to two 4 x i32 vectors.
+inline void LoadCodes8(const uint8_t* c0, __m128i* lo, __m128i* hi) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c0));
+  const __m128i w = _mm_unpacklo_epi8(bytes, zero);
+  *lo = _mm_unpacklo_epi16(w, zero);
+  *hi = _mm_unpackhi_epi16(w, zero);
+}
+inline void LoadCodes8(const uint16_t* c0, __m128i* lo, __m128i* hi) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i w = _mm_loadu_si128(reinterpret_cast<const __m128i*>(c0));
+  *lo = _mm_unpacklo_epi16(w, zero);
+  *hi = _mm_unpackhi_epi16(w, zero);
+}
+
+inline void IncrementSweep(const int32_t* idx, size_t m, int64_t* counts) {
+  size_t k = 0;
+  for (; k + 4 <= m; k += 4) {
+    counts[idx[k]]++;
+    counts[idx[k + 1]]++;
+    counts[idx[k + 2]]++;
+    counts[idx[k + 3]]++;
+  }
+  for (; k < m; ++k) counts[idx[k]]++;
+}
+
+template <typename Code>
+void Accum1DSse2(const Code* codes, const ClassId* batch_labels,
+                 const RecordId* rids, size_t n, int nc, int64_t* counts) {
+  alignas(16) int32_t idx[kChunk];
+  const __m128i vnc = _mm_set1_epi32(nc);
+  size_t done = 0;
+  while (done < n) {
+    const size_t m = std::min(kChunk, n - done);
+    const RecordId* r = rids + done;
+    const ClassId* l = batch_labels + done;
+    if (!hist_impl::ContiguousRids(r, m)) {
+      hist_impl::Accum1D(codes, l, r, m, nc, counts);
+      done += m;
+      continue;
+    }
+    const Code* c0 = codes + r[0];
+    size_t k = 0;
+    for (; k + 8 <= m; k += 8) {
+      __m128i clo;
+      __m128i chi;
+      LoadCodes8(c0 + k, &clo, &chi);
+      const __m128i llo =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(l + k));
+      const __m128i lhi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(l + k + 4));
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx + k),
+                      _mm_add_epi32(Mullo32(clo, vnc), llo));
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx + k + 4),
+                      _mm_add_epi32(Mullo32(chi, vnc), lhi));
+    }
+    for (; k < m; ++k) {
+      idx[k] = static_cast<int32_t>(c0[k]) * nc + l[k];
+    }
+    IncrementSweep(idx, m, counts);
+    done += m;
+  }
+}
+
+template <typename Code>
+void Accum2DSse2(const int32_t* xrows, const Code* codes,
+                 const ClassId* batch_labels, const RecordId* rids, size_t n,
+                 int ny, int nc, int64_t* counts) {
+  alignas(16) int32_t idx[kChunk];
+  const __m128i vnc = _mm_set1_epi32(nc);
+  const __m128i vny = _mm_set1_epi32(ny);
+  size_t done = 0;
+  while (done < n) {
+    const size_t m = std::min(kChunk, n - done);
+    const RecordId* r = rids + done;
+    const ClassId* l = batch_labels + done;
+    const int32_t* x = xrows + done;
+    if (!hist_impl::ContiguousRids(r, m)) {
+      hist_impl::Accum2D(x, codes, l, r, m, ny, nc, counts);
+      done += m;
+      continue;
+    }
+    const Code* c0 = codes + r[0];
+    size_t k = 0;
+    for (; k + 8 <= m; k += 8) {
+      __m128i clo;
+      __m128i chi;
+      LoadCodes8(c0 + k, &clo, &chi);
+      const __m128i xlo =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + k));
+      const __m128i xhi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + k + 4));
+      const __m128i llo =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(l + k));
+      const __m128i lhi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(l + k + 4));
+      const __m128i celllo = _mm_add_epi32(Mullo32(xlo, vny), clo);
+      const __m128i cellhi = _mm_add_epi32(Mullo32(xhi, vny), chi);
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx + k),
+                      _mm_add_epi32(Mullo32(celllo, vnc), llo));
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx + k + 4),
+                      _mm_add_epi32(Mullo32(cellhi, vnc), lhi));
+    }
+    for (; k < m; ++k) {
+      idx[k] = (x[k] * ny + static_cast<int32_t>(c0[k])) * nc + l[k];
+    }
+    IncrementSweep(idx, m, counts);
+    done += m;
+  }
+}
+
+void GatherLabelsSse2(const ClassId* labels, const RecordId* rids, size_t n,
+                      ClassId* out) {
+  if (hist_impl::ContiguousRids(rids, n)) {
+    if (n > 0) std::memcpy(out, labels + rids[0], n * sizeof(ClassId));
+    return;
+  }
+  hist_impl::GatherLabelsScalar(labels, rids, n, out);
+}
+
+template <typename Code>
+void GatherXRowsSse2(const Code* codes, int x_lo, const RecordId* rids,
+                     size_t n, int32_t* out) {
+  if (!hist_impl::ContiguousRids(rids, n)) {
+    hist_impl::GatherXRowsScalar(codes, x_lo, rids, n, out);
+    return;
+  }
+  const Code* c0 = n > 0 ? codes + rids[0] : codes;
+  const __m128i vlo = _mm_set1_epi32(x_lo);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i clo;
+    __m128i chi;
+    LoadCodes8(c0 + i, &clo, &chi);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_sub_epi32(clo, vlo));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                     _mm_sub_epi32(chi, vlo));
+  }
+  for (; i < n; ++i) out[i] = static_cast<int32_t>(c0[i]) - x_lo;
+}
+
+constexpr HistKernelOps kSse2Ops = {
+    GatherLabelsSse2,
+    GatherXRowsSse2<uint8_t>,
+    GatherXRowsSse2<uint16_t>,
+    Accum1DSse2<uint8_t>,
+    Accum1DSse2<uint16_t>,
+    Accum2DSse2<uint8_t>,
+    Accum2DSse2<uint16_t>,
+};
+
+}  // namespace
+
+const HistKernelOps* Sse2HistKernelOpsOrNull() { return &kSse2Ops; }
+
+}  // namespace cmp
+
+#else  // !defined(__SSE2__)
+
+namespace cmp {
+
+const HistKernelOps* Sse2HistKernelOpsOrNull() { return nullptr; }
+
+}  // namespace cmp
+
+#endif  // defined(__SSE2__)

@@ -115,7 +115,7 @@ CompiledTreeArrays CompileTreeToArrays(const DecisionTree& tree) {
         } else {
           const int32_t idx = static_cast<int32_t>(out.wide_splits.size());
           out.wide_splits.push_back(
-              CompiledTree::WideSplit{s.attr, s.threshold});
+              CompiledTree::WideSplit{s.attr, 0, s.threshold});
           out.attr[id] = CompiledTree::kWide;
           out.threshold[id] = std::bit_cast<float>(idx);
         }

@@ -87,8 +87,14 @@ class CompiledTree {
   };
 
   /// Numeric side entry for thresholds float cannot represent.
+  /// `reserved` names the bytes the compiler would otherwise insert as
+  /// alignment padding: these structs are memcpy'd into the blob, and
+  /// unnamed padding has indeterminate content — the same model would
+  /// pack to different bytes run to run, breaking the byte-identical
+  /// blob contract (PackModelBlob == SaveModelBlob == compile-from-text).
   struct WideSplit {
     int32_t attr = 0;
+    int32_t reserved = 0;
     double threshold = 0.0;
   };
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/summary.h"
 #include "cmp/cmp.h"
 #include "datagen/agrawal.h"
@@ -73,6 +74,11 @@ int Usage() {
       "  cmptool train --data FILE --algo <" << AlgoList() << ">\n"
       "                [--intervals Q] [--no-prune] [--threads N]"
       " [--stats-json FILE]\n"
+      "                [--rounds R] [--shrinkage s] [--weak-depth D]\n"
+      "                [--holdout H] [--patience P]\n"
+      "                (boosting knobs, --algo boost only; boost writes a\n"
+      "                 cmp-forest file, or a .cmpb blob when --out ends\n"
+      "                 in .cmpb)\n"
       "                [--stream [--block B] [--no-prefetch] [--no-codes]\n"
       "                 [--no-subtract] [--scan-shards S]] --out FILE\n"
       "                (--stream trains out-of-core from a .cmpt table in\n"
@@ -92,7 +98,10 @@ int Usage() {
       "  cmptool dot   --tree FILE\n"
       "  cmptool explain --data FILE --tree FILE --record N\n"
       "  cmptool info  --data FILE\n"
-      "  cmptool importance --tree FILE\n";
+      "  cmptool importance --tree FILE\n"
+      "every command also accepts --kernel auto|scalar|sse2|avx2 to pin\n"
+      "the histogram/gini kernel tier (default auto; the tree bytes are\n"
+      "identical for every tier)\n";
   return kExitBadArgs;
 }
 
@@ -251,6 +260,16 @@ int CmdTrain(int argc, char** argv) {
       std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
   config.intervals =
       std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
+  config.boost.rounds =
+      std::atoi(GetFlag(argc, argv, "--rounds", "50").c_str());
+  config.boost.shrinkage =
+      std::atof(GetFlag(argc, argv, "--shrinkage", "0.1").c_str());
+  config.boost.weak_depth =
+      std::atoi(GetFlag(argc, argv, "--weak-depth", "6").c_str());
+  config.boost.holdout =
+      std::atof(GetFlag(argc, argv, "--holdout", "0.2").c_str());
+  config.boost.patience =
+      std::atoi(GetFlag(argc, argv, "--patience", "5").c_str());
   const std::string stats_path = GetFlag(argc, argv, "--stats-json");
   cmp::TrainStatsCollector collector;
   if (!stats_path.empty()) config.base.observer = &collector;
@@ -275,12 +294,38 @@ int CmdTrain(int argc, char** argv) {
   // With --stats-json - the JSON owns stdout; summaries move to stderr.
   std::ostream& summary = stats_path == "-" ? std::cerr : std::cout;
   summary << builder->name() << ": " << result.stats.ToString() << "\n";
-  if (!cmp::SaveTree(result.tree, out)) {
-    std::cerr << "failed to write " << out << "\n";
-    return kExitIo;
+  // Multi-tree results (boost) go out as a cmp-forest file; an --out
+  // ending in .cmpb asks for the compiled blob directly (any algorithm).
+  const bool blob_out =
+      out.size() > 5 && out.substr(out.size() - 5) == ".cmpb";
+  if (blob_out) {
+    std::vector<const cmp::DecisionTree*> ptrs;
+    if (result.forest.empty()) {
+      ptrs.push_back(&result.tree);
+    } else {
+      for (const cmp::DecisionTree& t : result.forest) ptrs.push_back(&t);
+    }
+    std::string error;
+    if (!cmp::SaveModelBlob(ptrs, out, &error)) {
+      std::cerr << "failed to write " << out << ": " << error << "\n";
+      return kExitIo;
+    }
+    summary << ptrs.size() << " compiled tree(s) saved to " << out << "\n";
+  } else if (result.forest.size() > 1) {
+    if (!cmp::SaveForest(result.forest, out)) {
+      std::cerr << "failed to write " << out << "\n";
+      return kExitIo;
+    }
+    summary << result.forest.size() << " trees ("
+            << result.stats.tree_nodes << " nodes) saved to " << out << "\n";
+  } else {
+    if (!cmp::SaveTree(result.tree, out)) {
+      std::cerr << "failed to write " << out << "\n";
+      return kExitIo;
+    }
+    summary << "tree with " << result.tree.num_nodes() << " nodes saved to "
+            << out << "\n";
   }
-  summary << "tree with " << result.tree.num_nodes() << " nodes saved to "
-          << out << "\n";
   if (!stats_path.empty()) return WriteStatsJson(collector, stats_path);
   return kExitOk;
 }
@@ -294,12 +339,29 @@ int CmdEval(int argc, char** argv) {
     std::cerr << "failed to read " << data << "\n";
     return kExitIo;
   }
-  cmp::DecisionTree tree;
-  if (!cmp::LoadTree(tree_path, &tree)) {
+  std::vector<cmp::DecisionTree> trees;
+  if (!cmp::LoadTrees(tree_path, &trees) || trees.empty()) {
     std::cerr << "failed to read " << tree_path << "\n";
     return kExitIo;
   }
-  const cmp::Evaluation eval = cmp::Evaluate(tree, ds);
+  if (trees.size() == 1) {
+    std::cout << cmp::Evaluate(trees[0], ds).ToString(ds.schema());
+    return kExitOk;
+  }
+  // A cmp-forest (boost output): score with the probability vote the
+  // leaf encoding is built for and tabulate the same way.
+  const cmp::BatchResult batch =
+      cmp::EnsemblePredictor::Compile(trees, cmp::VoteKind::kAverageProb)
+          .Predict(ds);
+  cmp::Evaluation eval;
+  const int nc = ds.schema().num_classes();
+  eval.confusion.assign(nc, std::vector<int64_t>(nc, 0));
+  for (cmp::RecordId r = 0; r < ds.num_records(); ++r) {
+    const cmp::ClassId pred = batch.labels[r];
+    ++eval.total;
+    eval.correct += pred == ds.label(r) ? 1 : 0;
+    ++eval.confusion[ds.label(r)][pred];
+  }
   std::cout << eval.ToString(ds.schema());
   return kExitOk;
 }
@@ -319,12 +381,14 @@ int CmdCompile(int argc, char** argv) {
   std::vector<cmp::DecisionTree> trees;
   std::stringstream paths(tree_arg);
   for (std::string path; std::getline(paths, path, ',');) {
-    cmp::DecisionTree tree;
-    if (!cmp::LoadTree(path, &tree)) {
+    // Each path may be a single tree or a whole cmp-forest (boost
+    // output); forests flatten into the blob's tree list in order.
+    std::vector<cmp::DecisionTree> loaded;
+    if (!cmp::LoadTrees(path, &loaded)) {
       std::cerr << "failed to read " << path << "\n";
       return kExitIo;
     }
-    trees.push_back(std::move(tree));
+    for (cmp::DecisionTree& t : loaded) trees.push_back(std::move(t));
   }
   if (trees.empty()) return Usage();
 
@@ -367,13 +431,14 @@ int CmdPredict(int argc, char** argv) {
   } else {
     std::stringstream paths(tree_arg);
     for (std::string path; std::getline(paths, path, ',');) {
-      cmp::DecisionTree tree;
-      if (!cmp::LoadTree(path, &tree)) {
+      std::vector<cmp::DecisionTree> loaded;
+      if (!cmp::LoadTrees(path, &loaded)) {
         std::cerr << "failed to read " << path << "\n";
         return kExitIo;
       }
-      trees.push_back(std::move(tree));
+      for (cmp::DecisionTree& t : loaded) trees.push_back(std::move(t));
     }
+    if (trees.empty()) return Usage();
   }
 
   cmp::PredictOptions opts;
@@ -551,12 +616,19 @@ int CmdImportance(int argc, char** argv) {
 int CmdShow(int argc, char** argv) {
   const std::string tree_path = GetFlag(argc, argv, "--tree");
   if (tree_path.empty()) return Usage();
-  cmp::DecisionTree tree;
-  if (!cmp::LoadTree(tree_path, &tree)) {
+  std::vector<cmp::DecisionTree> trees;
+  if (!cmp::LoadTrees(tree_path, &trees) || trees.empty()) {
     std::cerr << "failed to read " << tree_path << "\n";
     return kExitIo;
   }
-  std::cout << tree.ToString();
+  if (trees.size() == 1) {
+    std::cout << trees[0].ToString();
+    return kExitOk;
+  }
+  for (size_t i = 0; i < trees.size(); ++i) {
+    std::cout << "=== tree " << (i + 1) << "/" << trees.size() << " ===\n"
+              << trees[i].ToString();
+  }
   return kExitOk;
 }
 
@@ -564,6 +636,15 @@ int CmdShow(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  // --kernel applies to every subcommand; resolve it before any work
+  // touches the dispatch tables. Rejecting an unknown or unsupported
+  // tier here keeps "bad flag" failures on the bad-args exit code.
+  std::string kernel_error;
+  if (!cmp::SelectKernelIsaByName(
+          GetFlag(argc - 2, argv + 2, "--kernel", "auto"), &kernel_error)) {
+    std::cerr << kernel_error << "\n";
+    return kExitBadArgs;
+  }
   const std::string cmd = argv[1];
   if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
   if (cmd == "train") return CmdTrain(argc - 2, argv + 2);

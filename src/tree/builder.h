@@ -45,6 +45,11 @@ struct BuilderOptions {
 struct BuildResult {
   DecisionTree tree;
   BuildStats stats;
+  /// Meta-builders that produce an additive ensemble (the "boost"
+  /// registry entry) fill this with every member tree, in round order;
+  /// `tree` is then the first member (a usable standalone classifier).
+  /// Single-tree builders leave it empty.
+  std::vector<DecisionTree> forest;
 };
 
 /// Common interface of SPRINT, CLOUDS, RainForest and the CMP family.
@@ -66,12 +71,30 @@ class TreeBuilder {
 // each hand-rolling its own if-chain. Implemented in tree/registry.cc
 // (CMake target cmp_registry, which links every algorithm library).
 
+/// Knobs of the "boost" meta-builder (src/boost/boost.h documents the
+/// algorithm); ignored by every other factory.
+struct BoostConfig {
+  /// Maximum boosting rounds (= trees in the ensemble).
+  int rounds = 50;
+  /// Learning rate applied to every leaf value.
+  double shrinkage = 0.1;
+  /// Depth cap of each weak CMP-B tree.
+  int weak_depth = 6;
+  /// Fraction of the training set (taken deterministically from the
+  /// tail) held out for early stopping; 0 disables early stopping.
+  double holdout = 0.2;
+  /// Rounds without holdout-loss improvement before stopping.
+  int patience = 5;
+};
+
 /// Configuration handed to registry factories. `base` is forwarded to
 /// every builder; `intervals` parameterizes the histogram/grid-based
-/// ones (CMP family, CLOUDS) and is ignored by the rest.
+/// ones (CMP family, CLOUDS) and is ignored by the rest; `boost` only
+/// reaches the "boost" meta-builder.
 struct BuilderConfig {
   BuilderOptions base;
   int intervals = 100;
+  BoostConfig boost;
 };
 
 using TreeBuilderFactory =

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/cpu_features.h"
+
 namespace cmp {
 
 namespace {
@@ -34,6 +36,7 @@ std::string JsonEscape(const std::string& s) {
 void TrainStatsCollector::OnBuildStart(const std::string& builder,
                                        int64_t records) {
   builder_ = builder;
+  kernel_isa_ = KernelIsaName(ActiveKernelIsa());
   records_ = records;
   passes_.clear();
   final_stats_ = BuildStats{};
@@ -53,6 +56,7 @@ std::string TrainStatsCollector::ToJson() const {
   std::ostringstream os;
   os << "{\n";
   os << "  \"builder\": \"" << JsonEscape(builder_) << "\",\n";
+  os << "  \"kernel_isa\": \"" << JsonEscape(kernel_isa_) << "\",\n";
   os << "  \"records\": " << records_ << ",\n";
   os << "  \"passes\": [\n";
   for (size_t i = 0; i < passes_.size(); ++i) {

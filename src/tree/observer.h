@@ -83,6 +83,9 @@ class TrainStatsCollector : public TrainObserver {
 
   const std::vector<PassObservation>& passes() const { return passes_; }
   const BuildStats& final_stats() const { return final_stats_; }
+  /// Kernel ISA ("scalar" | "sse2" | "avx2") active when the observed
+  /// build started, captured in OnBuildStart.
+  const std::string& kernel_isa() const { return kernel_isa_; }
 
   /// The run as a JSON object: builder, record count, per-pass metrics
   /// and the final BuildStats counters.
@@ -90,6 +93,7 @@ class TrainStatsCollector : public TrainObserver {
 
  private:
   std::string builder_;
+  std::string kernel_isa_;
   int64_t records_ = 0;
   std::vector<PassObservation> passes_;
   BuildStats final_stats_;

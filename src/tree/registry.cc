@@ -9,6 +9,7 @@
 #include <map>
 #include <mutex>
 
+#include "boost/boost.h"
 #include "clouds/clouds.h"
 #include "cmp/cmp.h"
 #include "exact/exact.h"
@@ -51,6 +52,13 @@ void EnsureDefaults() {
   };
   factories["cmp-s"] = [](const BuilderConfig& c) {
     return MakeCmpVariant(CmpSOptions(), c);
+  };
+  factories["boost"] = [](const BuilderConfig& c) {
+    BoostOptions o;
+    o.base = c.base;
+    o.intervals = c.intervals;
+    o.boost = c.boost;
+    return std::make_unique<BoostBuilder>(o);
   };
   factories["clouds"] = [](const BuilderConfig& c) {
     CloudsOptions o;

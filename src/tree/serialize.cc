@@ -14,6 +14,8 @@ constexpr int kMaxAttrs = 1 << 20;
 constexpr int kMaxClasses = 1 << 20;
 constexpr int kMaxNodes = 1 << 28;
 constexpr size_t kMaxClassCounts = 1 << 20;
+constexpr int64_t kMaxForestTrees = 1 << 20;
+constexpr int64_t kMaxForestTreeLines = int64_t{1} << 32;
 
 void WriteDouble(std::ostringstream& os, double v) {
   os << std::hexfloat << v << std::defaultfloat;
@@ -256,6 +258,100 @@ bool LoadTree(const std::string& path, DecisionTree* out) {
   std::ostringstream buffer;
   buffer << is.rdbuf();
   return DeserializeTree(buffer.str(), out);
+}
+
+std::string SerializeForest(const std::vector<DecisionTree>& trees) {
+  std::ostringstream os;
+  os << "cmp-forest 1\n";
+  os << "trees " << trees.size() << '\n';
+  for (const DecisionTree& tree : trees) {
+    const std::string text = SerializeTree(tree);
+    os << "tree " << std::count(text.begin(), text.end(), '\n') << '\n'
+       << text;
+  }
+  return os.str();
+}
+
+bool DeserializeForest(const std::string& text,
+                       std::vector<DecisionTree>* out) {
+  std::istringstream lines(text);
+  std::string line;
+  std::string tag;
+  int version = 0;
+  {
+    if (!std::getline(lines, line)) return false;
+    std::istringstream ls(line);
+    if (!(ls >> tag >> version) || tag != "cmp-forest" || version != 1) {
+      return false;
+    }
+  }
+  int64_t num_trees = 0;
+  {
+    if (!std::getline(lines, line)) return false;
+    std::istringstream ls(line);
+    if (!(ls >> tag >> num_trees) || tag != "trees" || num_trees <= 0 ||
+        num_trees > kMaxForestTrees) {
+      return false;
+    }
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(static_cast<size_t>(num_trees));
+  for (int64_t t = 0; t < num_trees; ++t) {
+    int64_t num_lines = 0;
+    if (!std::getline(lines, line)) return false;
+    std::istringstream ls(line);
+    if (!(ls >> tag >> num_lines) || tag != "tree" || num_lines <= 0 ||
+        num_lines > kMaxForestTreeLines) {
+      return false;
+    }
+    std::string block;
+    for (int64_t i = 0; i < num_lines; ++i) {
+      if (!std::getline(lines, line)) return false;
+      block += line;
+      block += '\n';
+    }
+    DecisionTree tree;
+    if (!DeserializeTree(block, &tree)) return false;
+    trees.push_back(std::move(tree));
+  }
+  while (std::getline(lines, line)) {
+    if (!line.empty()) return false;
+  }
+  *out = std::move(trees);
+  return true;
+}
+
+bool SaveForest(const std::vector<DecisionTree>& trees,
+                const std::string& path) {
+  if (trees.empty()) return false;
+  std::ofstream os(path, std::ios::trunc);
+  if (!os.is_open()) return false;
+  os << SerializeForest(trees);
+  return os.good();
+}
+
+bool LoadForest(const std::string& path, std::vector<DecisionTree>* out) {
+  std::ifstream is(path);
+  if (!is.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return DeserializeForest(buffer.str(), out);
+}
+
+bool LoadTrees(const std::string& path, std::vector<DecisionTree>* out) {
+  std::ifstream is(path);
+  if (!is.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  if (text.rfind("cmp-forest ", 0) == 0) {
+    return DeserializeForest(text, out);
+  }
+  DecisionTree tree;
+  if (!DeserializeTree(text, &tree)) return false;
+  out->clear();
+  out->push_back(std::move(tree));
+  return true;
 }
 
 }  // namespace cmp

@@ -347,4 +347,99 @@ TEST_F(CmptoolTest, StatsJsonEmitsObserverMetrics) {
   std::remove(stats.c_str());
 }
 
+std::string Slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+TEST_F(CmptoolTest, BoostTrainsScoresAndCompiles) {
+  // Text forest out: the boost knobs parse, the output names the tree
+  // count, and the saved file is the multi-tree forest format.
+  std::string out;
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo boost --rounds 6"
+                " --shrinkage 0.2 --weak-depth 4 --out " + tree_,
+                &out),
+            0);
+  EXPECT_NE(out.find("trees"), std::string::npos) << out;
+  EXPECT_EQ(Slurp(tree_).substr(0, 11), "cmp-forest ");
+
+  // Additive forests score through --vote prob (majority voting over
+  // the pseudo-count leaves is NOT the boosted model).
+  const std::string csv = TempPath("boost_pred.csv");
+  std::string text_out;
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + tree_ +
+                " --vote prob --out " + csv,
+                &text_out),
+            0);
+
+  // Straight-to-blob training compiles the same forest; the blob path
+  // must reproduce the text path's accuracy digit for digit.
+  const std::string blob = TempPath("boost.cmpb");
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo boost --rounds 6"
+                " --shrinkage 0.2 --weak-depth 4 --out " + blob,
+                &out),
+            0);
+  std::string blob_out;
+  ASSERT_EQ(RunTool("predict --data " + data_ + " --tree " + blob +
+                " --vote prob --out " + csv,
+                &blob_out),
+            0);
+  EXPECT_EQ(AccuracyLine(blob_out), AccuracyLine(text_out));
+
+  // compile accepts the forest text file and produces the same blob.
+  const std::string blob2 = TempPath("boost2.cmpb");
+  ASSERT_EQ(RunTool("compile --tree " + tree_ + " --out " + blob2), 0);
+  EXPECT_EQ(Slurp(blob2), Slurp(blob));
+
+  // eval and show accept the forest too: eval scores the average-prob
+  // vote (same accuracy line as predict --vote prob), show prints one
+  // section per member tree.
+  std::string eval_out;
+  ASSERT_EQ(RunTool("eval --data " + data_ + " --tree " + tree_,
+                &eval_out),
+            0);
+  EXPECT_EQ(AccuracyLine(eval_out), AccuracyLine(text_out));
+  std::string show_out;
+  ASSERT_EQ(RunTool("show --tree " + tree_, &show_out), 0);
+  EXPECT_NE(show_out.find("=== tree 1/6 ==="), std::string::npos);
+  EXPECT_NE(show_out.find("=== tree 6/6 ==="), std::string::npos);
+
+  for (const std::string& p : {csv, blob, blob2}) std::remove(p.c_str());
+}
+
+TEST_F(CmptoolTest, KernelFlagSelectsTierAndRejectsUnknown) {
+  // --kernel scalar and --kernel auto must produce byte-identical trees
+  // (the bit-identical-trees contract, CLI edition).
+  ASSERT_EQ(RunTool("train --data " + data_ +
+                " --algo cmp-b --kernel scalar --out " + tree_),
+            0);
+  const std::string scalar_tree = Slurp(tree_);
+  ASSERT_FALSE(scalar_tree.empty());
+  ASSERT_EQ(RunTool("train --data " + data_ +
+                " --algo cmp-b --kernel auto --out " + tree_),
+            0);
+  EXPECT_EQ(Slurp(tree_), scalar_tree);
+
+  // The selected tier lands in --stats-json as kernel_isa.
+  const std::string stats = TempPath("kernel_stats.json");
+  ASSERT_EQ(RunTool("train --data " + data_ +
+                " --algo cmp-b --kernel scalar --out " + tree_ +
+                " --stats-json " + stats),
+            0);
+  EXPECT_NE(Slurp(stats).find("\"kernel_isa\": \"scalar\""),
+            std::string::npos);
+  std::remove(stats.c_str());
+
+  // An unknown tier is a usage error, reported before any work runs.
+  std::string out;
+  EXPECT_EQ(RunTool("train --data " + data_ +
+                " --algo cmp-b --kernel bogus --out " + tree_,
+                &out),
+            kBadArgs);
+  EXPECT_NE(out.find("unknown kernel tier 'bogus'"), std::string::npos)
+      << out;
+}
+
 }  // namespace
