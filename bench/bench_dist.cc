@@ -1,0 +1,206 @@
+// bench_dist: throughput and protocol cost of distributed training.
+//
+// Trains CMP (full) on an Agrawal-generated .cmpt table single-process
+// and with --workers-style DistTrain at K = 1, 2 and 4, reporting
+// rows/sec per worker count, wire bytes per pass and coordinator merge
+// seconds. Byte-identity of every distributed tree against the
+// single-process reference is asserted before anything is reported — a
+// throughput number for a different tree would be meaningless.
+//
+// The bench also cell-verifies the merge itself: the root-pass class
+// histograms are rebuilt from per-slice bundles shipped through the
+// actual wire serializers (WriteBundleCounts -> ReadBundleCountsInto,
+// merged in rank order) and compared cell-for-cell against a
+// single-accumulation bundle. The verified cell count lands in the JSON
+// so a silently-empty comparison cannot pass as coverage.
+//
+// Results go to stdout and BENCH_dist.json (or argv[1]).
+// CMP_BENCH_SCALE scales the record count (default 0.1 => 100k rows).
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cmp/bundle.h"
+#include "cmp/cmp.h"
+#include "common/timer.h"
+#include "datagen/agrawal.h"
+#include "dist/dist.h"
+#include "hist/grids.h"
+#include "io/table_file.h"
+#include "io/wire.h"
+#include "tree/observer.h"
+#include "tree/serialize.h"
+
+namespace {
+
+// Captures the distributed per-pass metrics DistTrain reports through
+// the observer hook.
+class DistStats : public cmp::TrainObserver {
+ public:
+  void OnPass(const cmp::PassObservation& pass) override {
+    ++passes_;
+    wire_bytes_ += pass.wire_bytes;
+    merge_seconds_ += pass.merge_seconds;
+  }
+  int passes() const { return passes_; }
+  int64_t wire_bytes() const { return wire_bytes_; }
+  double merge_seconds() const { return merge_seconds_; }
+
+ private:
+  int passes_ = 0;
+  int64_t wire_bytes_ = 0;
+  double merge_seconds_ = 0.0;
+};
+
+// Rebuilds the root-pass univariate histograms from K contiguous slices
+// shipped through the wire serializers and counts the cells that match
+// a single accumulation. Returns -1 on any mismatch.
+int64_t CellVerifyRootPass(const cmp::Dataset& ds,
+                           const std::vector<cmp::IntervalGrid>& grids,
+                           int num_workers) {
+  cmp::HistBundle reference =
+      cmp::HistBundle::MakeUnivariate(ds.schema(), grids);
+  for (cmp::RecordId r = 0; r < ds.num_records(); ++r) {
+    reference.Add(ds, grids, r);
+  }
+  cmp::HistBundle merged = reference.CloneEmptyShape();
+  const int64_t n = ds.num_records();
+  for (int k = 0; k < num_workers; ++k) {
+    const int64_t lo = n * k / num_workers;
+    const int64_t hi = n * (k + 1) / num_workers;
+    cmp::HistBundle slice = reference.CloneEmptyShape();
+    for (cmp::RecordId r = lo; r < hi; ++r) slice.Add(ds, grids, r);
+    cmp::wire::WireWriter w;
+    cmp::wire::WriteBundleCounts(&w, slice);
+    cmp::wire::WireReader r(w.buffer());
+    if (!cmp::wire::ReadBundleCountsInto(&r, &merged) || !r.AtEnd()) {
+      return -1;
+    }
+  }
+  int64_t cells = 0;
+  for (cmp::AttrId a = 0; a < ds.schema().num_attrs(); ++a) {
+    const cmp::Histogram1D want = reference.HistFor(a);
+    const cmp::Histogram1D got = merged.HistFor(a);
+    if (want.num_intervals() != got.num_intervals()) return -1;
+    for (int i = 0; i < want.num_intervals(); ++i) {
+      for (cmp::ClassId c = 0; c < ds.schema().num_classes(); ++c) {
+        if (want.count(i, c) != got.count(i, c)) return -1;
+        ++cells;
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_dist.json";
+  const int64_t train_n = std::max<int64_t>(
+      static_cast<int64_t>(1000000 * cmp::bench::Scale()), 20000);
+
+  cmp::AgrawalOptions gen;
+  gen.function = cmp::AgrawalFunction::kF7;
+  gen.perturbation = 0.3;
+  gen.num_records = train_n;
+  gen.seed = 11;
+  const cmp::Dataset train = cmp::GenerateAgrawal(gen);
+  const std::string table_path = "/tmp/cmp_bench_dist.cmpt";
+  if (!cmp::SaveTableFile(train, table_path)) {
+    std::cerr << "cannot write " << table_path << "\n";
+    return 1;
+  }
+
+  cmp::CmpOptions opts = cmp::CmpFullOptions();
+  opts.base.prune = false;
+
+  // Single-process reference (the rows/sec baseline and the tree the
+  // distributed builds must reproduce byte for byte).
+  cmp::Timer single_timer;
+  const cmp::BuildResult single = cmp::CmpBuilder(opts).Build(train);
+  const double single_rps =
+      static_cast<double>(train_n) / single_timer.Seconds();
+  const std::string reference = cmp::SerializeTree(single.tree);
+
+  const std::vector<cmp::IntervalGrid> grids =
+      cmp::ComputeEqualDepthGrids(train, opts.intervals, nullptr);
+
+  struct Row {
+    int workers;
+    double rows_per_sec;
+    int passes;
+    int64_t wire_bytes_per_pass;
+    double merge_seconds;
+    int64_t verified_cells;
+  };
+  std::vector<Row> rows;
+  bool identical = true;
+  for (const int workers : {1, 2, 4}) {
+    DistStats stats;
+    cmp::CmpOptions o = opts;
+    o.base.observer = &stats;
+    cmp::dist::DistOptions d;
+    d.num_workers = workers;
+    cmp::Timer timer;
+    cmp::BuildResult result;
+    try {
+      result = cmp::dist::DistTrain(table_path, o, d);
+    } catch (const std::exception& e) {
+      std::cerr << "distributed build failed at K=" << workers << ": "
+                << e.what() << "\n";
+      std::remove(table_path.c_str());
+      return 1;
+    }
+    const double rps = static_cast<double>(train_n) / timer.Seconds();
+    if (cmp::SerializeTree(result.tree) != reference) identical = false;
+    const int64_t cells = CellVerifyRootPass(train, grids, workers);
+    if (cells < 0) identical = false;
+    rows.push_back({workers, rps, stats.passes(),
+                    stats.passes() > 0 ? stats.wire_bytes() / stats.passes()
+                                       : 0,
+                    stats.merge_seconds(), cells});
+  }
+  std::remove(table_path.c_str());
+
+  std::cout << "training " << train_n
+            << " records, CMP (full), no prune; single-process baseline "
+            << static_cast<int64_t>(single_rps) << " rows/sec\n\n";
+  std::cout << "workers   rows/sec     wire KB/pass   merge ms    "
+               "verified cells\n";
+  for (const Row& r : rows) {
+    std::cout << r.workers << "         "
+              << static_cast<int64_t>(r.rows_per_sec) << "      "
+              << r.wire_bytes_per_pass / 1024.0 << "         "
+              << r.merge_seconds * 1e3 << "       " << r.verified_cells
+              << "\n";
+  }
+  std::cout << "\ntrees byte-identical to single-process: "
+            << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"dist\",\n"
+       << "  \"rows\": " << train_n << ",\n"
+       << "  \"deterministic\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"single_process_rows_per_sec\": " << single_rps << ",\n";
+  for (const Row& r : rows) {
+    json << "  \"dist_w" << r.workers << "_rows_per_sec\": "
+         << r.rows_per_sec << ",\n"
+         << "  \"dist_w" << r.workers << "_passes\": " << r.passes << ",\n"
+         << "  \"dist_w" << r.workers << "_wire_bytes_per_pass\": "
+         << r.wire_bytes_per_pass << ",\n"
+         << "  \"dist_w" << r.workers << "_merge_seconds\": "
+         << r.merge_seconds << ",\n"
+         << "  \"dist_w" << r.workers << "_verified_cells\": "
+         << r.verified_cells << ",\n";
+  }
+  json << "  \"root_pass_cell_verified\": " << (identical ? "true" : "false")
+       << "\n}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return identical ? 0 : 1;
+}

@@ -74,11 +74,17 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   const double base = rows.front().rows_per_sec;
   std::cout << "training " << train_n << " records, CMP (full), no prune\n\n";
-  std::cout << "threads   rows/sec     speedup\n";
+  std::cout << "threads   rows/sec     delta       speedup\n";
   for (const Row& r : rows) {
     std::cout << r.threads << "         "
               << static_cast<int64_t>(r.rows_per_sec) << "      "
-              << r.rows_per_sec / base << "x\n";
+              << (r.rows_per_sec >= base ? "+" : "")
+              << static_cast<int64_t>(r.rows_per_sec - base) << "      "
+              << r.rows_per_sec / base << "x"
+              << (static_cast<unsigned>(r.threads) > hw
+                      ? "  (oversubscribed)"
+                      : "")
+              << "\n";
   }
   std::cout << "\ntrees bit-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM VIOLATION") << "\n";
@@ -93,13 +99,31 @@ int main(int argc, char** argv) {
   for (const Row& r : rows) {
     json << "  \"train_mt" << r.threads << "_rows_per_sec\": "
          << r.rows_per_sec << ",\n";
+    // Per-config delta vs the single-thread baseline, but only where the
+    // hardware can actually run that many threads: an oversubscribed
+    // config's delta measures scheduler thrash, not scaling, so it gets
+    // a reason instead of a number.
+    if (static_cast<unsigned>(r.threads) <= std::max(hw, 1u)) {
+      json << "  \"train_mt" << r.threads << "_delta_rows_per_sec\": "
+           << r.rows_per_sec - base << ",\n";
+    } else {
+      json << "  \"train_mt" << r.threads << "_delta_rows_per_sec\": null,\n"
+           << "  \"train_mt" << r.threads << "_delta_reason\": \"only "
+           << hw << " hardware thread(s): config is oversubscribed\",\n";
+    }
   }
   // On a host without real parallelism a speedup ratio is noise, not a
-  // regression signal; null tells trend tooling to skip it.
+  // regression signal; the reason string tells trend tooling (and anyone
+  // reading the JSON) exactly why the number is missing.
   if (hw >= 2) {
-    json << "  \"mt_scaling\": " << rows.back().rows_per_sec / base << "\n";
+    json << "  \"mt_scaling\": " << rows.back().rows_per_sec / base << ",\n"
+         << "  \"mt_scaling_reason\": \"measured across " << hw
+         << " hardware threads\"\n";
   } else {
-    json << "  \"mt_scaling\": null\n";
+    json << "  \"mt_scaling\": null,\n"
+         << "  \"mt_scaling_reason\": \"only " << hw
+         << " hardware thread(s): speedup ratios would measure scheduler "
+            "noise, not scaling\"\n";
   }
   json << "}\n";
   std::cout << "wrote " << json_path << "\n";

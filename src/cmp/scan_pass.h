@@ -28,6 +28,38 @@ namespace cmp {
 /// single Run() call; what the sinks MEAN is the business of the
 /// frontier and split-plan layers.
 
+/// What a pass scanner learns once the driver has built its grids and
+/// seeded its tree — everything a remote transport must broadcast to
+/// workers before the first pass.
+struct PassScanContext {
+  const std::vector<IntervalGrid>* grids = nullptr;
+  const DecisionTree* tree = nullptr;
+  int64_t num_records = 0;
+  // The build's I/O tracker; a remote scanner charges the bytes its
+  // workers report reading so streamed-build accounting stays honest.
+  ScanTracker* tracker = nullptr;
+};
+
+/// The transport seam of the build driver: one interface between "run a
+/// scan pass over the frontier" and wherever the records actually are.
+/// The local ScanPass below implements it over a record store; the
+/// distributed coordinator (src/dist/) implements it by shipping the
+/// frontier skeleton to worker processes and merging their histogram
+/// bundles back in rank order. Either way, RunPass must leave `work` in
+/// the byte-identical state a serial single-process scan would produce.
+class PassScanner {
+ public:
+  virtual ~PassScanner() = default;
+
+  /// Called once, after the driver has built grids and class counts but
+  /// before the first pass.
+  virtual void Prepare(const PassScanContext& ctx) { (void)ctx; }
+
+  /// Runs one full pass, filling `work`'s bundles, pending buffers and
+  /// collect lists.
+  virtual void RunPass(FrontierQueues& work, PassObservation* po) = 0;
+};
+
 /// node id -> work-list slot maps for one pass (-1: not in that list).
 struct SlotMaps {
   std::vector<int> fresh;
@@ -44,7 +76,7 @@ SlotMaps BuildSlotMaps(int num_nodes, const FrontierQueues& work);
 constexpr size_t kScanBatchRecords = 512;
 
 template <class Store>
-class ScanPass {
+class ScanPass : public PassScanner {
  public:
   /// All references are borrowed and must outlive the pass. `tree` is
   /// read-only during Run (records descend through splits resolved since
@@ -71,6 +103,18 @@ class ScanPass {
         tracker_(tracker),
         codes_(codes != nullptr && codes->enabled() ? codes : nullptr),
         scan_shards_(scan_shards) {}
+
+  /// Distributed-training workers scan with this disabled: a worker's
+  /// sibling-derived bundles are empty placeholders (the coordinator
+  /// holds the parent counts and subtracts ONCE after the rank-order
+  /// merge), so subtracting locally would corrupt them.
+  void set_apply_sibling_subtraction(bool v) {
+    apply_sibling_subtraction_ = v;
+  }
+
+  void RunPass(FrontierQueues& work, PassObservation* po) override {
+    Run(work, po);
+  }
 
   /// Runs one full pass, filling `work`'s bundles, pending buffers and
   /// collect lists. On return the accumulated state is byte-for-byte
@@ -281,11 +325,13 @@ class ScanPass {
     // PARENT's histograms; now that the sibling's scan is complete and
     // merged, parent minus sibling IS the derived child's exact counts.
     int64_t subtractions = 0;
-    for (size_t i = 0; i < work.fresh.size(); ++i) {
-      const int sib = work.fresh[i].derive_from_sibling;
-      if (sib < 0) continue;
-      work.fresh[i].bundle.SubtractSameShape(work.fresh[sib].bundle);
-      ++subtractions;
+    if (apply_sibling_subtraction_) {
+      for (size_t i = 0; i < work.fresh.size(); ++i) {
+        const int sib = work.fresh[i].derive_from_sibling;
+        if (sib < 0) continue;
+        work.fresh[i].bundle.SubtractSameShape(work.fresh[sib].bundle);
+        ++subtractions;
+      }
     }
 
     if (po != nullptr) {
@@ -402,6 +448,7 @@ class ScanPass {
   ScanTracker* tracker_;
   const BinCodeCache* codes_;  // null when the cache is disabled
   int scan_shards_;
+  bool apply_sibling_subtraction_ = true;
 };
 
 }  // namespace cmp

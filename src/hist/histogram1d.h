@@ -39,6 +39,7 @@ class Histogram1D {
   /// attribute-major batch kernels in hist/hist_kernels.h, which add
   /// straight into it.
   int64_t* data() { return counts_.data(); }
+  const int64_t* data() const { return counts_.data(); }
 
   /// Total records in interval `i`.
   int64_t IntervalTotal(int i) const;

@@ -79,6 +79,7 @@ class HistogramMatrix {
   /// Mutable row-major cell array for the attribute-major batch kernels
   /// in hist/hist_kernels.h.
   int64_t* data() { return counts_.data(); }
+  const int64_t* data() const { return counts_.data(); }
 
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(counts_.size()) * sizeof(int64_t);

@@ -1,0 +1,597 @@
+#include "io/wire.h"
+
+#include <cstring>
+
+#include "common/net.h"
+
+namespace cmp {
+namespace wire {
+
+namespace {
+
+void PutHeaderU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void PutHeaderU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+uint32_t GetHeaderU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t GetHeaderU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+bool FailHeader(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+}  // namespace
+
+std::string BuildFrameHeader(MsgType type, uint64_t payload_bytes) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes);
+  out.append(kMagic, sizeof(kMagic));
+  PutHeaderU32(&out, kVersion);
+  PutHeaderU32(&out, kEndianProbe);
+  PutHeaderU32(&out, static_cast<uint32_t>(type));
+  PutHeaderU64(&out, payload_bytes);
+  return out;
+}
+
+bool ParseFrameHeader(const uint8_t* header, MsgType* type,
+                      uint64_t* payload_bytes, std::string* error) {
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return FailHeader(error, "bad frame magic (not a CMP wire peer)");
+  }
+  const uint32_t version = GetHeaderU32(header + 4);
+  if (version != kVersion) {
+    return FailHeader(error, "unsupported wire version " +
+                                 std::to_string(version) + " (expected " +
+                                 std::to_string(kVersion) + ")");
+  }
+  if (GetHeaderU32(header + 8) != kEndianProbe) {
+    return FailHeader(error,
+                      "endianness mismatch between coordinator and worker");
+  }
+  const uint64_t length = GetHeaderU64(header + 16);
+  if (length > kMaxFrameBytes) {
+    return FailHeader(error, "oversized frame (" + std::to_string(length) +
+                                 " bytes; limit " +
+                                 std::to_string(kMaxFrameBytes) + ")");
+  }
+  *type = static_cast<MsgType>(GetHeaderU32(header + 12));
+  *payload_bytes = length;
+  return true;
+}
+
+bool SendFrame(int fd, MsgType type, const std::string& payload) {
+  const std::string header = BuildFrameHeader(type, payload.size());
+  return SendAll(fd, header) && SendAll(fd, payload);
+}
+
+bool RecvFrame(int fd, MsgType* type, std::string* payload,
+               std::string* error) {
+  uint8_t header[kFrameHeaderBytes];
+  if (!RecvAll(fd, header, sizeof(header))) {
+    return FailHeader(error, "peer closed the connection");
+  }
+  uint64_t length = 0;
+  if (!ParseFrameHeader(header, type, &length, error)) return false;
+  payload->resize(length);
+  if (length > 0 && !RecvAll(fd, payload->data(), length)) {
+    return FailHeader(error, "peer died mid-frame");
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// WireWriter / WireReader
+
+void WireWriter::PutVar(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void WireWriter::PutVarSigned(int64_t v) {
+  PutVar((static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63));  // zigzag
+}
+
+void WireWriter::PutString(const std::string& s) {
+  PutVar(s.size());
+  buf_.append(s);
+}
+
+void WireWriter::PutRaw(const void* data, size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+bool WireReader::Take(void* out, size_t size) {
+  if (!ok_ || n_ - off_ < size) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, p_ + off_, size);
+  off_ += size;
+  return true;
+}
+
+uint8_t WireReader::GetU8() {
+  uint8_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+uint32_t WireReader::GetU32() {
+  uint32_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+uint64_t WireReader::GetU64() {
+  uint64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+double WireReader::GetF64() {
+  double v = 0.0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+uint64_t WireReader::GetVar() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte = 0;
+    if (!Take(&byte, 1)) return 0;
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  ok_ = false;  // more than 10 continuation bytes: corrupt
+  return 0;
+}
+
+int64_t WireReader::GetVarSigned() {
+  const uint64_t z = GetVar();
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+bool WireReader::GetString(std::string* out) {
+  const uint64_t size = GetVar();
+  if (!ok_ || size > remaining()) {
+    ok_ = false;
+    return false;
+  }
+  out->assign(reinterpret_cast<const char*>(p_ + off_),
+              static_cast<size_t>(size));
+  off_ += static_cast<size_t>(size);
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Split / tree
+
+void WriteSplit(WireWriter* w, const Split& split) {
+  w->PutU8(static_cast<uint8_t>(split.kind));
+  w->PutVarSigned(split.attr);
+  w->PutF64(split.threshold);
+  w->PutVarSigned(split.attr2);
+  w->PutF64(split.a);
+  w->PutF64(split.b);
+  w->PutF64(split.c);
+  w->PutVar(split.left_subset.size());
+  if (!split.left_subset.empty()) {
+    w->PutRaw(split.left_subset.data(), split.left_subset.size());
+  }
+}
+
+bool ReadSplit(WireReader* r, Split* split) {
+  const uint8_t kind = r->GetU8();
+  if (kind > static_cast<uint8_t>(Split::Kind::kLinear)) {
+    r->Fail();
+    return false;
+  }
+  split->kind = static_cast<Split::Kind>(kind);
+  split->attr = static_cast<AttrId>(r->GetVarSigned());
+  split->threshold = r->GetF64();
+  split->attr2 = static_cast<AttrId>(r->GetVarSigned());
+  split->a = r->GetF64();
+  split->b = r->GetF64();
+  split->c = r->GetF64();
+  const uint64_t subset = r->GetVar();
+  if (!r->ok() || subset > r->remaining()) {
+    r->Fail();
+    return false;
+  }
+  split->left_subset.assign(static_cast<size_t>(subset), 0);
+  for (size_t i = 0; i < subset; ++i) split->left_subset[i] = r->GetU8();
+  return r->ok();
+}
+
+void WriteTree(WireWriter* w, const DecisionTree& tree) {
+  w->PutVar(static_cast<uint64_t>(tree.num_nodes()));
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& node = tree.node(id);
+    // Routing descends while (!is_leaf && left != kInvalidNode); one
+    // has-children bit reproduces that predicate exactly.
+    const bool has_children = !node.is_leaf && node.left != kInvalidNode;
+    w->PutU8(has_children ? 1 : 0);
+    if (has_children) {
+      WriteSplit(w, node.split);
+      w->PutVar(static_cast<uint64_t>(node.left));
+      w->PutVar(static_cast<uint64_t>(node.right));
+    }
+  }
+}
+
+bool ReadTree(WireReader* r, DecisionTree* tree) {
+  const uint64_t n = r->GetVar();
+  if (!r->ok() || n > r->remaining()) {  // every node is >= 1 byte
+    r->Fail();
+    return false;
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    TreeNode node;
+    const bool has_children = r->GetU8() != 0;
+    if (has_children) {
+      if (!ReadSplit(r, &node.split)) return false;
+      node.is_leaf = false;
+      node.left = static_cast<NodeId>(r->GetVar());
+      node.right = static_cast<NodeId>(r->GetVar());
+      if (!r->ok() || node.left >= static_cast<NodeId>(n) ||
+          node.right >= static_cast<NodeId>(n)) {
+        r->Fail();
+        return false;
+      }
+    }
+    tree->AddNode(std::move(node));
+  }
+  return r->ok();
+}
+
+// ---------------------------------------------------------------------
+// Grids
+
+void WriteGrids(WireWriter* w, const Schema& schema,
+                const std::vector<IntervalGrid>& grids) {
+  w->PutVar(static_cast<uint64_t>(schema.num_attrs()));
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (!schema.is_numeric(a)) continue;  // default grid, nothing to ship
+    const IntervalGrid& g = grids[a];
+    w->PutVar(g.boundaries().size());
+    for (const double b : g.boundaries()) w->PutF64(b);
+    w->PutF64(g.min_value());
+    w->PutF64(g.max_value());
+  }
+}
+
+bool ReadGrids(WireReader* r, const Schema& schema,
+               std::vector<IntervalGrid>* grids) {
+  const uint64_t na = r->GetVar();
+  if (!r->ok() || na != static_cast<uint64_t>(schema.num_attrs())) {
+    r->Fail();
+    return false;
+  }
+  grids->assign(static_cast<size_t>(na), IntervalGrid());
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    if (!schema.is_numeric(a)) continue;
+    const uint64_t nb = r->GetVar();
+    if (!r->ok() || nb > r->remaining() / sizeof(double)) {
+      r->Fail();
+      return false;
+    }
+    std::vector<double> boundaries(static_cast<size_t>(nb));
+    for (double& b : boundaries) b = r->GetF64();
+    const double min_value = r->GetF64();
+    const double max_value = r->GetF64();
+    if (!r->ok()) return false;
+    (*grids)[a] =
+        IntervalGrid::FromBoundaries(std::move(boundaries), min_value,
+                                     max_value);
+  }
+  return r->ok();
+}
+
+// ---------------------------------------------------------------------
+// Bundles
+
+void WriteBundleShape(WireWriter* w, const HistBundle& bundle) {
+  w->PutU8(bundle.bivariate() ? 1 : 0);
+  w->PutVarSigned(bundle.x_attr());
+  w->PutVarSigned(bundle.x_lo());
+  w->PutVarSigned(bundle.x_hi());
+}
+
+bool ReadBundleShape(WireReader* r, const Schema& schema,
+                     const std::vector<IntervalGrid>& grids,
+                     HistBundle* bundle) {
+  const bool bivariate = r->GetU8() != 0;
+  const AttrId x_attr = static_cast<AttrId>(r->GetVarSigned());
+  const int x_lo = static_cast<int>(r->GetVarSigned());
+  const int x_hi = static_cast<int>(r->GetVarSigned());
+  if (!r->ok()) return false;
+  if (!bivariate) {
+    *bundle = HistBundle::MakeUnivariate(schema, grids);
+    return true;
+  }
+  if (x_attr < 0 || x_attr >= schema.num_attrs() ||
+      !schema.is_numeric(x_attr) || x_lo < 0 ||
+      x_hi > grids[x_attr].num_intervals() || x_lo >= x_hi) {
+    r->Fail();
+    return false;
+  }
+  *bundle = HistBundle::MakeBivariate(schema, grids, x_attr, x_lo, x_hi);
+  return true;
+}
+
+namespace {
+
+int64_t BundleCells(const HistBundle& bundle) {
+  int64_t cells = 0;
+  for (const Histogram1D& h : bundle.hists()) {
+    cells += static_cast<int64_t>(h.num_intervals()) * h.num_classes();
+  }
+  for (const HistogramMatrix& m : bundle.matrices()) {
+    cells += static_cast<int64_t>(m.x_intervals()) * m.y_intervals() *
+             m.num_classes();
+  }
+  return cells;
+}
+
+}  // namespace
+
+void WriteBundleCounts(WireWriter* w, const HistBundle& bundle) {
+  w->PutVar(static_cast<uint64_t>(BundleCells(bundle)));
+  for (const Histogram1D& h : bundle.hists()) {
+    const int64_t* cells = h.data();
+    const int64_t n = static_cast<int64_t>(h.num_intervals()) * h.num_classes();
+    for (int64_t i = 0; i < n; ++i) w->PutVar(static_cast<uint64_t>(cells[i]));
+  }
+  for (const HistogramMatrix& m : bundle.matrices()) {
+    const int64_t* cells = m.data();
+    const int64_t n = static_cast<int64_t>(m.x_intervals()) *
+                      m.y_intervals() * m.num_classes();
+    for (int64_t i = 0; i < n; ++i) w->PutVar(static_cast<uint64_t>(cells[i]));
+  }
+}
+
+bool ReadBundleCountsInto(WireReader* r, HistBundle* dst) {
+  const uint64_t total = r->GetVar();
+  if (!r->ok() || total != static_cast<uint64_t>(BundleCells(*dst))) {
+    r->Fail();
+    return false;
+  }
+  for (Histogram1D& h : dst->hists()) {
+    int64_t* cells = h.data();
+    const int64_t n = static_cast<int64_t>(h.num_intervals()) * h.num_classes();
+    for (int64_t i = 0; i < n; ++i) {
+      cells[i] += static_cast<int64_t>(r->GetVar());
+    }
+  }
+  for (HistogramMatrix& m : dst->matrices()) {
+    int64_t* cells = m.data();
+    const int64_t n = static_cast<int64_t>(m.x_intervals()) *
+                      m.y_intervals() * m.num_classes();
+    for (int64_t i = 0; i < n; ++i) {
+      cells[i] += static_cast<int64_t>(r->GetVar());
+    }
+  }
+  return r->ok();
+}
+
+// ---------------------------------------------------------------------
+// Pending splits
+
+namespace {
+
+constexpr int kMaxPendingDepth = 64;
+
+void WritePendingSkeletonAt(WireWriter* w, const Pending& p) {
+  w->PutVarSigned(p.attr);
+  w->PutVar(p.alive.size());
+  for (const int a : p.alive) w->PutVarSigned(a);
+  w->PutVar(p.segments.size());
+  for (const Segment& seg : p.segments) {
+    w->PutVarSigned(seg.range_lo);
+    w->PutVarSigned(seg.range_hi);
+    w->PutU8(static_cast<uint8_t>(seg.plan));
+    w->PutU8(seg.bundle_fresh ? 1 : 0);
+    switch (seg.plan) {
+      case PlanKind::kGrow:
+        // A derived (non-fresh) bundle is never scanned into; the
+        // mirror leaves it empty, exactly like ClonePendingEmpty.
+        if (seg.bundle_fresh) WriteBundleShape(w, seg.bundle);
+        break;
+      case PlanKind::kPending:
+        WritePendingSkeletonAt(w, *seg.sub);
+        break;
+      case PlanKind::kExact:
+        WriteSplit(w, seg.exact_split);
+        WriteBundleShape(w, seg.exact_left);
+        WriteBundleShape(w, seg.exact_right);
+        break;
+    }
+  }
+}
+
+bool ReadPendingSkeletonAt(WireReader* r, const Schema& schema,
+                           const std::vector<IntervalGrid>& grids,
+                           int num_classes, int depth,
+                           std::unique_ptr<Pending>* out) {
+  if (depth > kMaxPendingDepth) {
+    r->Fail();
+    return false;
+  }
+  auto p = std::make_unique<Pending>();
+  p->attr = static_cast<AttrId>(r->GetVarSigned());
+  const uint64_t alive = r->GetVar();
+  if (!r->ok() || alive > r->remaining()) {
+    r->Fail();
+    return false;
+  }
+  p->alive.resize(static_cast<size_t>(alive));
+  for (int& a : p->alive) a = static_cast<int>(r->GetVarSigned());
+  const uint64_t nsegs = r->GetVar();
+  if (!r->ok() || nsegs != alive + 1 || nsegs > r->remaining()) {
+    r->Fail();
+    return false;
+  }
+  p->segments.resize(static_cast<size_t>(nsegs));
+  for (Segment& seg : p->segments) {
+    seg.counts.assign(static_cast<size_t>(num_classes), 0);
+    seg.range_lo = static_cast<int>(r->GetVarSigned());
+    seg.range_hi = static_cast<int>(r->GetVarSigned());
+    const uint8_t plan = r->GetU8();
+    if (!r->ok() || plan > static_cast<uint8_t>(PlanKind::kExact)) {
+      r->Fail();
+      return false;
+    }
+    seg.plan = static_cast<PlanKind>(plan);
+    seg.bundle_fresh = r->GetU8() != 0;
+    switch (seg.plan) {
+      case PlanKind::kGrow:
+        if (seg.bundle_fresh &&
+            !ReadBundleShape(r, schema, grids, &seg.bundle)) {
+          return false;
+        }
+        break;
+      case PlanKind::kPending:
+        if (!ReadPendingSkeletonAt(r, schema, grids, num_classes, depth + 1,
+                                   &seg.sub)) {
+          return false;
+        }
+        break;
+      case PlanKind::kExact:
+        if (!ReadSplit(r, &seg.exact_split) ||
+            !ReadBundleShape(r, schema, grids, &seg.exact_left) ||
+            !ReadBundleShape(r, schema, grids, &seg.exact_right)) {
+          return false;
+        }
+        seg.exact_left_counts.assign(static_cast<size_t>(num_classes), 0);
+        seg.exact_right_counts.assign(static_cast<size_t>(num_classes), 0);
+        break;
+    }
+  }
+  *out = std::move(p);
+  return r->ok();
+}
+
+void WritePendingStateAt(WireWriter* w, const Pending& p) {
+  w->PutVar(p.buffer.size());
+  for (const BufferedRecord& rec : p.buffer) {
+    w->PutVar(static_cast<uint64_t>(rec.rid));
+    w->PutF64(rec.value);
+    w->PutVar(static_cast<uint64_t>(rec.label));
+  }
+  for (const Segment& seg : p.segments) {
+    for (const int64_t c : seg.counts) w->PutVar(static_cast<uint64_t>(c));
+    switch (seg.plan) {
+      case PlanKind::kGrow:
+        if (seg.bundle_fresh) WriteBundleCounts(w, seg.bundle);
+        break;
+      case PlanKind::kPending:
+        WritePendingStateAt(w, *seg.sub);
+        break;
+      case PlanKind::kExact:
+        for (const int64_t c : seg.exact_left_counts) {
+          w->PutVar(static_cast<uint64_t>(c));
+        }
+        for (const int64_t c : seg.exact_right_counts) {
+          w->PutVar(static_cast<uint64_t>(c));
+        }
+        WriteBundleCounts(w, seg.exact_left);
+        WriteBundleCounts(w, seg.exact_right);
+        break;
+    }
+  }
+}
+
+bool ReadPendingStateIntoAt(WireReader* r, Pending* dst, RecordId rid_base,
+                            int depth) {
+  if (depth > kMaxPendingDepth) {
+    r->Fail();
+    return false;
+  }
+  const uint64_t buffered = r->GetVar();
+  if (!r->ok() || buffered > r->remaining()) {
+    r->Fail();
+    return false;
+  }
+  dst->buffer.reserve(dst->buffer.size() + static_cast<size_t>(buffered));
+  for (uint64_t i = 0; i < buffered; ++i) {
+    BufferedRecord rec;
+    rec.rid = static_cast<RecordId>(r->GetVar()) + rid_base;
+    rec.value = r->GetF64();
+    rec.label = static_cast<ClassId>(r->GetVar());
+    if (!r->ok()) return false;
+    dst->buffer.push_back(rec);
+  }
+  for (Segment& seg : dst->segments) {
+    for (int64_t& c : seg.counts) c += static_cast<int64_t>(r->GetVar());
+    switch (seg.plan) {
+      case PlanKind::kGrow:
+        if (seg.bundle_fresh && !ReadBundleCountsInto(r, &seg.bundle)) {
+          return false;
+        }
+        break;
+      case PlanKind::kPending:
+        if (!ReadPendingStateIntoAt(r, seg.sub.get(), rid_base, depth + 1)) {
+          return false;
+        }
+        break;
+      case PlanKind::kExact:
+        for (int64_t& c : seg.exact_left_counts) {
+          c += static_cast<int64_t>(r->GetVar());
+        }
+        for (int64_t& c : seg.exact_right_counts) {
+          c += static_cast<int64_t>(r->GetVar());
+        }
+        if (!ReadBundleCountsInto(r, &seg.exact_left) ||
+            !ReadBundleCountsInto(r, &seg.exact_right)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return r->ok();
+}
+
+}  // namespace
+
+void WritePendingSkeleton(WireWriter* w, const Pending& p) {
+  WritePendingSkeletonAt(w, p);
+}
+
+bool ReadPendingSkeleton(WireReader* r, const Schema& schema,
+                         const std::vector<IntervalGrid>& grids,
+                         int num_classes, std::unique_ptr<Pending>* out) {
+  return ReadPendingSkeletonAt(r, schema, grids, num_classes, 0, out);
+}
+
+void WritePendingState(WireWriter* w, const Pending& p) {
+  WritePendingStateAt(w, p);
+}
+
+bool ReadPendingStateInto(WireReader* r, Pending* dst, RecordId rid_base) {
+  return ReadPendingStateIntoAt(r, dst, rid_base, 0);
+}
+
+}  // namespace wire
+}  // namespace cmp

@@ -1,9 +1,6 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -12,30 +9,11 @@
 #include <sstream>
 #include <utility>
 
+#include "common/net.h"
+
 namespace cmp {
 
 namespace {
-
-/// Writes the whole buffer, riding out EINTR and partial sends.
-/// MSG_NOSIGNAL turns a peer hangup into an error return instead of a
-/// process-killing SIGPIPE.
-bool SendAll(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-bool SendLine(int fd, const std::string& line) {
-  return SendAll(fd, line + "\n");
-}
 
 /// Parses one dense CSV row against `schema` into per-attribute slots.
 bool ParseRow(const Schema& schema, const std::string& text,
@@ -100,34 +78,6 @@ std::string ReplyLine(const Schema& schema, const RowReply& reply,
 
 }  // namespace
 
-/// Buffered newline-framed reader over a blocking socket.
-class LineReader {
- public:
-  explicit LineReader(int fd) : fd_(fd) {}
-
-  /// False on EOF or error with no complete line left.
-  bool ReadLine(std::string* out) {
-    while (true) {
-      const size_t nl = buf_.find('\n');
-      if (nl != std::string::npos) {
-        out->assign(buf_, 0, nl);
-        if (!out->empty() && out->back() == '\r') out->pop_back();
-        buf_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return false;
-      buf_.append(chunk, static_cast<size_t>(n));
-    }
-  }
-
- private:
-  int fd_;
-  std::string buf_;
-};
-
 ServeDaemon::ServeDaemon(ServeOptions opts)
     : opts_(std::move(opts)),
       pool_(opts_.num_threads),
@@ -137,62 +87,14 @@ ServeDaemon::ServeDaemon(ServeOptions opts)
 ServeDaemon::~ServeDaemon() { Shutdown(); }
 
 bool ServeDaemon::Start(std::string* error) {
-  auto fail = [this, error](const std::string& what) {
-    if (error != nullptr) *error = what + ": " + std::strerror(errno);
-    if (listen_fd_ >= 0) {
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-    }
-    return false;
-  };
-
   if (!opts_.unix_path.empty()) {
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) return fail("socket");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (opts_.unix_path.size() >= sizeof(addr.sun_path)) {
-      if (error != nullptr) *error = "unix socket path too long";
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return false;
-    }
-    std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    ::unlink(opts_.unix_path.c_str());  // stale socket from a dead daemon
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      return fail("bind " + opts_.unix_path);
-    }
+    listen_fd_ = ListenUnix(opts_.unix_path, error);
+    if (listen_fd_ < 0) return false;
     bound_unix_ = true;
   } else {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) return fail("socket");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
-    if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
-      if (error != nullptr) *error = "bad listen address " + opts_.host;
-      ::close(listen_fd_);
-      listen_fd_ = -1;
-      return false;
-    }
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      return fail("bind " + opts_.host + ":" + std::to_string(opts_.port));
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                      &len) != 0) {
-      return fail("getsockname");
-    }
-    port_ = ntohs(bound.sin_port);
+    listen_fd_ = ListenTcp(opts_.host, opts_.port, &port_, error);
+    if (listen_fd_ < 0) return false;
   }
-
-  if (::listen(listen_fd_, 64) != 0) return fail("listen");
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }

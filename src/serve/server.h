@@ -9,14 +9,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/net.h"
 #include "common/thread_pool.h"
 #include "serve/batcher.h"
 #include "serve/latency.h"
 #include "serve/registry.h"
 
 namespace cmp {
-
-class LineReader;  // server.cc: buffered newline framing over a socket
 
 /// Daemon configuration.
 struct ServeOptions {

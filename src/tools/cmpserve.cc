@@ -10,12 +10,12 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/net.h"
 #include "serve/server.h"
 
 namespace {
@@ -122,16 +122,9 @@ int main(int argc, char** argv) {
     std::cerr << "cmpserve listening on " << opts.host << ":" << daemon.port()
               << "\n";
   }
-  if (!port_file.empty()) {
-    // Written after listen() so a reader of the file can connect
-    // immediately — this is the race-free startup handshake for
-    // scripts and the e2e tests.
-    std::ofstream pf(port_file, std::ios::trunc);
-    pf << daemon.port() << "\n";
-    if (!pf.good()) {
-      std::cerr << "cannot write " << port_file << "\n";
-      return kExitIo;
-    }
+  if (!port_file.empty() && !cmp::WritePortFile(port_file, daemon.port())) {
+    std::cerr << "cannot write " << port_file << "\n";
+    return kExitIo;
   }
 
   std::signal(SIGINT, OnSignal);

@@ -32,6 +32,7 @@
 #include "common/summary.h"
 #include "cmp/cmp.h"
 #include "datagen/agrawal.h"
+#include "dist/dist.h"
 #include "io/arff.h"
 #include "io/block_source.h"
 #include "io/csv.h"
@@ -86,6 +87,11 @@ int Usage() {
       "                 --no-codes / --no-subtract fall back to the\n"
       "                 record-major scan; --scan-shards overrides the\n"
       "                 auto shard count. Same tree either way.)\n"
+      "                [--workers K] trains with K forked worker\n"
+      "                processes, each scanning one slice of a .cmpt\n"
+      "                table (cmp/cmp-b/cmp-s only; combine with\n"
+      "                 --stream --block B to bound worker memory).\n"
+      "                Same tree bytes as a single-process build.\n"
       "  cmptool eval  --data FILE --tree FILE\n"
       "  cmptool compile --tree FILE[,FILE...] --out FILE.cmpb\n"
       "                (packs text trees into one mmap-able blob for\n"
@@ -187,6 +193,79 @@ int CmdGen(int argc, char** argv) {
   return kExitOk;
 }
 
+// Distributed training: forks K worker processes that each scan one
+// contiguous slice of the .cmpt table and ship per-pass histogram state
+// to this (coordinator) process over a versioned wire protocol. The
+// rank-order merge makes the tree byte-identical to a single-process
+// build for every K (that equality is CI-enforced).
+int CmdTrainDist(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  const std::string out = GetFlag(argc, argv, "--out");
+  const std::string algo = GetFlag(argc, argv, "--algo", "cmp");
+  if (algo != "cmp" && algo != "cmp-b" && algo != "cmp-s") {
+    std::cerr << "--workers supports cmp, cmp-b, cmp-s (got " << algo
+              << ")\n";
+    return kExitBadArgs;
+  }
+  cmp::dist::DistOptions d;
+  d.num_workers = std::atoi(GetFlag(argc, argv, "--workers", "2").c_str());
+  if (d.num_workers < 1) {
+    std::cerr << "--workers must be >= 1\n";
+    return kExitBadArgs;
+  }
+  d.num_threads = std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
+  // Without --stream each worker stages its whole slice as one block
+  // (the in-memory profile); with it, --block bounds worker memory the
+  // same way single-process streaming does.
+  if (HasFlag(argc, argv, "--stream")) {
+    d.block_records =
+        std::atoll(GetFlag(argc, argv, "--block", "65536").c_str());
+    if (d.block_records <= 0) {
+      std::cerr << "--block must be > 0\n";
+      return kExitBadArgs;
+    }
+  }
+  // Unreadable tables are the I/O exit code, same as the streamed
+  // path; DistTrain's exceptions then only mean training failures.
+  if (cmp::TableBlockSource::Open(data, 1) == nullptr) {
+    std::cerr << "failed to open " << data
+              << " (must be a valid .cmpt table)\n";
+    return kExitIo;
+  }
+  cmp::CmpOptions o = algo == "cmp"     ? cmp::CmpFullOptions()
+                      : algo == "cmp-b" ? cmp::CmpBOptions()
+                                        : cmp::CmpSOptions();
+  o.base.prune = !HasFlag(argc, argv, "--no-prune");
+  o.base.num_threads = d.num_threads;
+  o.intervals = std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
+  o.bin_code_cache = !HasFlag(argc, argv, "--no-codes");
+  o.sibling_subtraction = !HasFlag(argc, argv, "--no-subtract");
+  o.scan_shards =
+      std::atoi(GetFlag(argc, argv, "--scan-shards", "0").c_str());
+  const std::string stats_path = GetFlag(argc, argv, "--stats-json");
+  cmp::TrainStatsCollector collector;
+  if (!stats_path.empty()) o.base.observer = &collector;
+  cmp::BuildResult result;
+  try {
+    result = cmp::dist::DistTrain(data, o, d);
+  } catch (const std::exception& e) {
+    std::cerr << "training failed: " << e.what() << "\n";
+    return kExitTrain;
+  }
+  // With --stats-json - the JSON owns stdout; summaries move to stderr.
+  std::ostream& summary = stats_path == "-" ? std::cerr : std::cout;
+  summary << algo << " (distributed, workers=" << d.num_workers
+          << "): " << result.stats.ToString() << "\n";
+  if (!cmp::SaveTree(result.tree, out)) {
+    std::cerr << "failed to write " << out << "\n";
+    return kExitIo;
+  }
+  summary << "tree with " << result.tree.num_nodes() << " nodes saved to "
+          << out << "\n";
+  if (!stats_path.empty()) return WriteStatsJson(collector, stats_path);
+  return kExitOk;
+}
+
 // Out-of-core training: records flow from the .cmpt table through
 // block-pipelined scans instead of being loaded up front. Produces the
 // same tree bytes as the in-memory path (that equality is CI-enforced).
@@ -253,6 +332,7 @@ int CmdTrain(int argc, char** argv) {
   const std::string out = GetFlag(argc, argv, "--out");
   const std::string algo = GetFlag(argc, argv, "--algo", "cmp");
   if (data.empty() || out.empty()) return Usage();
+  if (HasFlag(argc, argv, "--workers")) return CmdTrainDist(argc, argv);
   if (HasFlag(argc, argv, "--stream")) return CmdTrainStreamed(argc, argv);
   cmp::BuilderConfig config;
   config.base.prune = !HasFlag(argc, argv, "--no-prune");

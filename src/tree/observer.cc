@@ -76,7 +76,10 @@ std::string TrainStatsCollector::ToJson() const {
        << ", \"tree_nodes\": " << p.tree_nodes
        << ", \"kernel_seconds\": " << p.kernel_seconds
        << ", \"code_cache_bytes\": " << p.code_cache_bytes
-       << ", \"sibling_subtractions\": " << p.sibling_subtractions << "}"
+       << ", \"sibling_subtractions\": " << p.sibling_subtractions
+       << ", \"workers\": " << p.workers
+       << ", \"wire_bytes_per_pass\": " << p.wire_bytes
+       << ", \"merge_seconds\": " << p.merge_seconds << "}"
        << (i + 1 < passes_.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

@@ -47,6 +47,13 @@ struct PassObservation {
   /// Fresh bundles this pass derived by sibling subtraction
   /// (parent minus scanned sibling) instead of being accumulated.
   int64_t sibling_subtractions = 0;
+  /// Distributed training only (0 otherwise): worker processes that
+  /// scanned this pass, protocol bytes exchanged with them (frames in
+  /// both directions), and wall seconds the coordinator spent merging
+  /// their results in rank order.
+  int64_t workers = 0;
+  int64_t wire_bytes = 0;
+  double merge_seconds = 0.0;
 };
 
 /// Training observability hook. Builders that support it (all library

@@ -1,0 +1,396 @@
+// Wire-protocol robustness: the distributed-training frames must fail
+// cleanly — never crash, never over-allocate, never read out of bounds —
+// on truncated payloads, foreign magic, wrong protocol versions,
+// cross-endian peers and oversized length prefixes. Plus round-trip
+// checks for every structure serializer the coordinator and workers
+// exchange.
+
+#include "io/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmp/bundle.h"
+#include "cmp/frontier.h"
+#include "datagen/agrawal.h"
+#include "hist/grids.h"
+#include "tree/tree.h"
+
+namespace cmp {
+namespace {
+
+using wire::MsgType;
+using wire::WireReader;
+using wire::WireWriter;
+
+// ---------------------------------------------------------------------
+// Frame header validation.
+
+TEST(WireFrame, HeaderRoundTrips) {
+  const std::string header =
+      wire::BuildFrameHeader(MsgType::kPassBegin, 12345);
+  ASSERT_EQ(header.size(), wire::kFrameHeaderBytes);
+  MsgType type;
+  uint64_t length = 0;
+  std::string error;
+  ASSERT_TRUE(wire::ParseFrameHeader(
+      reinterpret_cast<const uint8_t*>(header.data()), &type, &length,
+      &error))
+      << error;
+  EXPECT_EQ(type, MsgType::kPassBegin);
+  EXPECT_EQ(length, 12345u);
+}
+
+TEST(WireFrame, RejectsWrongMagic) {
+  std::string header = wire::BuildFrameHeader(MsgType::kHello, 0);
+  header[0] = 'X';
+  MsgType type;
+  uint64_t length = 0;
+  std::string error;
+  EXPECT_FALSE(wire::ParseFrameHeader(
+      reinterpret_cast<const uint8_t*>(header.data()), &type, &length,
+      &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(WireFrame, RejectsWrongVersion) {
+  std::string header = wire::BuildFrameHeader(MsgType::kHello, 0);
+  const uint32_t bad_version = wire::kVersion + 1;
+  std::memcpy(&header[4], &bad_version, sizeof(bad_version));
+  MsgType type;
+  uint64_t length = 0;
+  std::string error;
+  EXPECT_FALSE(wire::ParseFrameHeader(
+      reinterpret_cast<const uint8_t*>(header.data()), &type, &length,
+      &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(WireFrame, RejectsCrossEndianPeer) {
+  std::string header = wire::BuildFrameHeader(MsgType::kHello, 0);
+  // A byte-swapped probe is exactly what a cross-endian peer would send.
+  std::swap(header[8], header[11]);
+  std::swap(header[9], header[10]);
+  MsgType type;
+  uint64_t length = 0;
+  std::string error;
+  EXPECT_FALSE(wire::ParseFrameHeader(
+      reinterpret_cast<const uint8_t*>(header.data()), &type, &length,
+      &error));
+  EXPECT_NE(error.find("endian"), std::string::npos) << error;
+}
+
+TEST(WireFrame, RejectsOversizedLengthPrefix) {
+  // A corrupt 1-exabyte length must be rejected before any allocation.
+  std::string header =
+      wire::BuildFrameHeader(MsgType::kPassResult, wire::kMaxFrameBytes);
+  const uint64_t huge = 1ull << 60;
+  std::memcpy(&header[16], &huge, sizeof(huge));
+  MsgType type;
+  uint64_t length = 0;
+  std::string error;
+  EXPECT_FALSE(wire::ParseFrameHeader(
+      reinterpret_cast<const uint8_t*>(header.data()), &type, &length,
+      &error));
+  // At exactly the cap it must still parse.
+  header = wire::BuildFrameHeader(MsgType::kPassResult,
+                                  wire::kMaxFrameBytes);
+  EXPECT_TRUE(wire::ParseFrameHeader(
+      reinterpret_cast<const uint8_t*>(header.data()), &type, &length,
+      &error))
+      << error;
+}
+
+// ---------------------------------------------------------------------
+// Primitive reader robustness.
+
+TEST(WireReaderTest, PrimitivesRoundTrip) {
+  WireWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(1ull << 40);
+  w.PutF64(-0.1);
+  w.PutVar(300);
+  w.PutVarSigned(-5);
+  w.PutString("hello");
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.GetU8(), 7);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 1ull << 40);
+  EXPECT_EQ(r.GetF64(), -0.1);
+  EXPECT_EQ(r.GetVar(), 300u);
+  EXPECT_EQ(r.GetVarSigned(), -5);
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s));
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireReaderTest, FailureIsSticky) {
+  WireWriter w;
+  w.PutU32(1);
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.GetU64(), 0u);  // short read
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.GetU32(), 0u);  // stays failed even though 4 bytes exist
+  EXPECT_FALSE(r.AtEnd());
+}
+
+TEST(WireReaderTest, StringLengthIsBoundsChecked) {
+  WireWriter w;
+  w.PutVar(1000);  // claims 1000 bytes...
+  w.PutRaw("abc", 3);  // ...but only 3 follow
+  WireReader r(w.buffer());
+  std::string s;
+  EXPECT_FALSE(r.GetString(&s));
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------
+// Structure serializers, including every-prefix truncation sweeps: no
+// prefix of a valid payload may crash or be accepted as complete.
+
+class WireStructTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AgrawalOptions gen;
+    gen.function = AgrawalFunction::kF2;
+    gen.num_records = 500;
+    gen.seed = 99;
+    ds_ = GenerateAgrawal(gen);
+    grids_ = ComputeEqualDepthGrids(ds_, 10, nullptr);
+  }
+
+  Dataset ds_;
+  std::vector<IntervalGrid> grids_;
+};
+
+TEST_F(WireStructTest, SplitRoundTrips) {
+  const Split splits[] = {
+      Split::Numeric(2, 65000.5),
+      Split::Categorical(1, {1, 0, 1, 1, 0}),
+      Split::Linear(0, 3, 1.5, -2.5, 42.0),
+  };
+  for (const Split& s : splits) {
+    WireWriter w;
+    wire::WriteSplit(&w, s);
+    WireReader r(w.buffer());
+    Split back;
+    ASSERT_TRUE(wire::ReadSplit(&r, &back));
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(back.kind, s.kind);
+    EXPECT_EQ(back.attr, s.attr);
+    EXPECT_EQ(back.threshold, s.threshold);
+    EXPECT_EQ(back.attr2, s.attr2);
+    EXPECT_EQ(back.a, s.a);
+    EXPECT_EQ(back.b, s.b);
+    EXPECT_EQ(back.c, s.c);
+    EXPECT_EQ(back.left_subset, s.left_subset);
+  }
+}
+
+TEST_F(WireStructTest, TreeRoundTripsInRoutingForm) {
+  DecisionTree tree(ds_.schema());
+  TreeNode root;
+  root.is_leaf = false;
+  root.split = Split::Numeric(2, 50000);
+  root.left = 1;
+  root.right = 2;
+  tree.AddNode(root);
+  TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.leaf_class = 0;
+  tree.AddNode(leaf);
+  TreeNode inner;
+  inner.is_leaf = false;
+  inner.split = Split::Categorical(1, {0, 1, 1});
+  inner.left = 3;
+  inner.right = 4;
+  tree.AddNode(inner);
+  leaf.leaf_class = 1;
+  tree.AddNode(leaf);
+  tree.AddNode(leaf);
+
+  WireWriter w;
+  wire::WriteTree(&w, tree);
+  WireReader r(w.buffer());
+  DecisionTree back(ds_.schema());
+  ASSERT_TRUE(wire::ReadTree(&r, &back));
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(back.num_nodes(), tree.num_nodes());
+  for (NodeId id = 0; id < tree.num_nodes(); ++id) {
+    EXPECT_EQ(back.node(id).is_leaf, tree.node(id).is_leaf) << id;
+    EXPECT_EQ(back.node(id).left, tree.node(id).left) << id;
+    EXPECT_EQ(back.node(id).right, tree.node(id).right) << id;
+    if (!tree.node(id).is_leaf) {
+      EXPECT_EQ(back.node(id).split.kind, tree.node(id).split.kind) << id;
+      EXPECT_EQ(back.node(id).split.attr, tree.node(id).split.attr) << id;
+    }
+  }
+}
+
+TEST_F(WireStructTest, GridsRoundTrip) {
+  WireWriter w;
+  wire::WriteGrids(&w, ds_.schema(), grids_);
+  WireReader r(w.buffer());
+  std::vector<IntervalGrid> back;
+  ASSERT_TRUE(wire::ReadGrids(&r, ds_.schema(), &back));
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(back.size(), grids_.size());
+  for (AttrId a = 0; a < ds_.schema().num_attrs(); ++a) {
+    if (!ds_.schema().is_numeric(a)) continue;
+    ASSERT_EQ(back[a].num_intervals(), grids_[a].num_intervals()) << a;
+    // Boundaries must be bit-exact: workers bin against them.
+    for (RecordId rec = 0; rec < ds_.num_records(); ++rec) {
+      ASSERT_EQ(back[a].IntervalOf(ds_.numeric(a, rec)),
+                grids_[a].IntervalOf(ds_.numeric(a, rec)));
+    }
+  }
+}
+
+TEST_F(WireStructTest, BundleShapeAndCountsRoundTripAndMerge) {
+  const AttrId x = 2;  // numeric in the Agrawal schema
+  HistBundle bundle = HistBundle::MakeBivariate(
+      ds_.schema(), grids_, x, 0, grids_[x].num_intervals());
+  for (RecordId rec = 0; rec < ds_.num_records(); ++rec) {
+    bundle.Add(ds_, grids_, rec);
+  }
+
+  WireWriter w;
+  wire::WriteBundleShape(&w, bundle);
+  wire::WriteBundleCounts(&w, bundle);
+  WireReader r(w.buffer());
+  HistBundle back;
+  ASSERT_TRUE(wire::ReadBundleShape(&r, ds_.schema(), grids_, &back));
+  EXPECT_EQ(back.bivariate(), bundle.bivariate());
+  EXPECT_EQ(back.x_attr(), bundle.x_attr());
+  EXPECT_EQ(back.x_lo(), bundle.x_lo());
+  EXPECT_EQ(back.x_hi(), bundle.x_hi());
+  ASSERT_TRUE(wire::ReadBundleCountsInto(&r, &back));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.ClassTotals(), bundle.ClassTotals());
+
+  // ReadBundleCountsInto is the wire MergeSameShape: reading the same
+  // counts again must double every cell.
+  WireReader again(w.buffer());
+  HistBundle merged;
+  ASSERT_TRUE(wire::ReadBundleShape(&again, ds_.schema(), grids_, &merged));
+  ASSERT_TRUE(wire::ReadBundleCountsInto(&again, &merged));
+  WireReader counts_only(w.buffer());
+  {
+    HistBundle scratch;
+    ASSERT_TRUE(wire::ReadBundleShape(&counts_only, ds_.schema(), grids_,
+                                      &scratch));
+  }
+  ASSERT_TRUE(wire::ReadBundleCountsInto(&counts_only, &merged));
+  std::vector<int64_t> doubled = bundle.ClassTotals();
+  for (int64_t& v : doubled) v *= 2;
+  EXPECT_EQ(merged.ClassTotals(), doubled);
+}
+
+TEST_F(WireStructTest, PendingSkeletonAndStateRoundTrip) {
+  // A two-alive-interval pending with grow segments and a buffered
+  // record, the shape the planner emits for a CMP numeric split.
+  Pending p;
+  p.attr = 2;
+  p.alive = {3, 6};
+  p.segments.resize(3);
+  const int nc = ds_.schema().num_classes();
+  const int edges[] = {0, 3, 6, grids_[2].num_intervals()};
+  for (int s = 0; s < 3; ++s) {
+    p.segments[s].counts.assign(nc, 0);
+    p.segments[s].range_lo = edges[s];
+    p.segments[s].range_hi = edges[s + 1];
+    p.segments[s].plan = PlanKind::kGrow;
+    p.segments[s].bundle = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+    p.segments[s].bundle_fresh = true;
+  }
+  WireWriter skel;
+  wire::WritePendingSkeleton(&skel, p);
+  WireReader r(skel.buffer());
+  std::unique_ptr<Pending> back;
+  ASSERT_TRUE(wire::ReadPendingSkeleton(&r, ds_.schema(), grids_, nc,
+                                        &back));
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->attr, p.attr);
+  EXPECT_EQ(back->alive, p.alive);
+  ASSERT_EQ(back->segments.size(), p.segments.size());
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(back->segments[s].range_lo, p.segments[s].range_lo);
+    EXPECT_EQ(back->segments[s].range_hi, p.segments[s].range_hi);
+    EXPECT_EQ(back->segments[s].plan, p.segments[s].plan);
+  }
+
+  // Accumulate state into the reconstructed pending, ship it, and merge
+  // it into the original with a rid rebase.
+  back->buffer.push_back(BufferedRecord{/*rid=*/7, /*value=*/41.5,
+                                        /*label=*/1});
+  back->segments[1].counts[0] = 5;
+  WireWriter state;
+  wire::WritePendingState(&state, *back);
+  WireReader sr(state.buffer());
+  ASSERT_TRUE(wire::ReadPendingStateInto(&sr, &p, /*rid_base=*/1000));
+  EXPECT_TRUE(sr.AtEnd());
+  ASSERT_EQ(p.buffer.size(), 1u);
+  EXPECT_EQ(p.buffer[0].rid, 1007);  // 7 + rid_base
+  EXPECT_EQ(p.buffer[0].value, 41.5);
+  EXPECT_EQ(p.segments[1].counts[0], 5);
+}
+
+// Every strict prefix of a valid payload must be rejected without
+// crashing — the "worker died mid-frame" byte streams.
+TEST_F(WireStructTest, EveryPrefixTruncationFailsCleanly) {
+  WireWriter w;
+  wire::WriteGrids(&w, ds_.schema(), grids_);
+  const Split split = Split::Categorical(1, {1, 0, 1});
+  wire::WriteSplit(&w, split);
+  HistBundle bundle = HistBundle::MakeUnivariate(ds_.schema(), grids_);
+  for (RecordId rec = 0; rec < 100; ++rec) bundle.Add(ds_, grids_, rec);
+  wire::WriteBundleShape(&w, bundle);
+  wire::WriteBundleCounts(&w, bundle);
+  const std::string& full = w.buffer();
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WireReader r(full.data(), cut);
+    std::vector<IntervalGrid> grids_back;
+    Split split_back;
+    HistBundle bundle_back;
+    const bool all =
+        wire::ReadGrids(&r, ds_.schema(), &grids_back) &&
+        wire::ReadSplit(&r, &split_back) &&
+        wire::ReadBundleShape(&r, ds_.schema(), grids_, &bundle_back) &&
+        wire::ReadBundleCountsInto(&r, &bundle_back) && r.AtEnd();
+    EXPECT_FALSE(all) << "prefix of " << cut << " bytes parsed as complete";
+  }
+
+  // The untruncated payload parses, so the sweep above proves rejection
+  // comes from the truncation, not from a broken serializer.
+  WireReader r(full);
+  std::vector<IntervalGrid> grids_back;
+  Split split_back;
+  HistBundle bundle_back;
+  ASSERT_TRUE(wire::ReadGrids(&r, ds_.schema(), &grids_back));
+  ASSERT_TRUE(wire::ReadSplit(&r, &split_back));
+  ASSERT_TRUE(wire::ReadBundleShape(&r, ds_.schema(), grids_, &bundle_back));
+  ASSERT_TRUE(wire::ReadBundleCountsInto(&r, &bundle_back));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// Corrupt counts must not trigger runaway allocations: a tree claiming
+// 2^40 nodes has to fail on bounds, not bad_alloc.
+TEST_F(WireStructTest, HugeCountsAreRejectedWithoutAllocating) {
+  WireWriter w;
+  w.PutVar(1ull << 40);  // node count
+  WireReader r(w.buffer());
+  DecisionTree tree(ds_.schema());
+  EXPECT_FALSE(wire::ReadTree(&r, &tree));
+  EXPECT_LE(tree.num_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace cmp
