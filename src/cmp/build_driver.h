@@ -17,6 +17,7 @@
 #include "common/class_counts.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "hist/grid_builder.h"
 #include "hist/grids.h"
 #include "io/scan.h"
 #include "pruning/mdl.h"
@@ -109,9 +110,13 @@ class CmpBuild {
 
 // Discretization pass: one column read and ONE sort per numeric
 // attribute serve both the quantile grid and the interior-splittable
-// marks. Grids depend only on the sorted value multiset, so the
-// streamed and in-memory builds produce identical grids — the first
-// link of the streamed-equals-in-memory determinism argument.
+// marks, behind the AttrGridBuilder seam (hist/grid_builder.h). The
+// batch driver always uses the exact full-sort builder: grids depend
+// only on the sorted value multiset, so the streamed and in-memory
+// builds produce identical grids — the first link of the
+// streamed-equals-in-memory determinism argument. (The sketch builder
+// behind the same seam powers the cmp-stream trainer, which has its
+// own driver in src/stream/.)
 template <class Store>
 void CmpBuild<Store>::BuildGrids(int64_t n) {
   tracker_.ChargeScan(n, schema_);
@@ -122,34 +127,19 @@ void CmpBuild<Store>::BuildGrids(int64_t n) {
     if (!source_.ReadNumericColumn(a, &column)) {
       throw std::runtime_error("cmp: failed to read numeric column");
     }
-    // When the bin-code cache is on, the same column read feeds both the
-    // grid build (sorted copy) and the code encoding (record order) —
-    // no extra pass over the data.
-    std::vector<double> sorted;
+    ExactAttrGridBuilder builder;
     if (codes_.enabled()) {
-      sorted = column;
+      // When the bin-code cache is on, the same column read feeds both
+      // the grid build (sorted copy) and the code encoding (record
+      // order) — no extra pass over the data.
+      builder.Add(column.data(), static_cast<int64_t>(column.size()));
     } else {
-      sorted = std::move(column);
+      builder.AddOwned(std::move(column));
     }
-    std::sort(sorted.begin(), sorted.end());
-    grids_[a] =
-        options_.discretization == Discretization::kEqualDepth
-            ? IntervalGrid::EqualDepthFromSorted(sorted, options_.intervals)
-            : IntervalGrid::EqualWidthFromSorted(sorted, options_.intervals);
-    interior_[a].assign(grids_[a].num_intervals(), 0);
-    const std::vector<double>& cuts = grids_[a].boundaries();
-    size_t bi = 0;
-    double first_in_interval = sorted.empty() ? 0.0 : sorted[0];
-    size_t interval_start_bi = 0;
-    for (double v : sorted) {
-      while (bi < cuts.size() && v > cuts[bi]) ++bi;
-      if (bi != interval_start_bi) {
-        interval_start_bi = bi;
-        first_in_interval = v;
-      } else if (v != first_in_interval) {
-        interior_[a][bi] = 1;
-      }
-    }
+    AttrGridResult built =
+        builder.Finish(options_.intervals, options_.discretization);
+    grids_[a] = std::move(built.grid);
+    interior_[a] = std::move(built.interior);
     if (codes_.enabled()) {
       codes_.EncodeNumericColumn(a, grids_[a], column);
     }

@@ -116,6 +116,44 @@ ClassId AgrawalGroundTruth(AgrawalFunction function, double salary,
   return kGroupB;
 }
 
+ClassId DrawAgrawalRecord(AgrawalFunction function, double perturbation,
+                          Rng& rng, std::vector<double>* nvals,
+                          std::vector<int32_t>* cvals) {
+  const double salary = rng.Uniform(20000.0, 150000.0);
+  const double commission =
+      salary >= 75000.0 ? 0.0 : rng.Uniform(10000.0, 75000.0);
+  const double age = rng.Uniform(20.0, 80.0);
+  const int32_t elevel = static_cast<int32_t>(rng.UniformInt(0, 4));
+  const int32_t car = static_cast<int32_t>(rng.UniformInt(0, 19));
+  const int32_t zipcode = static_cast<int32_t>(rng.UniformInt(0, 8));
+  const double k = static_cast<double>(9 - zipcode);
+  const double hvalue = rng.Uniform(0.5 * k, 1.5 * k) * 100000.0;
+  const double hyears = rng.Uniform(1.0, 30.0);
+  const double loan = rng.Uniform(0.0, 500000.0);
+
+  const ClassId label = AgrawalGroundTruth(function, salary, commission, age,
+                                           elevel, car, zipcode, hvalue,
+                                           hyears, loan);
+
+  auto perturb = [&](double v, double lo, double hi) {
+    if (perturbation <= 0.0) return v;
+    const double range = hi - lo;
+    const double p = perturbation;
+    return std::clamp(v + rng.Uniform(-p, p) * range, lo, hi);
+  };
+  (*nvals)[0] = perturb(salary, 20000.0, 150000.0);
+  (*nvals)[1] =
+      commission == 0.0 ? 0.0 : perturb(commission, 10000.0, 75000.0);
+  (*nvals)[2] = perturb(age, 20.0, 80.0);
+  (*nvals)[3] = perturb(hvalue, 0.0, 1350000.0);
+  (*nvals)[4] = perturb(hyears, 1.0, 30.0);
+  (*nvals)[5] = perturb(loan, 0.0, 500000.0);
+  (*cvals)[0] = elevel;
+  (*cvals)[1] = car;
+  (*cvals)[2] = zipcode;
+  return label;
+}
+
 Dataset GenerateAgrawal(const AgrawalOptions& options) {
   Dataset ds(AgrawalSchema());
   ds.Reserve(options.num_records);
@@ -124,37 +162,9 @@ Dataset GenerateAgrawal(const AgrawalOptions& options) {
   std::vector<double> nvals(6);
   std::vector<int32_t> cvals(3);
   for (int64_t i = 0; i < options.num_records; ++i) {
-    const double salary = rng.Uniform(20000.0, 150000.0);
-    const double commission =
-        salary >= 75000.0 ? 0.0 : rng.Uniform(10000.0, 75000.0);
-    const double age = rng.Uniform(20.0, 80.0);
-    const int32_t elevel = static_cast<int32_t>(rng.UniformInt(0, 4));
-    const int32_t car = static_cast<int32_t>(rng.UniformInt(0, 19));
-    const int32_t zipcode = static_cast<int32_t>(rng.UniformInt(0, 8));
-    const double k = static_cast<double>(9 - zipcode);
-    const double hvalue = rng.Uniform(0.5 * k, 1.5 * k) * 100000.0;
-    const double hyears = rng.Uniform(1.0, 30.0);
-    const double loan = rng.Uniform(0.0, 500000.0);
-
-    const ClassId label =
-        AgrawalGroundTruth(options.function, salary, commission, age, elevel,
-                           car, zipcode, hvalue, hyears, loan);
-
-    auto perturb = [&](double v, double lo, double hi) {
-      if (options.perturbation <= 0.0) return v;
-      const double range = hi - lo;
-      const double p = options.perturbation;
-      return std::clamp(v + rng.Uniform(-p, p) * range, lo, hi);
-    };
-    nvals[0] = perturb(salary, 20000.0, 150000.0);
-    nvals[1] = commission == 0.0 ? 0.0 : perturb(commission, 10000.0, 75000.0);
-    nvals[2] = perturb(age, 20.0, 80.0);
-    nvals[3] = perturb(hvalue, 0.0, 1350000.0);
-    nvals[4] = perturb(hyears, 1.0, 30.0);
-    nvals[5] = perturb(loan, 0.0, 500000.0);
-    cvals[0] = elevel;
-    cvals[1] = car;
-    cvals[2] = zipcode;
+    const ClassId label = DrawAgrawalRecord(options.function,
+                                            options.perturbation, rng, &nvals,
+                                            &cvals);
     ds.Append(nvals, cvals, label);
   }
   return ds;

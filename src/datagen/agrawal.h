@@ -63,6 +63,17 @@ Schema AgrawalSchema();
 /// Generates a dataset according to `options`.
 Dataset GenerateAgrawal(const AgrawalOptions& options);
 
+/// Draws one applicant from `rng`, labels it with `function`, applies
+/// `perturbation` noise, and writes the record in schema order
+/// (`nvals` sized 6, `cvals` sized 3). The single record-draw shared by
+/// GenerateAgrawal and the drifting generator (datagen/drift.h):
+/// identical RNG call order, so the stationary generator's output is
+/// unchanged and a drifting stream differs from the stationary one only
+/// in the labels after the shift point.
+ClassId DrawAgrawalRecord(AgrawalFunction function, double perturbation,
+                          Rng& rng, std::vector<double>* nvals,
+                          std::vector<int32_t>* cvals);
+
 /// The ground-truth group for one applicant; exposed so tests can verify
 /// both the generator and trained trees against the true concept.
 /// `elevel` in [0,4], `car` in [0,19], `zipcode` in [0,8].

@@ -1,0 +1,24 @@
+#include "datagen/drift.h"
+
+#include "common/random.h"
+
+namespace cmp {
+
+Dataset GenerateDriftingAgrawal(const DriftOptions& options) {
+  Dataset ds(AgrawalSchema());
+  ds.Reserve(options.num_records);
+  Rng rng(options.seed);
+
+  std::vector<double> nvals(6);
+  std::vector<int32_t> cvals(3);
+  for (int64_t i = 0; i < options.num_records; ++i) {
+    const AgrawalFunction active =
+        i < options.drift_at ? options.before : options.after;
+    const ClassId label = DrawAgrawalRecord(active, options.perturbation,
+                                            rng, &nvals, &cvals);
+    ds.Append(nvals, cvals, label);
+  }
+  return ds;
+}
+
+}  // namespace cmp

@@ -1,0 +1,41 @@
+#ifndef CMP_DATAGEN_DRIFT_H_
+#define CMP_DATAGEN_DRIFT_H_
+
+#include <cstdint>
+
+#include "common/dataset.h"
+#include "datagen/agrawal.h"
+
+namespace cmp {
+
+/// A non-stationary variant of the Agrawal generator: the covariate
+/// distributions never change, but the labeling concept switches from
+/// `before` to `after` at record index `drift_at` (0-based; records
+/// [0, drift_at) use `before`, records [drift_at, num_records) use
+/// `after`). This is the classic "sudden drift" workload used to
+/// exercise incremental refit: a tree trained on the prefix mispredicts
+/// the suffix exactly where the two concepts disagree, and regrowing
+/// the affected leaves recovers accuracy without retraining the
+/// interior.
+///
+/// Records are drawn with the same RNG call sequence as
+/// GenerateAgrawal, so for equal (seed, perturbation) the attribute
+/// values of record i are identical to the stationary stream's — only
+/// labels after `drift_at` may differ.
+struct DriftOptions {
+  AgrawalFunction before = AgrawalFunction::kF2;
+  AgrawalFunction after = AgrawalFunction::kF7;
+  /// First record index labeled by `after`. Values <= 0 mean the whole
+  /// stream uses `after`; values >= num_records mean it never drifts.
+  int64_t drift_at = 50000;
+  int64_t num_records = 100000;
+  uint64_t seed = 42;
+  double perturbation = 0.0;
+};
+
+/// Generates a drifting dataset according to `options`.
+Dataset GenerateDriftingAgrawal(const DriftOptions& options);
+
+}  // namespace cmp
+
+#endif  // CMP_DATAGEN_DRIFT_H_

@@ -1,0 +1,108 @@
+#include "hist/grid_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cmp {
+
+void AttrGridBuilder::AddOwned(std::vector<double>&& values) {
+  Add(values.data(), static_cast<int64_t>(values.size()));
+}
+
+std::vector<char> InteriorMarksFromSorted(const std::vector<double>& sorted,
+                                          const IntervalGrid& grid) {
+  std::vector<char> interior(grid.num_intervals(), 0);
+  const std::vector<double>& cuts = grid.boundaries();
+  size_t bi = 0;
+  double first_in_interval = sorted.empty() ? 0.0 : sorted[0];
+  size_t interval_start_bi = 0;
+  for (double v : sorted) {
+    while (bi < cuts.size() && v > cuts[bi]) ++bi;
+    if (bi != interval_start_bi) {
+      interval_start_bi = bi;
+      first_in_interval = v;
+    } else if (v != first_in_interval) {
+      interior[bi] = 1;
+    }
+  }
+  return interior;
+}
+
+void ExactAttrGridBuilder::Add(const double* values, int64_t n) {
+  values_.insert(values_.end(), values, values + n);
+}
+
+void ExactAttrGridBuilder::AddOwned(std::vector<double>&& values) {
+  if (values_.empty()) {
+    values_ = std::move(values);
+  } else {
+    Add(values.data(), static_cast<int64_t>(values.size()));
+  }
+}
+
+void ExactAttrGridBuilder::MergeFrom(AttrGridBuilder& other) {
+  auto& src = static_cast<ExactAttrGridBuilder&>(other);
+  AddOwned(std::move(src.values_));
+  src.values_.clear();
+}
+
+AttrGridResult ExactAttrGridBuilder::Finish(int q, Discretization kind) {
+  std::sort(values_.begin(), values_.end());
+  AttrGridResult result;
+  result.grid = kind == Discretization::kEqualDepth
+                    ? IntervalGrid::EqualDepthFromSorted(values_, q)
+                    : IntervalGrid::EqualWidthFromSorted(values_, q);
+  result.interior = InteriorMarksFromSorted(values_, result.grid);
+  return result;
+}
+
+int64_t ExactAttrGridBuilder::MemoryBytes() const {
+  return static_cast<int64_t>(sizeof(*this)) +
+         static_cast<int64_t>(values_.capacity()) * sizeof(double);
+}
+
+void SketchAttrGridBuilder::Add(const double* values, int64_t n) {
+  sketch_.AddN(values, n);
+}
+
+void SketchAttrGridBuilder::MergeFrom(AttrGridBuilder& other) {
+  auto& src = static_cast<SketchAttrGridBuilder&>(other);
+  sketch_.Merge(src.sketch_);
+}
+
+AttrGridResult SketchAttrGridBuilder::Finish(int q, Discretization kind) {
+  AttrGridResult result;
+  if (sketch_.empty()) return result;
+  if (kind == Discretization::kEqualDepth) {
+    result.grid = sketch_.ToEqualDepthGrid(q);
+  } else {
+    // Equal width needs only exact min/max, which the sketch tracks.
+    std::vector<double> extremes = {sketch_.min_value(), sketch_.max_value()};
+    result.grid = IntervalGrid::EqualWidthFromSorted(extremes, q);
+  }
+  // Mark intervals where the summary retains two distinct values: every
+  // retained value is real data, so these intervals truly are
+  // splittable. Sparse intervals may be missed, which only costs split
+  // candidates, never correctness.
+  std::vector<double> kept;
+  for (const std::vector<double>& level : sketch_.levels()) {
+    kept.insert(kept.end(), level.begin(), level.end());
+  }
+  std::sort(kept.begin(), kept.end());
+  result.interior = InteriorMarksFromSorted(kept, result.grid);
+  return result;
+}
+
+int64_t SketchAttrGridBuilder::MemoryBytes() const {
+  return sketch_.MemoryBytes();
+}
+
+std::unique_ptr<AttrGridBuilder> MakeAttrGridBuilder(GridMethod method,
+                                                     int sketch_capacity) {
+  if (method == GridMethod::kSketch) {
+    return std::make_unique<SketchAttrGridBuilder>(sketch_capacity);
+  }
+  return std::make_unique<ExactAttrGridBuilder>();
+}
+
+}  // namespace cmp

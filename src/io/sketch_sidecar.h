@@ -1,0 +1,79 @@
+#ifndef CMP_IO_SKETCH_SIDECAR_H_
+#define CMP_IO_SKETCH_SIDECAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/types.h"
+#include "hist/sketch.h"
+
+namespace cmp {
+
+/// Per-leaf training state the streaming builder (src/stream/) persists
+/// next to the tree so `cmptool refit` can later extend the model
+/// without the original data: the leaf's class counts, one quantile
+/// sketch per (class, numeric attribute), and exact per-class count
+/// tables for the categorical attributes. Merging these with the same
+/// statistics gathered from fresh records reconstructs exactly the
+/// state the streaming builder would hold at that node, which is what
+/// lets refit regrow a drifted leaf as if training had never stopped.
+struct LeafSketchState {
+  NodeId node = kInvalidNode;
+  /// Records per class routed to this leaf (size num_classes).
+  std::vector<int64_t> class_counts;
+  /// Class-major: sketches[c * num_numeric + j] summarizes the values of
+  /// the j-th numeric attribute (ascending AttrId order) over the leaf's
+  /// class-c records. Size num_classes * num_numeric.
+  std::vector<QuantileSketch> sketches;
+  /// Per categorical attribute (ascending AttrId order): a flat
+  /// cardinality x num_classes count table, value-major.
+  std::vector<std::vector<int64_t>> cat_counts;
+};
+
+/// The `.cmps` sketch sidecar: everything `cmptool refit` needs beyond
+/// the serialized tree itself. Carries a schema signature so a sidecar
+/// is rejected when paired with a tree or dataset it was not trained
+/// with.
+struct SketchSidecar {
+  /// Per-level sketch capacity k the builder ran with (refit continues
+  /// with the same capacity so merged sketches stay comparable).
+  int sketch_capacity = QuantileSketch::kDefaultCapacity;
+  /// Grid resolution (intervals per attribute) the builder ran with.
+  int intervals = 100;
+  /// Total records the model has seen across train + all refits.
+  int64_t records_seen = 0;
+
+  // Schema signature (validated against the refit dataset's schema).
+  int num_classes = 0;
+  std::vector<uint8_t> attr_is_numeric;   // one per attribute
+  std::vector<int32_t> attr_cardinality;  // one per attribute; 0 = numeric
+
+  std::vector<LeafSketchState> leaves;
+
+  /// Fills the signature fields from `schema`.
+  void SetSchema(const Schema& schema);
+  /// True when the signature matches `schema` exactly.
+  bool MatchesSchema(const Schema& schema) const;
+};
+
+/// Serializes to the `.cmps` byte image: magic "CMPS", u32 version,
+/// u32 endianness probe (0x01020304), then the varint-packed payload.
+std::vector<uint8_t> SerializeSketchSidecar(const SketchSidecar& sidecar);
+
+/// Parses a `.cmps` image. False with *error on bad magic/version/
+/// endianness, truncation, or internally inconsistent sketch state —
+/// every count is bounds-checked before allocation, so corrupt input
+/// fails clean rather than over-allocating or reading out of bounds.
+bool ParseSketchSidecar(const std::vector<uint8_t>& bytes,
+                        SketchSidecar* sidecar, std::string* error);
+
+bool SaveSketchSidecar(const SketchSidecar& sidecar, const std::string& path,
+                       std::string* error);
+bool LoadSketchSidecar(const std::string& path, SketchSidecar* sidecar,
+                       std::string* error);
+
+}  // namespace cmp
+
+#endif  // CMP_IO_SKETCH_SIDECAR_H_

@@ -1,0 +1,547 @@
+#include "stream/grower.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/class_counts.h"
+#include "common/timer.h"
+#include "exact/exact.h"
+#include "gini/categorical.h"
+#include "gini/gini.h"
+#include "hist/histogram1d.h"
+
+namespace cmp {
+
+namespace {
+
+/// Record-store adapter over one BlockView so Split::RoutesLeft can
+/// descend the tree on streamed records.
+struct ViewAdapter {
+  const BlockView* view;
+  double numeric(AttrId a, int64_t i) const { return view->numeric[a][i]; }
+  int32_t categorical(AttrId a, int64_t i) const {
+    return view->categorical[a][i];
+  }
+};
+
+}  // namespace
+
+void InitLeafState(const Schema& schema, int sketch_capacity,
+                   LeafSketchState* state) {
+  const int nc = schema.num_classes();
+  const std::vector<AttrId> numeric = schema.NumericAttrs();
+  const std::vector<AttrId> categorical = schema.CategoricalAttrs();
+  state->class_counts.assign(nc, 0);
+  state->sketches.assign(static_cast<size_t>(nc) * numeric.size(),
+                         QuantileSketch(sketch_capacity));
+  state->cat_counts.resize(categorical.size());
+  for (size_t t = 0; t < categorical.size(); ++t) {
+    state->cat_counts[t].assign(
+        static_cast<size_t>(schema.attr(categorical[t]).cardinality) * nc, 0);
+  }
+}
+
+void MergeLeafState(const LeafSketchState& src, LeafSketchState* dst) {
+  for (size_t c = 0; c < src.class_counts.size(); ++c) {
+    dst->class_counts[c] += src.class_counts[c];
+  }
+  for (size_t s = 0; s < src.sketches.size(); ++s) {
+    dst->sketches[s].Merge(src.sketches[s]);
+  }
+  for (size_t t = 0; t < src.cat_counts.size(); ++t) {
+    for (size_t i = 0; i < src.cat_counts[t].size(); ++i) {
+      dst->cat_counts[t][i] += src.cat_counts[t][i];
+    }
+  }
+}
+
+int64_t LeafStateSketchBytes(const LeafSketchState& state) {
+  int64_t bytes = 0;
+  for (const QuantileSketch& s : state.sketches) bytes += s.MemoryBytes();
+  return bytes;
+}
+
+int64_t LeafStateMemoryBytes(const LeafSketchState& state) {
+  int64_t bytes = LeafStateSketchBytes(state);
+  bytes += static_cast<int64_t>(state.class_counts.capacity()) *
+           sizeof(int64_t);
+  for (const std::vector<int64_t>& table : state.cat_counts) {
+    bytes += static_cast<int64_t>(table.capacity()) * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+StreamGrower::StreamGrower(const Schema& schema, const StreamOptions& options,
+                           DecisionTree* tree, ScanTracker* tracker,
+                           TrainObserver* observer, ThreadPool* pool)
+    : schema_(schema),
+      options_(options),
+      tree_(tree),
+      tracker_(tracker),
+      observer_(observer),
+      pool_(pool),
+      numeric_attrs_(schema.NumericAttrs()),
+      categorical_attrs_(schema.CategoricalAttrs()) {
+  kind_index_.assign(schema.num_attrs(), 0);
+  for (size_t j = 0; j < numeric_attrs_.size(); ++j) {
+    kind_index_[numeric_attrs_[j]] = static_cast<int>(j);
+  }
+  for (size_t t = 0; t < categorical_attrs_.size(); ++t) {
+    kind_index_[categorical_attrs_[t]] = static_cast<int>(t);
+  }
+}
+
+void StreamGrower::AddTrainRoot(NodeId node, int64_t expected_records) {
+  FrontierNode fn;
+  fn.node = node;
+  const int64_t threshold = options_.base.in_memory_threshold;
+  fn.mode = (threshold > 0 && expected_records <= threshold) ? Mode::kCollect
+                                                             : Mode::kGrow;
+  if (fn.mode == Mode::kGrow) {
+    InitLeafState(schema_, options_.sketch_capacity, &fn.stats);
+  }
+  frontier_.emplace(node, std::move(fn));
+}
+
+void StreamGrower::AddRefitRoot(NodeId node, LeafSketchState merged,
+                                const std::vector<int64_t>& new_counts) {
+  int64_t new_records = 0;
+  for (int64_t c : new_counts) new_records += c;
+  const int64_t threshold = options_.base.in_memory_threshold;
+  if (threshold > 0 && new_records <= threshold) {
+    // Few new records: buffer them next pass and finish exactly. The
+    // old class mass still seeds the node so its distribution keeps the
+    // leaf's full history (the new records are counted exactly when the
+    // buffer is finished).
+    FrontierNode fn;
+    fn.node = node;
+    fn.mode = Mode::kCollect;
+    fn.seed_counts = merged.class_counts;
+    for (size_t c = 0; c < new_counts.size(); ++c) {
+      fn.seed_counts[c] -= new_counts[c];
+    }
+    frontier_.emplace(node, std::move(fn));
+  } else {
+    // Enough new data to stream: the merged state stands in for a
+    // completed accumulation pass, so the first split is decided
+    // immediately (PlanSeededRoots) and only the descendants scan.
+    FrontierNode fn;
+    fn.node = node;
+    fn.mode = Mode::kGrow;
+    fn.stats = std::move(merged);
+    frontier_.emplace(node, std::move(fn));
+    seeded_roots_.push_back(node);
+  }
+}
+
+StreamGrower::SplitDecision StreamGrower::DecideSplit(
+    const LeafSketchState& stats, int depth) const {
+  SplitDecision out;
+  const std::vector<int64_t>& totals = stats.class_counts;
+  const int nc = schema_.num_classes();
+  int64_t total = 0;
+  for (int64_t c : totals) total += c;
+  if (depth >= options_.base.max_depth ||
+      total < options_.base.min_split_records) {
+    return out;
+  }
+  const double node_gini = Gini(totals);
+  if (node_gini <= 0.0) return out;  // pure
+
+  const size_t nn = numeric_attrs_.size();
+  double best_gini = node_gini;
+  // Ascending attribute order; within a numeric attribute ascending
+  // boundary order; strict improvement only. Everything here is a pure
+  // function of deterministic sketch state, so the chosen split is
+  // reproducible across thread counts and reruns.
+  std::vector<int64_t> prefix;
+  std::vector<double> ginis;
+  for (AttrId a = 0; a < schema_.num_attrs(); ++a) {
+    if (schema_.is_numeric(a)) {
+      const size_t j = static_cast<size_t>(kind_index_[a]);
+      QuantileSketch combined(options_.sketch_capacity);
+      for (int c = 0; c < nc; ++c) {
+        combined.Merge(stats.sketches[static_cast<size_t>(c) * nn + j]);
+      }
+      if (combined.empty() || combined.min_value() == combined.max_value()) {
+        continue;
+      }
+      const IntervalGrid grid = combined.ToEqualDepthGrid(options_.intervals);
+      const std::vector<double>& cuts = grid.boundaries();
+      if (cuts.empty()) continue;
+      const int nb = static_cast<int>(cuts.size());
+      prefix.assign(static_cast<size_t>(nb) * nc, 0);
+      for (int c = 0; c < nc; ++c) {
+        const QuantileSketch& s =
+            stats.sketches[static_cast<size_t>(c) * nn + j];
+        for (int b = 0; b < nb; ++b) {
+          prefix[static_cast<size_t>(b) * nc + c] =
+              s.EstimatedRankAtMost(cuts[b]);
+        }
+      }
+      ginis.assign(nb, 1.0);
+      ScanBoundaryGinis(prefix.data(), nb, nc, totals.data(), ginis.data());
+      for (int b = 0; b < nb; ++b) {
+        const int64_t* row = prefix.data() + static_cast<size_t>(b) * nc;
+        int64_t left_total = 0;
+        for (int c = 0; c < nc; ++c) left_total += row[c];
+        if (left_total <= 0 || left_total >= total) continue;
+        if (ginis[b] < best_gini) {
+          best_gini = ginis[b];
+          out.split = true;
+          out.def = Split::Numeric(a, cuts[b]);
+          out.left_counts.assign(row, row + nc);
+        }
+      }
+    } else {
+      const size_t t = static_cast<size_t>(kind_index_[a]);
+      const int cardinality = schema_.attr(a).cardinality;
+      Histogram1D hist(cardinality, nc);
+      const std::vector<int64_t>& table = stats.cat_counts[t];
+      for (int v = 0; v < cardinality; ++v) {
+        for (int c = 0; c < nc; ++c) {
+          hist.Add(v, c, table[static_cast<size_t>(v) * nc + c]);
+        }
+      }
+      const CategoricalSplit cs = BestCategoricalSplit(hist);
+      if (cs.valid && cs.gini < best_gini) {
+        best_gini = cs.gini;
+        out.split = true;
+        out.def = Split::Categorical(a, cs.left_subset);
+        out.left_counts.assign(nc, 0);
+        for (int v = 0; v < cardinality; ++v) {
+          if (cs.left_subset[v] == 0) continue;
+          for (int c = 0; c < nc; ++c) {
+            out.left_counts[c] += table[static_cast<size_t>(v) * nc + c];
+          }
+        }
+      }
+    }
+  }
+  if (out.split) {
+    out.right_counts.assign(nc, 0);
+    for (int c = 0; c < nc; ++c) {
+      out.right_counts[c] = totals[c] - out.left_counts[c];
+    }
+  }
+  return out;
+}
+
+void StreamGrower::EnqueueChild(NodeId child,
+                                const std::vector<int64_t>& est_counts) {
+  int64_t est_total = 0;
+  for (int64_t c : est_counts) est_total += c;
+  FrontierNode fn;
+  fn.node = child;
+  const int64_t threshold = options_.base.in_memory_threshold;
+  fn.mode = (threshold > 0 && est_total <= threshold) ? Mode::kCollect
+                                                      : Mode::kGrow;
+  if (fn.mode == Mode::kGrow) {
+    InitLeafState(schema_, options_.sketch_capacity, &fn.stats);
+  }
+  next_frontier_.emplace(child, std::move(fn));
+}
+
+void StreamGrower::ApplyDecision(FrontierNode& fn,
+                                 const SplitDecision& decision) {
+  TreeNode& node = tree_->mutable_node(fn.node);
+  if (!decision.split) {
+    node.is_leaf = true;
+    node.leaf_class = Majority(node.class_counts);
+    LeafSketchState state = std::move(fn.stats);
+    if (state.class_counts.empty()) {
+      // Collect-turned-leaf or zero-record child: keep the node's
+      // (possibly estimated) distribution in the sidecar entry.
+      InitLeafState(schema_, options_.sketch_capacity, &state);
+    }
+    state.node = fn.node;
+    state.class_counts = node.class_counts;
+    leaf_states_[fn.node] = std::move(state);
+    return;
+  }
+  TreeNode left;
+  left.depth = node.depth + 1;
+  left.class_counts = decision.left_counts;
+  left.leaf_class = Majority(left.class_counts);
+  TreeNode right;
+  right.depth = node.depth + 1;
+  right.class_counts = decision.right_counts;
+  right.leaf_class = Majority(right.class_counts);
+  const NodeId left_id = tree_->AddNode(std::move(left));
+  const NodeId right_id = tree_->AddNode(std::move(right));
+  TreeNode& parent = tree_->mutable_node(fn.node);  // AddNode may realloc
+  parent.is_leaf = false;
+  parent.split = decision.def;
+  parent.left = left_id;
+  parent.right = right_id;
+  EnqueueChild(left_id, decision.left_counts);
+  EnqueueChild(right_id, decision.right_counts);
+}
+
+void StreamGrower::FinishCollect(FrontierNode& fn) {
+  const size_t nn = numeric_attrs_.size();
+  const size_t ncat = categorical_attrs_.size();
+  const int nc = schema_.num_classes();
+  const int64_t nrec = static_cast<int64_t>(fn.label_buf.size());
+
+  std::vector<int64_t> exact_counts(nc, 0);
+  for (ClassId c : fn.label_buf) exact_counts[c]++;
+  TreeNode& node = tree_->mutable_node(fn.node);
+  node.class_counts = exact_counts;
+  if (!fn.seed_counts.empty()) {
+    // Refit root: the distribution keeps the leaf's full history even
+    // though only the new records regrow the subtree.
+    for (int c = 0; c < nc; ++c) node.class_counts[c] += fn.seed_counts[c];
+  }
+  node.leaf_class = Majority(node.class_counts);
+
+  if (nrec == 0) {
+    LeafSketchState state;
+    InitLeafState(schema_, options_.sketch_capacity, &state);
+    state.node = fn.node;
+    state.class_counts = node.class_counts;
+    leaf_states_[fn.node] = std::move(state);
+    return;
+  }
+
+  Dataset ds(schema_);
+  ds.Reserve(nrec);
+  std::vector<double> nvals(nn);
+  std::vector<int32_t> cvals(ncat);
+  std::vector<RecordId> rids(nrec);
+  for (int64_t r = 0; r < nrec; ++r) {
+    for (size_t j = 0; j < nn; ++j) {
+      nvals[j] = fn.numeric_buf[static_cast<size_t>(r) * nn + j];
+    }
+    for (size_t t = 0; t < ncat; ++t) {
+      cvals[t] = fn.cat_buf[static_cast<size_t>(r) * ncat + t];
+    }
+    ds.Append(nvals, cvals, fn.label_buf[r]);
+    rids[r] = r;
+  }
+  BuildExactSubtree(ds, rids, options_.base, tree_, fn.node, tracker_, pool_);
+
+  // Harvest per-leaf sidecar states for the regrown subtree by routing
+  // the buffered records down it — exact, not sketch-approximated.
+  std::map<NodeId, LeafSketchState> states;
+  for (int64_t r = 0; r < nrec; ++r) {
+    NodeId id = fn.node;
+    while (!tree_->node(id).is_leaf) {
+      const TreeNode& cur = tree_->node(id);
+      id = cur.split.RoutesLeft(ds, r) ? cur.left : cur.right;
+    }
+    auto [it, inserted] = states.try_emplace(id);
+    LeafSketchState& state = it->second;
+    if (inserted) {
+      InitLeafState(schema_, options_.sketch_capacity, &state);
+      state.node = id;
+    }
+    const ClassId c = ds.label(r);
+    state.class_counts[c]++;
+    for (size_t j = 0; j < nn; ++j) {
+      state.sketches[static_cast<size_t>(c) * nn + j].Add(
+          ds.numeric(numeric_attrs_[j], r));
+    }
+    for (size_t t = 0; t < ncat; ++t) {
+      const int32_t v = ds.categorical(categorical_attrs_[t], r);
+      state.cat_counts[t][static_cast<size_t>(v) * nc + c]++;
+    }
+  }
+  // Every leaf of the regrown subtree received at least one record
+  // (exact splits never produce an empty side), but the root itself may
+  // have stayed a leaf; either way `states` covers all of them.
+  for (auto& [id, state] : states) {
+    if (id == fn.node && !fn.seed_counts.empty()) {
+      state.class_counts = tree_->node(id).class_counts;
+    }
+    leaf_states_[id] = std::move(state);
+  }
+}
+
+void StreamGrower::PlanSeededRoots() {
+  if (seeded_roots_.empty()) return;
+  std::sort(seeded_roots_.begin(), seeded_roots_.end());
+  for (NodeId id : seeded_roots_) {
+    auto it = frontier_.find(id);
+    FrontierNode fn = std::move(it->second);
+    frontier_.erase(it);
+    tree_->mutable_node(id).class_counts = fn.stats.class_counts;
+    const SplitDecision decision =
+        DecideSplit(fn.stats, tree_->node(id).depth);
+    ApplyDecision(fn, decision);
+  }
+  seeded_roots_.clear();
+  for (auto& [id, fn] : next_frontier_) {
+    frontier_.emplace(id, std::move(fn));
+  }
+  next_frontier_.clear();
+}
+
+bool StreamGrower::ScanPass(BlockSource& source, PassObservation* po,
+                            std::string* error) {
+  source.Reset();
+  const size_t nn = numeric_attrs_.size();
+  const size_t ncat = categorical_attrs_.size();
+  const int nc = schema_.num_classes();
+  BlockView view;
+  // Single-threaded left fold in record order: sketch state (and with
+  // it the whole grown tree) is independent of thread count and block
+  // size by construction.
+  while (source.NextBlock(&view)) {
+    const ViewAdapter ad{&view};
+    for (int64_t i = 0; i < view.count; ++i) {
+      NodeId id = 0;
+      while (!tree_->node(id).is_leaf) {
+        const TreeNode& cur = tree_->node(id);
+        id = cur.split.RoutesLeft(ad, i) ? cur.left : cur.right;
+      }
+      auto it = frontier_.find(id);
+      if (it == frontier_.end()) continue;
+      FrontierNode& fn = it->second;
+      const ClassId c = view.labels[i];
+      if (fn.mode == Mode::kGrow) {
+        fn.stats.class_counts[c]++;
+        for (size_t j = 0; j < nn; ++j) {
+          fn.stats.sketches[static_cast<size_t>(c) * nn + j].Add(
+              view.numeric[numeric_attrs_[j]][i]);
+        }
+        for (size_t t = 0; t < ncat; ++t) {
+          const int32_t v = view.categorical[categorical_attrs_[t]][i];
+          fn.stats.cat_counts[t][static_cast<size_t>(v) * nc + c]++;
+        }
+      } else {
+        for (size_t j = 0; j < nn; ++j) {
+          fn.numeric_buf.push_back(view.numeric[numeric_attrs_[j]][i]);
+        }
+        for (size_t t = 0; t < ncat; ++t) {
+          fn.cat_buf.push_back(view.categorical[categorical_attrs_[t]][i]);
+        }
+        fn.label_buf.push_back(c);
+      }
+    }
+  }
+  if (source.failed()) {
+    if (error != nullptr) *error = "stream: record source read failed";
+    return false;
+  }
+  const int64_t n = source.num_records();
+  po->records_scanned = n;
+  if (options_.real_io) {
+    const int64_t delta = source.bytes_read() - real_bytes_charged_;
+    tracker_->ChargeRealBytes(delta);
+    real_bytes_charged_ += delta;
+    po->bytes_read = delta;
+  } else {
+    tracker_->ChargeScan(n, schema_);
+    po->bytes_read = n * schema_.RecordBytes();
+  }
+  return true;
+}
+
+bool StreamGrower::Run(BlockSource& source, std::string* error) {
+  ran_ = true;
+  if (options_.real_io) tracker_->set_real_io(true);
+  real_bytes_charged_ = source.bytes_read();
+  PlanSeededRoots();
+  while (!frontier_.empty()) {
+    PassObservation po;
+    po.pass = next_pass_index_++;
+    for (const auto& [id, fn] : frontier_) {
+      if (fn.mode == Mode::kGrow) {
+        po.frontier_fresh++;
+      } else {
+        po.frontier_collect++;
+      }
+    }
+
+    Timer scan_timer;
+    if (!ScanPass(source, &po, error)) return false;
+    po.scan_seconds = scan_timer.Seconds();
+
+    // Frontier memory high-water: sketch state plus collect buffers.
+    int64_t memory = 0;
+    for (const auto& [id, fn] : frontier_) {
+      if (fn.mode == Mode::kGrow) {
+        const int64_t sketch_bytes = LeafStateSketchBytes(fn.stats);
+        po.sketch_bytes += sketch_bytes;
+        memory += LeafStateMemoryBytes(fn.stats);
+      } else {
+        const int64_t buffered = static_cast<int64_t>(fn.label_buf.size());
+        po.buffered_records += buffered;
+        const int64_t buffer_bytes =
+            static_cast<int64_t>(fn.numeric_buf.capacity()) * sizeof(double) +
+            static_cast<int64_t>(fn.cat_buf.capacity()) * sizeof(int32_t) +
+            static_cast<int64_t>(fn.label_buf.capacity()) * sizeof(ClassId);
+        po.buffer_bytes += buffer_bytes;
+        memory += buffer_bytes;
+        tracker_->ChargeBuffered(buffered);
+      }
+    }
+    tracker_->NotePeakMemory(memory);
+
+    // Plan phase A: split analysis is a pure function of each grow
+    // node's stats, so it fans out; phase B applies serially in
+    // ascending node order (node numbering, sidecar entries and
+    // tie-breaks are exactly the serial build's).
+    std::vector<FrontierNode*> grow_nodes;
+    for (auto& [id, fn] : frontier_) {
+      if (fn.mode == Mode::kGrow) {
+        // A grow node that received records this pass gets its exact
+        // distribution; a zero-record child keeps the parent-estimated
+        // counts it was created with.
+        int64_t seen = 0;
+        for (int64_t c : fn.stats.class_counts) seen += c;
+        if (seen > 0) {
+          tree_->mutable_node(id).class_counts = fn.stats.class_counts;
+        } else {
+          fn.stats.class_counts = tree_->node(id).class_counts;
+        }
+        grow_nodes.push_back(&fn);
+      }
+    }
+    std::vector<SplitDecision> decisions(grow_nodes.size());
+    Timer plan_timer;
+    auto analyze = [&](int64_t i) {
+      int64_t seen = 0;
+      for (int64_t c : grow_nodes[i]->stats.class_counts) seen += c;
+      // A zero-record child has nothing to grow from; it stays a leaf
+      // with its estimated distribution.
+      const NodeId id = grow_nodes[i]->node;
+      decisions[i] = seen > 0 ? DecideSplit(grow_nodes[i]->stats,
+                                            tree_->node(id).depth)
+                              : SplitDecision{};
+    };
+    if (pool_ != nullptr && pool_->parallelism() > 1 &&
+        grow_nodes.size() > 1) {
+      pool_->ParallelFor(static_cast<int64_t>(grow_nodes.size()), 1,
+                         [&](int64_t lo, int64_t hi) {
+                           for (int64_t i = lo; i < hi; ++i) analyze(i);
+                         });
+    } else {
+      for (size_t i = 0; i < grow_nodes.size(); ++i) {
+        analyze(static_cast<int64_t>(i));
+      }
+    }
+    po.plan_seconds = plan_timer.Seconds();
+
+    Timer finish_timer;
+    size_t gi = 0;
+    for (auto& [id, fn] : frontier_) {
+      if (fn.mode == Mode::kGrow) {
+        ApplyDecision(fn, decisions[gi++]);
+      } else {
+        FinishCollect(fn);
+      }
+    }
+    po.finish_seconds = finish_timer.Seconds();
+
+    frontier_ = std::move(next_frontier_);
+    next_frontier_.clear();
+
+    po.tree_nodes = tree_->num_nodes();
+    if (observer_ != nullptr) observer_->OnPass(po);
+  }
+  return true;
+}
+
+}  // namespace cmp

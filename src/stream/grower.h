@@ -1,0 +1,188 @@
+#ifndef CMP_STREAM_GROWER_H_
+#define CMP_STREAM_GROWER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/thread_pool.h"
+#include "common/types.h"
+#include "io/block_source.h"
+#include "io/scan.h"
+#include "io/sketch_sidecar.h"
+#include "tree/builder.h"
+#include "tree/observer.h"
+#include "tree/tree.h"
+
+namespace cmp {
+
+/// Knobs of the streaming CMP trainer (`cmp-stream`) and of refit, both
+/// of which run on the StreamGrower below.
+struct StreamOptions {
+  BuilderOptions base;
+  /// Grid resolution: candidate split boundaries per numeric attribute.
+  int intervals = 100;
+  /// Per-level quantile sketch capacity k (hist/sketch.h); larger k =
+  /// tighter rank error, more memory.
+  int sketch_capacity = QuantileSketch::kDefaultCapacity;
+  /// True when the block source reads real bytes from storage (CMPT
+  /// table); false for in-memory sources, which are charged with the
+  /// disk-simulation model instead.
+  bool real_io = false;
+};
+
+// -- Per-node statistics ------------------------------------------------
+// The accumulation state of one frontier node is exactly the sidecar's
+// LeafSketchState (io/sketch_sidecar.h): exact class counts, one
+// quantile sketch per (class, numeric attribute), exact per-class count
+// tables for the categorical attributes. Growing and persisting share
+// one representation, which is what makes refit "resume training".
+
+/// Shapes `state` (empty counts/sketches/tables) for `schema`.
+void InitLeafState(const Schema& schema, int sketch_capacity,
+                   LeafSketchState* state);
+
+/// Folds `src` into `dst` (counts add, sketches merge, tables add).
+/// Deterministic: a pure function of the two states.
+void MergeLeafState(const LeafSketchState& src, LeafSketchState* dst);
+
+/// Resident bytes of the state (sketches dominate).
+int64_t LeafStateMemoryBytes(const LeafSketchState& state);
+
+/// Bytes of sketch state only (the `sketch_bytes` observability field).
+int64_t LeafStateSketchBytes(const LeafSketchState& state);
+
+// -- The grower ---------------------------------------------------------
+
+/// Level-wise streaming tree grower: one sequential pass over the record
+/// stream per tree level. Each pass routes every record down the tree to
+/// the frontier; frontier nodes either accumulate bounded sketch
+/// statistics ("grow" mode) or buffer their few records outright
+/// ("collect" mode, when the partition fits
+/// BuilderOptions::in_memory_threshold — finished exactly, like every
+/// other builder in the library). After the pass, grow nodes pick the
+/// gini-best split from per-class sketch ranks at the sketch-grid
+/// boundaries (numeric) and exact count tables (categorical); collect
+/// nodes are finished by BuildExactSubtree.
+///
+/// Determinism: record ingestion is a single-threaded left fold in
+/// ascending record order — sketch state is therefore independent of
+/// thread count, block size, and worker layout by construction. Worker
+/// threads only parallelize the pure per-node split analysis (results
+/// applied in node-id order) and the exact splitter's per-attribute
+/// search, both of which are order-restoring. The grown tree is
+/// byte-identical for any `num_threads` and any block size.
+///
+/// The grower never runs global MDL pruning: pruning would Compact()
+/// the node array and renumber nodes, invalidating the NodeId-keyed
+/// sketch sidecar (and, during refit, the contract that pre-existing
+/// interior nodes keep their bytes). BuilderOptions::prune is still
+/// honored inside the exact finishes via the PUBLIC(1) stop test.
+class StreamGrower {
+ public:
+  StreamGrower(const Schema& schema, const StreamOptions& options,
+               DecisionTree* tree, ScanTracker* tracker,
+               TrainObserver* observer, ThreadPool* pool);
+
+  /// Seeds leaf `node` of the tree into the frontier for a fresh build
+  /// or a from-scratch regrow. `expected_records` picks grow vs collect
+  /// mode against in_memory_threshold.
+  void AddTrainRoot(NodeId node, int64_t expected_records);
+
+  /// Seeds drifted leaf `node` with `merged` statistics (old sidecar
+  /// state folded with the stats of the new records routed to it): the
+  /// node's first split is decided from the merged state before any
+  /// further pass, so the regrow root sees the leaf's full history while
+  /// deeper levels grow from the new records alone. `new_counts` is the
+  /// per-class distribution of only the new records (it picks grow vs
+  /// collect mode, and lets the collect finish keep the old mass in the
+  /// node's distribution without double-counting the new records).
+  void AddRefitRoot(NodeId node, LeafSketchState merged,
+                    const std::vector<int64_t>& new_counts);
+
+  /// Runs scan passes until the frontier is empty. False with *error on
+  /// stream read failure. May be called once.
+  bool Run(BlockSource& source, std::string* error);
+
+  /// NodeId -> final accumulated state of every leaf this grower
+  /// finalized (the sidecar payload). Leaves finished inside an exact
+  /// collect subtree get exact states recomputed from their buffered
+  /// records.
+  std::map<NodeId, LeafSketchState>& leaf_states() { return leaf_states_; }
+
+  /// Pass index offset for observations (refit's routing pass is pass 0,
+  /// which also carries the `refit_leaves_regrown` counter).
+  void set_first_pass_index(int index) { next_pass_index_ = index; }
+
+ private:
+  enum class Mode { kGrow, kCollect };
+
+  struct FrontierNode {
+    NodeId node = kInvalidNode;
+    Mode mode = Mode::kGrow;
+    LeafSketchState stats;
+    // Collect-mode record buffer (schema-order values per record).
+    std::vector<double> numeric_buf;
+    std::vector<int32_t> cat_buf;
+    std::vector<ClassId> label_buf;
+    // Refit collect roots: old class counts folded into the node's
+    // counts before the exact finish.
+    std::vector<int64_t> seed_counts;
+  };
+
+  struct SplitDecision {
+    bool split = false;
+    Split def;
+    std::vector<int64_t> left_counts;
+    std::vector<int64_t> right_counts;
+  };
+
+  /// Picks the gini-best split of a grow node from its statistics; a
+  /// pure function (safe to evaluate in parallel across nodes).
+  SplitDecision DecideSplit(const LeafSketchState& stats, int depth) const;
+
+  /// Applies one node's decision: either finalizes the leaf or splits it
+  /// and enqueues the children. Serial, in node-id order.
+  void ApplyDecision(FrontierNode& fn, const SplitDecision& decision);
+
+  /// Finishes a collect node exactly from its buffered records and
+  /// harvests per-leaf sidecar states for the resulting subtree.
+  void FinishCollect(FrontierNode& fn);
+
+  void PlanSeededRoots();
+  bool ScanPass(BlockSource& source, PassObservation* po, std::string* error);
+  void EnqueueChild(NodeId child, const std::vector<int64_t>& est_counts);
+
+  const Schema& schema_;
+  StreamOptions options_;
+  DecisionTree* tree_;
+  ScanTracker* tracker_;
+  TrainObserver* observer_;
+  ThreadPool* pool_;
+
+  std::vector<AttrId> numeric_attrs_;
+  std::vector<AttrId> categorical_attrs_;
+  // attr -> position among its kind (sketch / table indices).
+  std::vector<int> kind_index_;
+
+  // Frontier, keyed by node id (std::map: plan phase iterates in
+  // ascending node order, part of the determinism argument).
+  std::map<NodeId, FrontierNode> frontier_;
+  // Children enqueued while the current frontier is being planned.
+  std::map<NodeId, FrontierNode> next_frontier_;
+  // Refit roots awaiting an immediate (pre-scan) split decision.
+  std::vector<NodeId> seeded_roots_;
+
+  std::map<NodeId, LeafSketchState> leaf_states_;
+
+  int next_pass_index_ = 0;
+  int64_t real_bytes_charged_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace cmp
+
+#endif  // CMP_STREAM_GROWER_H_

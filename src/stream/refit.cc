@@ -1,0 +1,256 @@
+#include "stream/refit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/class_counts.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "tree/observer.h"
+
+namespace cmp {
+
+namespace {
+
+struct ViewAdapter {
+  const BlockView* view;
+  double numeric(AttrId a, int64_t i) const { return view->numeric[a][i]; }
+  int32_t categorical(AttrId a, int64_t i) const {
+    return view->categorical[a][i];
+  }
+};
+
+/// Total-variation distance between two count vectors' normalized
+/// distributions: 0.5 * sum |p_i - q_i|, in [0, 1].
+double DriftDistance(const std::vector<int64_t>& old_counts,
+                     const std::vector<int64_t>& new_counts) {
+  int64_t old_total = 0;
+  int64_t new_total = 0;
+  for (int64_t c : old_counts) old_total += c;
+  for (int64_t c : new_counts) new_total += c;
+  if (old_total == 0 || new_total == 0) return old_total == new_total ? 0 : 1;
+  double l1 = 0.0;
+  for (size_t i = 0; i < old_counts.size(); ++i) {
+    l1 += std::abs(static_cast<double>(old_counts[i]) / old_total -
+                   static_cast<double>(new_counts[i]) / new_total);
+  }
+  return 0.5 * l1;
+}
+
+/// Hoeffding-style sampling slack: with few new records the observed
+/// distribution swings wildly even under a stationary concept (a pure
+/// leaf receiving two noisy records measures TV distance 1). Requiring
+/// the measured drift to clear threshold + eps(n), with
+/// eps(n) = sqrt(ln(1/delta) / 2n), keeps the false-regrow rate under
+/// control while vanishing as evidence accumulates — the same guard
+/// Hoeffding-tree learners use for their split decisions.
+double SamplingSlack(int64_t new_total) {
+  constexpr double kDelta = 0.05;
+  if (new_total <= 0) return 1.0;
+  return std::sqrt(std::log(1.0 / kDelta) /
+                   (2.0 * static_cast<double>(new_total)));
+}
+
+}  // namespace
+
+bool RefitTree(DecisionTree* tree, SketchSidecar* sidecar,
+               BlockSource& source, const RefitOptions& options,
+               BuildStats* build_stats, RefitStats* refit_stats,
+               std::string* error) {
+  Timer timer;
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  const Schema& schema = tree->schema();
+  if (tree->empty()) return fail("refit: empty tree");
+  if (!sidecar->MatchesSchema(schema)) {
+    return fail("refit: sidecar does not match the tree's schema");
+  }
+  if (!sidecar->MatchesSchema(source.schema())) {
+    return fail("refit: sidecar does not match the data's schema");
+  }
+  // The sidecar keys leaves by NodeId; a stale pairing (wrong tree for
+  // this sidecar) must fail clean instead of regrafting at random.
+  std::map<NodeId, LeafSketchState*> old_states;
+  for (LeafSketchState& leaf : sidecar->leaves) {
+    if (leaf.node < 0 || leaf.node >= tree->num_nodes() ||
+        !tree->node(leaf.node).is_leaf) {
+      return fail("refit: sidecar references a non-leaf node "
+                  "(tree/sidecar mismatch)");
+    }
+    old_states[leaf.node] = &leaf;
+  }
+
+  // Continue with the model's own training configuration.
+  StreamOptions stream_options = options.stream;
+  stream_options.intervals = sidecar->intervals;
+  stream_options.sketch_capacity = sidecar->sketch_capacity;
+
+  BuildStats local_stats;
+  BuildStats* stats = build_stats != nullptr ? build_stats : &local_stats;
+  ScanTracker tracker(stats);
+  if (stream_options.real_io) tracker.set_real_io(true);
+  TrainObserver* const observer = stream_options.base.observer;
+  const int64_t n = source.num_records();
+  if (observer != nullptr) observer->OnBuildStart("CMP-stream-refit", n);
+
+  // Pass 0: route every new record to its leaf, accumulating fresh
+  // statistics. A sequential fold in record order, so the whole refit
+  // (drift decisions included) is deterministic across reruns.
+  const std::vector<AttrId> numeric_attrs = schema.NumericAttrs();
+  const std::vector<AttrId> categorical_attrs = schema.CategoricalAttrs();
+  const size_t nn = numeric_attrs.size();
+  const size_t ncat = categorical_attrs.size();
+  const int nc = schema.num_classes();
+  std::map<NodeId, LeafSketchState> new_states;
+  Timer scan_timer;
+  const int64_t bytes_before = source.bytes_read();
+  source.Reset();
+  BlockView view;
+  while (source.NextBlock(&view)) {
+    const ViewAdapter ad{&view};
+    for (int64_t i = 0; i < view.count; ++i) {
+      NodeId id = 0;
+      while (!tree->node(id).is_leaf) {
+        const TreeNode& cur = tree->node(id);
+        id = cur.split.RoutesLeft(ad, i) ? cur.left : cur.right;
+      }
+      auto [it, inserted] = new_states.try_emplace(id);
+      LeafSketchState& state = it->second;
+      if (inserted) {
+        InitLeafState(schema, stream_options.sketch_capacity, &state);
+        state.node = id;
+      }
+      const ClassId c = view.labels[i];
+      state.class_counts[c]++;
+      for (size_t j = 0; j < nn; ++j) {
+        state.sketches[static_cast<size_t>(c) * nn + j].Add(
+            view.numeric[numeric_attrs[j]][i]);
+      }
+      for (size_t t = 0; t < ncat; ++t) {
+        const int32_t v = view.categorical[categorical_attrs[t]][i];
+        state.cat_counts[t][static_cast<size_t>(v) * nc + c]++;
+      }
+    }
+  }
+  if (source.failed()) return fail("refit: record source read failed");
+  if (stream_options.real_io) {
+    tracker.ChargeRealBytes(source.bytes_read() - bytes_before);
+  } else {
+    tracker.ChargeScan(n, schema);
+  }
+
+  // Drift decisions, in ascending leaf order.
+  RefitStats local_refit;
+  RefitStats* rstats = refit_stats != nullptr ? refit_stats : &local_refit;
+  rstats->records = n;
+  rstats->leaves_touched = static_cast<int64_t>(new_states.size());
+  rstats->leaves_regrown = 0;
+
+  ThreadPool pool(stream_options.base.num_threads);
+  StreamGrower grower(schema, stream_options, tree, &tracker, observer,
+                      &pool);
+  grower.set_first_pass_index(1);
+
+  int64_t sketch_bytes = 0;
+  int64_t state_bytes = 0;
+  for (auto& [id, new_state] : new_states) {
+    sketch_bytes += LeafStateSketchBytes(new_state);
+    state_bytes += LeafStateMemoryBytes(new_state);
+    int64_t new_total = 0;
+    for (int64_t c : new_state.class_counts) new_total += c;
+    const auto old_it = old_states.find(id);
+    const std::vector<int64_t>& old_counts =
+        old_it != old_states.end() ? old_it->second->class_counts
+                                   : tree->node(id).class_counts;
+    const bool regrow =
+        new_total >= stream_options.base.min_split_records &&
+        tree->node(id).depth < stream_options.base.max_depth &&
+        DriftDistance(old_counts, new_state.class_counts) >
+            options.drift_threshold + SamplingSlack(new_total);
+    if (regrow) {
+      rstats->leaves_regrown++;
+      LeafSketchState merged;
+      if (old_it != old_states.end()) {
+        merged = std::move(*old_it->second);
+      } else {
+        InitLeafState(schema, stream_options.sketch_capacity, &merged);
+        merged.class_counts = old_counts;
+      }
+      MergeLeafState(new_state, &merged);
+      grower.AddRefitRoot(id, std::move(merged), new_state.class_counts);
+      if (old_it != old_states.end()) old_states.erase(old_it);
+    } else {
+      // Absorb: counts and sidecar sketches advance, the leaf stays.
+      TreeNode& node = tree->mutable_node(id);
+      for (int c = 0; c < nc; ++c) {
+        node.class_counts[c] += new_state.class_counts[c];
+      }
+      node.leaf_class = Majority(node.class_counts);
+      if (old_it != old_states.end()) {
+        MergeLeafState(new_state, old_it->second);
+      } else {
+        new_state.class_counts = node.class_counts;
+        // Inserted into the sidecar after the regrow finishes (the
+        // sidecar vector must not reallocate while old_states points
+        // into it), via new_states below.
+      }
+    }
+  }
+  tracker.NotePeakMemory(state_bytes);
+
+  if (observer != nullptr) {
+    PassObservation po;
+    po.pass = 0;
+    po.records_scanned = n;
+    po.scan_seconds = scan_timer.Seconds();
+    po.bytes_read = stream_options.real_io
+                        ? source.bytes_read() - bytes_before
+                        : n * schema.RecordBytes();
+    po.sketch_bytes = sketch_bytes;
+    po.refit_leaves_regrown = rstats->leaves_regrown;
+    po.frontier_fresh = rstats->leaves_touched;
+    po.tree_nodes = tree->num_nodes();
+    observer->OnPass(po);
+  }
+
+  if (!grower.Run(source, error)) return false;
+
+  // Fold the refit back into the sidecar: replace regrown leaves by the
+  // new subtree entries, keep absorbed/untouched entries, advance the
+  // record count.
+  std::map<NodeId, LeafSketchState> final_states;
+  for (LeafSketchState& leaf : sidecar->leaves) {
+    if (old_states.count(leaf.node) != 0) {
+      final_states[leaf.node] = std::move(leaf);
+    }
+  }
+  for (auto& [id, state] : new_states) {
+    // Leaves that absorbed new records but had no sidecar entry yet.
+    if (final_states.count(id) == 0 && grower.leaf_states().count(id) == 0 &&
+        tree->node(id).is_leaf) {
+      final_states[id] = std::move(state);
+    }
+  }
+  for (auto& [id, state] : grower.leaf_states()) {
+    final_states[id] = std::move(state);
+  }
+  sidecar->leaves.clear();
+  sidecar->leaves.reserve(final_states.size());
+  for (auto& [id, state] : final_states) {
+    sidecar->leaves.push_back(std::move(state));
+  }
+  sidecar->records_seen += n;
+
+  stats->tree_nodes = tree->num_nodes();
+  stats->tree_depth = tree->Depth();
+  stats->wall_seconds = timer.Seconds();
+  if (observer != nullptr) observer->OnBuildEnd(*stats);
+  return true;
+}
+
+}  // namespace cmp

@@ -1,0 +1,67 @@
+#ifndef CMP_STREAM_REFIT_H_
+#define CMP_STREAM_REFIT_H_
+
+#include <string>
+
+#include "io/block_source.h"
+#include "io/sketch_sidecar.h"
+#include "stream/grower.h"
+#include "tree/builder.h"
+
+namespace cmp {
+
+/// Knobs of incremental refit (`cmptool refit`).
+struct RefitOptions {
+  /// Base/stream knobs. `intervals` and `sketch_capacity` are taken
+  /// from the sidecar (the model's training configuration), not from
+  /// here.
+  StreamOptions stream;
+  /// A leaf is regrown when the total-variation distance between its
+  /// recorded class distribution and the distribution of the new
+  /// records routed to it exceeds this (0.5 * L1 of the normalized
+  /// distributions, in [0, 1]). A Hoeffding sampling slack
+  /// sqrt(ln(1/0.05) / 2n) is added on top, so leaves with only a
+  /// handful of new records are not regrown off statistical noise.
+  double drift_threshold = 0.15;
+};
+
+/// Counters of one refit run.
+struct RefitStats {
+  int64_t records = 0;
+  /// Leaves that received at least one new record.
+  int64_t leaves_touched = 0;
+  /// Drifted leaves whose subtrees were regrown.
+  int64_t leaves_regrown = 0;
+};
+
+/// Incrementally extends a streamed tree with new records, without the
+/// original data and without touching pre-existing interior nodes:
+///
+///   1. One routing pass sends every new record to its leaf and
+///      accumulates fresh per-leaf statistics (the same representation
+///      the sidecar stores).
+///   2. Leaves whose class distribution shifted past
+///      `drift_threshold` are regrown: their sidecar state is merged
+///      with the new statistics (so the first split sees the leaf's
+///      full history) and the StreamGrower resumes level-wise training
+///      beneath them over the new records. All other leaves absorb the
+///      new records into their counts and sidecar sketches.
+///   3. The sidecar is updated in place: regrown leaves are replaced by
+///      the new subtree's leaf entries, absorbed leaves are merged, and
+///      records_seen advances — so refit can be applied again.
+///
+/// New nodes are appended to the tree's flat node array; existing node
+/// ids (and the serialized bytes of every pre-existing interior node)
+/// are untouched, which is what keeps the sidecar's NodeId keys and any
+/// external references to the tree valid.
+///
+/// Returns false with *error when the sidecar does not match the tree
+/// or the stream's schema, or on a stream read failure.
+bool RefitTree(DecisionTree* tree, SketchSidecar* sidecar,
+               BlockSource& source, const RefitOptions& options,
+               BuildStats* build_stats, RefitStats* refit_stats,
+               std::string* error);
+
+}  // namespace cmp
+
+#endif  // CMP_STREAM_REFIT_H_

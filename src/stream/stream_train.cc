@@ -1,0 +1,78 @@
+#include "stream/stream_train.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/class_counts.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace cmp {
+
+bool StreamTrain(BlockSource& source, const StreamOptions& options,
+                 BuildResult* result, SketchSidecar* sidecar,
+                 std::string* error) {
+  Timer timer;
+  const Schema& schema = source.schema();
+  const int64_t n = source.num_records();
+  result->tree = DecisionTree(schema);
+  ScanTracker tracker(&result->stats);
+  TrainObserver* const observer = options.base.observer;
+  if (observer != nullptr) observer->OnBuildStart("CMP-stream", n);
+
+  TreeNode root;
+  root.depth = 0;
+  root.class_counts.assign(schema.num_classes(), 0);
+  root.leaf_class = 0;
+  const NodeId root_id = result->tree.AddNode(std::move(root));
+  if (sidecar != nullptr) {
+    sidecar->SetSchema(schema);
+    sidecar->sketch_capacity = options.sketch_capacity;
+    sidecar->intervals = options.intervals;
+    sidecar->records_seen = n;
+    sidecar->leaves.clear();
+  }
+  if (n == 0) {
+    result->tree.MakeLeaf(root_id);
+    result->stats.wall_seconds = timer.Seconds();
+    if (observer != nullptr) observer->OnBuildEnd(result->stats);
+    return true;
+  }
+
+  ThreadPool pool(options.base.num_threads);
+  StreamGrower grower(schema, options, &result->tree, &tracker, observer,
+                      &pool);
+  grower.AddTrainRoot(root_id, n);
+  if (!grower.Run(source, error)) return false;
+
+  if (sidecar != nullptr) {
+    sidecar->leaves.reserve(grower.leaf_states().size());
+    for (auto& [id, state] : grower.leaf_states()) {
+      sidecar->leaves.push_back(std::move(state));
+    }
+  }
+  result->stats.tree_nodes = result->tree.num_nodes();
+  result->stats.tree_depth = result->tree.Depth();
+  result->stats.wall_seconds = timer.Seconds();
+  if (observer != nullptr) observer->OnBuildEnd(result->stats);
+  return true;
+}
+
+BuildResult StreamBuilder::Build(const Dataset& train) {
+  BuildResult result;
+  DatasetBlockSource source(train);
+  StreamOptions options = options_;
+  options.real_io = false;
+  std::string error;
+  if (!StreamTrain(source, options, &result, &sidecar_, &error)) {
+    // An in-memory source cannot fail to read; keep the contract anyway.
+    result.tree = DecisionTree(train.schema());
+    TreeNode root;
+    root.class_counts = train.ClassCounts();
+    root.leaf_class = Majority(root.class_counts);
+    result.tree.AddNode(std::move(root));
+  }
+  return result;
+}
+
+}  // namespace cmp

@@ -32,10 +32,14 @@
 #include "common/summary.h"
 #include "cmp/cmp.h"
 #include "datagen/agrawal.h"
+#include "datagen/drift.h"
 #include "dist/dist.h"
 #include "io/arff.h"
 #include "io/block_source.h"
 #include "io/csv.h"
+#include "io/sketch_sidecar.h"
+#include "stream/refit.h"
+#include "stream/stream_train.h"
 #include "common/timer.h"
 #include "infer/batch_predictor.h"
 #include "infer/compiled_tree.h"
@@ -72,6 +76,11 @@ int Usage() {
       "usage:\n"
       "  cmptool gen   --function <F1..F10|Ff> --records N [--seed S]"
       " [--perturb P] --out FILE\n"
+      "                [--drift-at N --drift-function F] switches the\n"
+      "                labeling concept to F at record index N (sudden\n"
+      "                drift; covariates are unchanged)\n"
+      "                [--skip S] writes only records [S, N) of the\n"
+      "                stream (split one seed into prefix + suffix)\n"
       "  cmptool train --data FILE --algo <" << AlgoList() << ">\n"
       "                [--intervals Q] [--no-prune] [--threads N]"
       " [--stats-json FILE]\n"
@@ -92,6 +101,20 @@ int Usage() {
       "                table (cmp/cmp-b/cmp-s only; combine with\n"
       "                 --stream --block B to bound worker memory).\n"
       "                Same tree bytes as a single-process build.\n"
+      "                --algo cmp-stream trains in one sequential pass\n"
+      "                per level from bounded quantile sketches (no\n"
+      "                pre-pass sort; add --stream --block B to read a\n"
+      "                .cmpt table out of core). [--sketch-capacity K]\n"
+      "                [--sidecar FILE.cmps] persists per-leaf sketch\n"
+      "                state for later refit. Incompatible with\n"
+      "                --workers.\n"
+      "  cmptool refit --data FILE --tree FILE --sidecar FILE.cmps\n"
+      "                --out FILE [--sidecar-out FILE.cmps]\n"
+      "                [--drift-threshold T] [--threads N]\n"
+      "                [--stream [--block B]] [--stats-json FILE]\n"
+      "                (routes new records to the leaves of a cmp-stream\n"
+      "                 tree and regrows only the drifted ones; interior\n"
+      "                 nodes are untouched)\n"
       "  cmptool eval  --data FILE --tree FILE\n"
       "  cmptool compile --tree FILE[,FILE...] --out FILE.cmpb\n"
       "                (packs text trees into one mmap-able blob for\n"
@@ -182,7 +205,63 @@ int CmdGen(int argc, char** argv) {
   o.perturbation = std::atof(GetFlag(argc, argv, "--perturb", "0").c_str());
   const std::string out = GetFlag(argc, argv, "--out");
   if (out.empty()) return Usage();
-  const cmp::Dataset ds = cmp::GenerateAgrawal(o);
+  cmp::Dataset ds;
+  if (HasFlag(argc, argv, "--drift-at") ||
+      HasFlag(argc, argv, "--drift-function")) {
+    // Non-stationary stream: --function labels the prefix, the concept
+    // switches to --drift-function at record --drift-at.
+    if (!HasFlag(argc, argv, "--drift-at") ||
+        !HasFlag(argc, argv, "--drift-function")) {
+      std::cerr << "--drift-at and --drift-function must be given"
+                   " together\n";
+      return kExitBadArgs;
+    }
+    cmp::DriftOptions d;
+    d.before = o.function;
+    if (!ParseFunction(GetFlag(argc, argv, "--drift-function"), &d.after)) {
+      std::cerr << "unknown drift function\n";
+      return kExitBadArgs;
+    }
+    d.drift_at = std::atoll(GetFlag(argc, argv, "--drift-at").c_str());
+    if (d.drift_at < 0 || d.drift_at > o.num_records) {
+      std::cerr << "--drift-at must be in [0, --records]\n";
+      return kExitBadArgs;
+    }
+    d.num_records = o.num_records;
+    d.seed = o.seed;
+    d.perturbation = o.perturbation;
+    ds = cmp::GenerateDriftingAgrawal(d);
+  } else {
+    ds = cmp::GenerateAgrawal(o);
+  }
+  // --skip S writes only records [S, records) of the stream, so a
+  // shell script can split one seeded stream into an exact prefix
+  // (gen --records S) and suffix (gen --records N --skip S) — the
+  // train-then-refit workflow without a separate slicing tool.
+  const int64_t skip =
+      std::atoll(GetFlag(argc, argv, "--skip", "0").c_str());
+  if (skip < 0 || skip > o.num_records) {
+    std::cerr << "--skip must be in [0, --records]\n";
+    return kExitBadArgs;
+  }
+  if (skip > 0) {
+    cmp::Dataset tail(ds.schema());
+    std::vector<double> nv;
+    std::vector<int32_t> cv;
+    for (cmp::RecordId r = skip; r < ds.num_records(); ++r) {
+      nv.clear();
+      cv.clear();
+      for (cmp::AttrId a = 0; a < ds.schema().num_attrs(); ++a) {
+        if (ds.schema().attr(a).kind == cmp::AttrKind::kNumeric) {
+          nv.push_back(ds.numeric(a, r));
+        } else {
+          cv.push_back(ds.categorical(a, r));
+        }
+      }
+      tail.Append(nv, cv, ds.label(r));
+    }
+    ds = std::move(tail);
+  }
   if (!cmp::SaveTableFile(ds, out)) {
     std::cerr << "failed to write " << out << "\n";
     return kExitIo;
@@ -327,11 +406,220 @@ int CmdTrainStreamed(int argc, char** argv) {
   return kExitOk;
 }
 
+// Streaming sketch-based training (--algo cmp-stream): per-node grids
+// come from bounded quantile sketches filled in one sequential pass per
+// tree level, so no pre-pass sort and no O(n) column buffer. With
+// --stream --block B the records flow from the .cmpt table out of core;
+// otherwise the dataset is loaded and wrapped in a zero-copy block
+// source (same tree bytes either way — ingestion is a record-order fold
+// regardless of the source's block size).
+int CmdTrainCmpStream(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  const std::string out = GetFlag(argc, argv, "--out");
+  // Single-process by contract: sketch state is a sequential fold over
+  // the record stream, which is exactly what makes the tree independent
+  // of thread/block/shard layout. Sharded ingestion would change the
+  // merge order, so the flag combination is rejected rather than
+  // silently ignored.
+  if (HasFlag(argc, argv, "--workers")) {
+    std::cerr << "--algo cmp-stream is incompatible with --workers"
+                 " (streaming ingestion is a sequential fold; use --stream"
+                 " --block B to bound memory instead)\n";
+    return kExitBadArgs;
+  }
+  cmp::StreamOptions o;
+  o.base.prune = !HasFlag(argc, argv, "--no-prune");
+  o.base.num_threads =
+      std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
+  o.intervals = std::atoi(GetFlag(argc, argv, "--intervals", "100").c_str());
+  o.sketch_capacity =
+      std::atoi(GetFlag(argc, argv, "--sketch-capacity", "512").c_str());
+  if (o.sketch_capacity < 8) {
+    std::cerr << "--sketch-capacity must be >= 8\n";
+    return kExitBadArgs;
+  }
+  const std::string stats_path = GetFlag(argc, argv, "--stats-json");
+  cmp::TrainStatsCollector collector;
+  if (!stats_path.empty()) o.base.observer = &collector;
+
+  std::unique_ptr<cmp::BlockSource> table_source;
+  cmp::Dataset ds;
+  std::unique_ptr<cmp::DatasetBlockSource> mem_source;
+  cmp::BlockSource* source = nullptr;
+  if (HasFlag(argc, argv, "--stream")) {
+    const int64_t block =
+        std::atoll(GetFlag(argc, argv, "--block", "65536").c_str());
+    if (block <= 0) {
+      std::cerr << "--block must be > 0\n";
+      return kExitBadArgs;
+    }
+    table_source = cmp::TableBlockSource::Open(data, block);
+    if (table_source == nullptr) {
+      std::cerr << "failed to open " << data
+                << " (must be a valid .cmpt table)\n";
+      return kExitIo;
+    }
+    o.real_io = true;
+    source = table_source.get();
+  } else {
+    if (!LoadAnyDataset(data, &ds)) {
+      std::cerr << "failed to read " << data << "\n";
+      return kExitIo;
+    }
+    mem_source = std::make_unique<cmp::DatasetBlockSource>(ds);
+    source = mem_source.get();
+  }
+
+  cmp::BuildResult result;
+  cmp::SketchSidecar sidecar;
+  std::string error;
+  if (!cmp::StreamTrain(*source, o, &result, &sidecar, &error)) {
+    std::cerr << "training failed: " << error << "\n";
+    return kExitTrain;
+  }
+  // With --stats-json - the JSON owns stdout; summaries move to stderr.
+  std::ostream& summary = stats_path == "-" ? std::cerr : std::cout;
+  summary << "CMP-stream: " << result.stats.ToString() << "\n";
+  if (!cmp::SaveTree(result.tree, out)) {
+    std::cerr << "failed to write " << out << "\n";
+    return kExitIo;
+  }
+  summary << "tree with " << result.tree.num_nodes() << " nodes saved to "
+          << out << "\n";
+  const std::string sidecar_path = GetFlag(argc, argv, "--sidecar");
+  if (!sidecar_path.empty()) {
+    if (!cmp::SaveSketchSidecar(sidecar, sidecar_path, &error)) {
+      std::cerr << "failed to write " << sidecar_path << ": " << error
+                << "\n";
+      return kExitIo;
+    }
+    summary << "sketch sidecar (" << sidecar.leaves.size()
+            << " leaves) saved to " << sidecar_path << "\n";
+  }
+  if (!stats_path.empty()) return WriteStatsJson(collector, stats_path);
+  return kExitOk;
+}
+
+// Incremental refit: extends a cmp-stream tree with new records using
+// the sketch sidecar instead of the original data. Only leaves whose
+// class distribution drifted past --drift-threshold are regrown; the
+// interior of the tree is untouched.
+int CmdRefit(int argc, char** argv) {
+  const std::string data = GetFlag(argc, argv, "--data");
+  const std::string tree_path = GetFlag(argc, argv, "--tree");
+  const std::string sidecar_path = GetFlag(argc, argv, "--sidecar");
+  const std::string out = GetFlag(argc, argv, "--out");
+  if (data.empty() || tree_path.empty() || sidecar_path.empty() ||
+      out.empty()) {
+    return Usage();
+  }
+
+  std::vector<cmp::DecisionTree> trees;
+  if (!cmp::LoadTrees(tree_path, &trees) || trees.empty()) {
+    std::cerr << "failed to read " << tree_path << "\n";
+    return kExitIo;
+  }
+  // Refit resumes the streaming trainer beneath individual leaves; a
+  // boosted forest has no sidecar and its residual-coupled trees cannot
+  // be extended one leaf at a time.
+  if (trees.size() > 1) {
+    std::cerr << "refit requires a single cmp-stream tree; " << tree_path
+              << " holds a forest of " << trees.size()
+              << " trees (boosted ensembles cannot be refit)\n";
+    return kExitBadArgs;
+  }
+  cmp::DecisionTree tree = std::move(trees.front());
+
+  cmp::SketchSidecar sidecar;
+  std::string error;
+  if (!cmp::LoadSketchSidecar(sidecar_path, &sidecar, &error)) {
+    std::cerr << "failed to read " << sidecar_path << ": " << error << "\n";
+    return kExitIo;
+  }
+
+  cmp::RefitOptions o;
+  o.stream.base.prune = !HasFlag(argc, argv, "--no-prune");
+  o.stream.base.num_threads =
+      std::atoi(GetFlag(argc, argv, "--threads", "1").c_str());
+  o.drift_threshold =
+      std::atof(GetFlag(argc, argv, "--drift-threshold", "0.15").c_str());
+  if (o.drift_threshold < 0.0 || o.drift_threshold > 1.0) {
+    std::cerr << "--drift-threshold must be in [0, 1]\n";
+    return kExitBadArgs;
+  }
+  const std::string stats_path = GetFlag(argc, argv, "--stats-json");
+  cmp::TrainStatsCollector collector;
+  if (!stats_path.empty()) o.stream.base.observer = &collector;
+
+  std::unique_ptr<cmp::BlockSource> table_source;
+  cmp::Dataset ds;
+  std::unique_ptr<cmp::DatasetBlockSource> mem_source;
+  cmp::BlockSource* source = nullptr;
+  if (HasFlag(argc, argv, "--stream")) {
+    const int64_t block =
+        std::atoll(GetFlag(argc, argv, "--block", "65536").c_str());
+    if (block <= 0) {
+      std::cerr << "--block must be > 0\n";
+      return kExitBadArgs;
+    }
+    table_source = cmp::TableBlockSource::Open(data, block);
+    if (table_source == nullptr) {
+      std::cerr << "failed to open " << data
+                << " (must be a valid .cmpt table)\n";
+      return kExitIo;
+    }
+    o.stream.real_io = true;
+    source = table_source.get();
+  } else {
+    if (!LoadAnyDataset(data, &ds)) {
+      std::cerr << "failed to read " << data << "\n";
+      return kExitIo;
+    }
+    mem_source = std::make_unique<cmp::DatasetBlockSource>(ds);
+    source = mem_source.get();
+  }
+
+  cmp::BuildStats build_stats;
+  cmp::RefitStats refit_stats;
+  if (!cmp::RefitTree(&tree, &sidecar, *source, o, &build_stats,
+                      &refit_stats, &error)) {
+    std::cerr << "refit failed: " << error << "\n";
+    return kExitTrain;
+  }
+  // With --stats-json - the JSON owns stdout; summaries move to stderr.
+  std::ostream& summary = stats_path == "-" ? std::cerr : std::cout;
+  summary << "refit: " << refit_stats.records << " new records, "
+          << refit_stats.leaves_touched << " leaves touched, "
+          << refit_stats.leaves_regrown << " regrown; "
+          << build_stats.ToString() << "\n";
+  if (!cmp::SaveTree(tree, out)) {
+    std::cerr << "failed to write " << out << "\n";
+    return kExitIo;
+  }
+  summary << "tree with " << tree.num_nodes() << " nodes saved to " << out
+          << "\n";
+  // The updated sidecar keeps refit composable: by default it replaces
+  // the input sidecar so the next refit picks up where this one ended.
+  const std::string sidecar_out =
+      GetFlag(argc, argv, "--sidecar-out", sidecar_path);
+  if (!cmp::SaveSketchSidecar(sidecar, sidecar_out, &error)) {
+    std::cerr << "failed to write " << sidecar_out << ": " << error << "\n";
+    return kExitIo;
+  }
+  summary << "sketch sidecar (" << sidecar.leaves.size()
+          << " leaves) saved to " << sidecar_out << "\n";
+  if (!stats_path.empty()) return WriteStatsJson(collector, stats_path);
+  return kExitOk;
+}
+
 int CmdTrain(int argc, char** argv) {
   const std::string data = GetFlag(argc, argv, "--data");
   const std::string out = GetFlag(argc, argv, "--out");
   const std::string algo = GetFlag(argc, argv, "--algo", "cmp");
   if (data.empty() || out.empty()) return Usage();
+  // cmp-stream owns its flag handling (and rejects --workers itself,
+  // with a message that explains why sharded ingestion is out).
+  if (algo == "cmp-stream") return CmdTrainCmpStream(argc, argv);
   if (HasFlag(argc, argv, "--workers")) return CmdTrainDist(argc, argv);
   if (HasFlag(argc, argv, "--stream")) return CmdTrainStreamed(argc, argv);
   cmp::BuilderConfig config;
@@ -728,6 +1016,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "gen") return CmdGen(argc - 2, argv + 2);
   if (cmd == "train") return CmdTrain(argc - 2, argv + 2);
+  if (cmd == "refit") return CmdRefit(argc - 2, argv + 2);
   if (cmd == "eval") return CmdEval(argc - 2, argv + 2);
   if (cmd == "compile") return CmdCompile(argc - 2, argv + 2);
   if (cmd == "predict") return CmdPredict(argc - 2, argv + 2);

@@ -79,7 +79,9 @@ std::string TrainStatsCollector::ToJson() const {
        << ", \"sibling_subtractions\": " << p.sibling_subtractions
        << ", \"workers\": " << p.workers
        << ", \"wire_bytes_per_pass\": " << p.wire_bytes
-       << ", \"merge_seconds\": " << p.merge_seconds << "}"
+       << ", \"merge_seconds\": " << p.merge_seconds
+       << ", \"sketch_bytes\": " << p.sketch_bytes
+       << ", \"refit_leaves_regrown\": " << p.refit_leaves_regrown << "}"
        << (i + 1 < passes_.size() ? "," : "") << "\n";
   }
   os << "  ],\n";

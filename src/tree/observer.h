@@ -54,6 +54,12 @@ struct PassObservation {
   int64_t workers = 0;
   int64_t wire_bytes = 0;
   double merge_seconds = 0.0;
+  /// Streaming training only (0 otherwise): resident bytes of quantile
+  /// sketch state across the frontier after this pass.
+  int64_t sketch_bytes = 0;
+  /// Refit only (0 otherwise): drifted leaves whose subtrees this pass
+  /// started regrowing.
+  int64_t refit_leaves_regrown = 0;
 };
 
 /// Training observability hook. Builders that support it (all library

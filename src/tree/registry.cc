@@ -17,6 +17,7 @@
 #include "sampling/windowing.h"
 #include "sliq/sliq.h"
 #include "sprint/sprint.h"
+#include "stream/stream_train.h"
 #include "tree/builder.h"
 
 namespace cmp {
@@ -52,6 +53,12 @@ void EnsureDefaults() {
   };
   factories["cmp-s"] = [](const BuilderConfig& c) {
     return MakeCmpVariant(CmpSOptions(), c);
+  };
+  factories["cmp-stream"] = [](const BuilderConfig& c) {
+    StreamOptions o;
+    o.base = c.base;
+    o.intervals = c.intervals;
+    return std::make_unique<StreamBuilder>(o);
   };
   factories["boost"] = [](const BuilderConfig& c) {
     BoostOptions o;

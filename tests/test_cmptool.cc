@@ -409,6 +409,163 @@ TEST_F(CmptoolTest, BoostTrainsScoresAndCompiles) {
   for (const std::string& p : {csv, blob, blob2}) std::remove(p.c_str());
 }
 
+TEST_F(CmptoolTest, StreamTrainRefitRoundTrip) {
+  const std::string sidecar = TempPath("stream.cmps");
+  const std::string refit_data = TempPath("refit.cmpt");
+  const std::string refit_tree = TempPath("refit.tree");
+  const std::string stats = TempPath("stream_stats.json");
+
+  // cmp-stream trains, saves the sketch sidecar, and the new observer
+  // fields land in --stats-json.
+  std::string out;
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp-stream --out " +
+                tree_ + " --sidecar " + sidecar + " --stats-json " + stats,
+                &out),
+            0);
+  EXPECT_NE(out.find("sketch sidecar"), std::string::npos) << out;
+  const std::string json = Slurp(stats);
+  EXPECT_NE(json.find("\"builder\": \"CMP-stream\""), std::string::npos);
+  EXPECT_NE(json.find("\"sketch_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"refit_leaves_regrown\""), std::string::npos);
+
+  // In-memory and out-of-core ingestion produce the same tree bytes.
+  const std::string mem_tree = Slurp(tree_);
+  ASSERT_FALSE(mem_tree.empty());
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp-stream --stream"
+                " --block 333 --threads 3 --out " + tree_),
+            0);
+  EXPECT_EQ(Slurp(tree_), mem_tree);
+
+  // Refit with drifted data: exit 0, updated tree + sidecar written.
+  ASSERT_EQ(RunTool("gen --function F7 --records 4000 --seed 6 --out " +
+                refit_data),
+            0);
+  ASSERT_EQ(RunTool("refit --data " + refit_data + " --tree " + tree_ +
+                " --sidecar " + sidecar + " --out " + refit_tree +
+                " --stats-json " + stats,
+                &out),
+            0);
+  EXPECT_NE(out.find("regrown"), std::string::npos) << out;
+  EXPECT_NE(Slurp(stats).find("\"refit_leaves_regrown\""),
+            std::string::npos);
+  EXPECT_FALSE(Slurp(refit_tree).empty());
+
+  // The refit tree still evaluates.
+  ASSERT_EQ(
+      RunTool("eval --data " + refit_data + " --tree " + refit_tree, &out),
+      0);
+  EXPECT_NE(out.find("accuracy"), std::string::npos);
+
+  for (const std::string& p : {sidecar, refit_data, refit_tree, stats}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST_F(CmptoolTest, StreamAndRefitFlagValidation) {
+  const std::string sidecar = TempPath("val.cmps");
+  std::string out;
+
+  // Unsupported combination: cmp-stream is single-process by contract.
+  EXPECT_EQ(RunTool("train --data " + data_ + " --algo cmp-stream"
+                " --workers 2 --out " + tree_,
+                &out),
+            kBadArgs);
+  EXPECT_NE(out.find("incompatible with --workers"), std::string::npos)
+      << out;
+
+  // Bad sketch capacity and bad block size are usage errors.
+  EXPECT_EQ(RunTool("train --data " + data_ + " --algo cmp-stream"
+                " --sketch-capacity 2 --out " + tree_),
+            kBadArgs);
+  EXPECT_EQ(RunTool("train --data " + data_ + " --algo cmp-stream --stream"
+                " --block 0 --out " + tree_),
+            kBadArgs);
+
+  // Unreadable input follows the I/O exit code on both paths.
+  EXPECT_EQ(RunTool("train --data /does/not/exist --algo cmp-stream"
+                " --out " + tree_),
+            kIo);
+  EXPECT_EQ(RunTool("train --data /does/not/exist --algo cmp-stream"
+                " --stream --out " + tree_),
+            kIo);
+
+  // Refit requires a single tree: a boosted forest is rejected with a
+  // clear message.
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo boost --rounds 3"
+                " --out " + tree_),
+            0);
+  EXPECT_EQ(RunTool("refit --data " + data_ + " --tree " + tree_ +
+                " --sidecar " + sidecar + " --out " + tree_ + ".out",
+                &out),
+            kBadArgs);
+  EXPECT_NE(out.find("boosted ensembles cannot be refit"),
+            std::string::npos)
+      << out;
+
+  // Refit on a tree without a matching sidecar: the sidecar is missing
+  // (I/O), and a bad threshold is a usage error.
+  ASSERT_EQ(RunTool("train --data " + data_ + " --algo cmp-stream --out " +
+                tree_ + " --sidecar " + sidecar),
+            0);
+  EXPECT_EQ(RunTool("refit --data " + data_ + " --tree " + tree_ +
+                " --sidecar /does/not/exist.cmps --out " + tree_ + ".out"),
+            kIo);
+  EXPECT_EQ(RunTool("refit --data " + data_ + " --tree " + tree_ +
+                " --sidecar " + sidecar + " --out " + tree_ + ".out"
+                " --drift-threshold 1.5"),
+            kBadArgs);
+  // Missing required flags fall back to usage.
+  EXPECT_EQ(RunTool("refit --data " + data_ + " --tree " + tree_), kBadArgs);
+  std::remove(sidecar.c_str());
+  std::remove((tree_ + ".out").c_str());
+}
+
+TEST_F(CmptoolTest, GenDriftFlags) {
+  const std::string drifted = TempPath("drifted.cmpt");
+  std::string out;
+  ASSERT_EQ(RunTool("gen --function F2 --records 2000 --seed 5"
+                " --drift-at 1000 --drift-function F7 --out " + drifted,
+                &out),
+            0);
+  EXPECT_NE(out.find("2000 records"), std::string::npos);
+
+  // Covariates are the stationary stream's: same schema, same size.
+  ASSERT_EQ(RunTool("info --data " + drifted, &out), 0);
+  EXPECT_NE(out.find("2000 records"), std::string::npos);
+  EXPECT_NE(out.find("salary"), std::string::npos);
+
+  // Both drift flags are required together; the index must be in range;
+  // the drift function must parse.
+  EXPECT_EQ(RunTool("gen --function F2 --records 2000 --drift-at 500"
+                " --out " + drifted),
+            kBadArgs);
+  EXPECT_EQ(RunTool("gen --function F2 --records 2000 --drift-function F7"
+                " --out " + drifted),
+            kBadArgs);
+  EXPECT_EQ(RunTool("gen --function F2 --records 2000 --drift-at 5000"
+                " --drift-function F7 --out " + drifted),
+            kBadArgs);
+  EXPECT_EQ(RunTool("gen --function F2 --records 2000 --drift-at 500"
+                " --drift-function F77 --out " + drifted),
+            kBadArgs);
+
+  // --skip splits one seeded stream into an exact prefix + suffix.
+  const std::string tail = TempPath("tail.cmpt");
+  ASSERT_EQ(RunTool("gen --function F2 --records 2000 --seed 5 --skip 1500"
+                " --out " + tail,
+                &out),
+            0);
+  EXPECT_NE(out.find("500 records"), std::string::npos);
+  EXPECT_EQ(RunTool("gen --function F2 --records 2000 --skip 2500 --out " +
+                tail),
+            kBadArgs);
+  EXPECT_EQ(RunTool("gen --function F2 --records 2000 --skip -1 --out " +
+                tail),
+            kBadArgs);
+  std::remove(tail.c_str());
+  std::remove(drifted.c_str());
+}
+
 TEST_F(CmptoolTest, KernelFlagSelectsTierAndRejectsUnknown) {
   // --kernel scalar and --kernel auto must produce byte-identical trees
   // (the bit-identical-trees contract, CLI edition).
