@@ -36,12 +36,17 @@ BatchResult BatchPredictor::Run(int64_t n, ThreadPool* pool,
 
   // Each block writes disjoint ranges of the pre-sized outputs, so the
   // workers need no synchronization beyond ParallelFor's completion.
+  // Scratch is leased, not allocated: steady-state blocks reuse warm
+  // buffers from the predictor's pool.
   auto score_block = [&](int64_t begin, int64_t end) {
-    std::vector<ClassId> order(static_cast<size_t>(nc));
-    std::vector<int32_t> leaves(static_cast<size_t>(end - begin));
-    fill_leaves(begin, end, leaves.data());
+    ScratchLease lease(&scratch_);
+    PredictScratch& s = *lease;
+    s.leaves.resize(static_cast<size_t>(end - begin));
+    fill_leaves(begin, end, s.leaves.data(), &s);
+    std::vector<ClassId>& order = s.order;
+    if (k > 1) order.resize(static_cast<size_t>(nc));
     for (int64_t i = begin; i < end; ++i) {
-      const int32_t leaf = leaves[i - begin];
+      const int32_t leaf = s.leaves[i - begin];
       const ClassId cls = tree_->leaf_class(leaf);
       const float* probs = tree_->leaf_probs(leaf);
       if (opts_.want_probs) {
@@ -77,9 +82,26 @@ BatchResult BatchPredictor::Predict(const Dataset& ds) const {
 
 BatchResult BatchPredictor::Predict(const Dataset& ds, ThreadPool* pool) const {
   const CompiledTree* tree = tree_;
+  // The dataset is already columnar: build the per-attribute pointer
+  // view once for the whole call, indexed by absolute record id.
+  const Schema& schema = tree_->schema();
+  const int32_t na = schema.num_attrs();
+  std::vector<const double*> num(na, nullptr);
+  std::vector<const int32_t*> cat(na, nullptr);
+  bool any_cat = false;
+  for (int32_t a = 0; a < na; ++a) {
+    if (schema.is_numeric(a)) {
+      num[a] = ds.numeric_column(a).data();
+    } else {
+      cat[a] = ds.categorical_column(a).data();
+      any_cat = true;
+    }
+  }
+  const RowColumnsView view{num.data(), any_cat ? cat.data() : nullptr};
   return Run(ds.num_records(), pool,
-             [tree, &ds](int64_t begin, int64_t end, int32_t* out) {
-               tree->LeafIndicesOf(ds, begin, end, out);
+             [tree, &view](int64_t begin, int64_t end, int32_t* out,
+                           PredictScratch*) {
+               tree->LeafIndicesOfColumns(view, begin, end, out);
              });
 }
 
@@ -89,8 +111,22 @@ BatchResult BatchPredictor::PredictRaw(const double* numeric,
   const CompiledTree* tree = tree_;
   return Run(n, nullptr,
              [tree, numeric, categorical](int64_t begin, int64_t end,
-                                          int32_t* out) {
-               tree->LeafIndicesOfRows(numeric, categorical, begin, end, out);
+                                          int32_t* out, PredictScratch* s) {
+               const RowColumnsView view = TransposeBlock(
+                   tree->schema(), numeric, categorical, begin, end, s);
+               tree->LeafIndicesOfColumns(view, 0, end - begin, out);
+             });
+}
+
+BatchResult BatchPredictor::PredictColumns(
+    const double* const* numeric_cols, const int32_t* const* categorical_cols,
+    int64_t n) const {
+  const CompiledTree* tree = tree_;
+  const RowColumnsView view{numeric_cols, categorical_cols};
+  return Run(n, nullptr,
+             [tree, view](int64_t begin, int64_t end, int32_t* out,
+                          PredictScratch*) {
+               tree->LeafIndicesOfColumns(view, begin, end, out);
              });
 }
 

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "infer/compiled_tree.h"
+#include "infer/scratch.h"
 
 namespace cmp {
 
@@ -76,6 +77,14 @@ class BatchPredictor {
   BatchResult PredictRaw(const double* numeric, const int32_t* categorical,
                          int64_t n) const;
 
+  /// Scores `n` rows already in column-major form (one pointer per
+  /// schema attribute, see RowColumnsView) — the zero-transpose fast
+  /// path the serving batcher feeds after its single row-major -> SoA
+  /// conversion per flushed batch.
+  BatchResult PredictColumns(const double* const* numeric_cols,
+                             const int32_t* const* categorical_cols,
+                             int64_t n) const;
+
  private:
   template <typename LeafBlockFn>
   BatchResult Run(int64_t n, ThreadPool* pool,
@@ -85,6 +94,7 @@ class BatchPredictor {
   PredictOptions opts_;
   ThreadPool* pool_;  // borrowed if injected, else owned_.get()
   std::unique_ptr<ThreadPool> owned_;
+  mutable ScratchPool scratch_;  // per-block scoring buffers, reused
 };
 
 }  // namespace cmp

@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "infer/infer_kernels.h"
 #include "infer/model_io.h"
 
 namespace cmp {
@@ -314,8 +316,76 @@ bool CompiledTree::FromBlob(std::shared_ptr<const ModelBlob> blob,
     }
   }
 
+  // Fuse each node's hot fields into one 16-byte record plus a parallel
+  // attribute word for the vector kernels: one cache line per visited
+  // node instead of three, with wide splits resolved to their exact
+  // double threshold and inline float thresholds pre-widened (the
+  // identical static_cast the scalar walker performs per visit), so
+  // descent over fused records is byte-identical to descent over the
+  // arrays.
+  {
+    auto fused = std::make_shared<std::vector<FusedNode>>(
+        static_cast<size_t>(nn));
+    auto fattr = std::make_shared<std::vector<int32_t>>(
+        static_cast<size_t>(nn));
+    for (int32_t i = 0; i < nn; ++i) {
+      FusedNode& f = (*fused)[i];
+      const int16_t a = t.attr_[i];
+      f.left = t.children_[2 * i];
+      f.right = t.children_[2 * i + 1];
+      if (a >= 0) {
+        (*fattr)[i] = a;
+        f.threshold = static_cast<double>(t.threshold_[i]);
+        t.fused_attr_slots_ = std::max(t.fused_attr_slots_, a + 1);
+      } else if (a == kWide) {
+        const WideSplit& w = t.wide_splits_[SideIndex(t.threshold_[i])];
+        (*fattr)[i] = w.attr;
+        f.threshold = w.threshold;
+        t.fused_attr_slots_ = std::max(t.fused_attr_slots_, w.attr + 1);
+      } else if (a == kLeaf) {
+        (*fattr)[i] = a;
+      } else {  // kCat / kLin: side-table index rides the threshold slot
+        (*fattr)[i] = a;
+        f.threshold = std::bit_cast<double>(
+            static_cast<int64_t>(SideIndex(t.threshold_[i])));
+      }
+    }
+    t.fused_store_ = std::move(fused);
+    t.fused_attr_store_ = std::move(fattr);
+  }
+
   *out = std::move(t);
   return true;
+}
+
+void CompiledTree::LeafIndicesOf(const Dataset& ds, RecordId begin,
+                                 RecordId end, int32_t* out) const {
+  if (end <= begin) return;
+  // The dataset is already column-major; the view is just one pointer
+  // per attribute (only the matching-kind slot is ever read).
+  const int32_t na = schema_->num_attrs();
+  std::vector<const double*> num(na, nullptr);
+  std::vector<const int32_t*> cat(na, nullptr);
+  bool any_cat = false;
+  for (int32_t a = 0; a < na; ++a) {
+    if (schema_->is_numeric(a)) {
+      num[a] = ds.numeric_column(a).data();
+    } else {
+      cat[a] = ds.categorical_column(a).data();
+      any_cat = true;
+    }
+  }
+  const RowColumnsView view{num.data(), any_cat ? cat.data() : nullptr};
+  LeafIndicesOfColumns(view, begin, end, out);
+}
+
+void CompiledTree::LeafIndicesOfColumns(const RowColumnsView& rows,
+                                        int64_t begin, int64_t end,
+                                        int32_t* out,
+                                        const InferKernelOps* ops) const {
+  if (end <= begin) return;
+  const InferKernelOps& k = ops != nullptr ? *ops : ActiveInferKernelOps();
+  k.descend_block(nodes_view(), rows, begin, end, out);
 }
 
 }  // namespace cmp

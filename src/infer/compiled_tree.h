@@ -18,6 +18,19 @@
 
 namespace cmp {
 
+struct TreeNodesView;
+struct InferKernelOps;
+
+/// Column-major (structure-of-arrays) view of a row block for the batch
+/// kernels: one pointer per schema attribute, each column indexed by row.
+/// Only the slot matching an attribute's kind is ever dereferenced, so
+/// mismatched-kind entries may be null, and `categorical` itself may be
+/// null for an all-numeric schema.
+struct RowColumnsView {
+  const double* const* numeric = nullptr;
+  const int32_t* const* categorical = nullptr;
+};
+
 /// An immutable, cache-friendly compilation of a DecisionTree for batch
 /// scoring.
 ///
@@ -29,8 +42,10 @@ namespace cmp {
 /// `int32 left/right`) drive the descent loop, and everything rare —
 /// categorical subsets, linear-combination splits, thresholds that do not
 /// round-trip through float — lives in small side tables reached through a
-/// sentinel in `attr`. Nodes are stored in depth-first preorder so the
-/// left child of node i is node i+1.
+/// sentinel in `attr`. Node order is a layout choice (infer/layout.h):
+/// depth-first preorder or cache-blocked breadth-first superblocks — the
+/// only ordering invariant descent relies on is that children point
+/// strictly forward, which FromBlob validates.
 ///
 /// Storage: a CompiledTree is a *view*. All of its arrays live inside one
 /// relocatable `.cmpb` blob (io/model_blob.h) which the tree keeps alive
@@ -67,6 +82,35 @@ class CompiledTree {
   static constexpr int16_t kCat = -2;
   static constexpr int16_t kLin = -3;
   static constexpr int16_t kWide = -4;
+
+  /// One node's hot fields fused into a single 16-byte record, plus a
+  /// parallel int32 attribute array (TreeNodesView::fused_attr), so a
+  /// descent step touches one line for the split and one densely-packed
+  /// line for the classification — where the blob sections would spread
+  /// it over three or four (attr, threshold, children and — for most
+  /// real trees — a wide side-table entry). Derived at bind time, never
+  /// serialized. Two deliberate resolutions happen here:
+  ///   - kWide nodes are folded into plain numeric form: the parallel
+  ///     attr holds the side entry's attribute and `threshold` its
+  ///     exact double cut, so the (typically dominant) wide population
+  ///     costs the kernels nothing extra.
+  ///   - inline float thresholds are pre-widened to double — the same
+  ///     static_cast the scalar walker performs per visit — so compares
+  ///     against `threshold` are byte-identical to the array walk.
+  /// kCat/kLin keep their sentinel in the parallel attr and smuggle
+  /// their side-table index through the (otherwise unused) threshold
+  /// slot as a bit-cast int64. The vector tiers both service lanes and
+  /// gather from these arrays; the scalar walkers stay on the blob
+  /// sections (they are the reference).
+  struct FusedNode {
+    double threshold = 0.0;
+    int32_t left = 0;
+    int32_t right = 0;
+
+    int32_t SideIndex() const {
+      return static_cast<int32_t>(std::bit_cast<int64_t>(threshold));
+    }
+  };
 
   /// Categorical side entry: attribute plus a [offset, offset+card) slice
   /// of the shared membership-bit pool; bit v set routes value v left.
@@ -136,12 +180,28 @@ class CompiledTree {
   }
 
   /// Batch descent: fills `out[0 .. end-begin)` with the leaf index of
-  /// records [begin, end) of `ds`. Rows descend in interleaved lanes of
-  /// kLanes so their independent node/column loads overlap in the memory
-  /// pipeline — this is where batch scoring beats a per-row loop, not in
-  /// instruction count.
+  /// records [begin, end) of `ds`. Routes through the active vector tier
+  /// (LeafIndicesOfColumns) — the dataset already stores columns, so the
+  /// adapter is just an array of column pointers.
   void LeafIndicesOf(const Dataset& ds, RecordId begin, RecordId end,
-                     int32_t* out) const {
+                     int32_t* out) const;
+
+  /// Batch descent over a column-major row block: fills
+  /// `out[0 .. end-begin)` with the leaf index rows [begin, end) of
+  /// `rows` land in, using the requested kernel tier (`ops` null means
+  /// the active tier). Predictions are byte-identical to PredictRow
+  /// under every tier; passing `ops` explicitly is for tests and benches
+  /// that pin a tier regardless of the global dispatch.
+  void LeafIndicesOfColumns(const RowColumnsView& rows, int64_t begin,
+                            int64_t end, int32_t* out,
+                            const InferKernelOps* ops = nullptr) const;
+
+  /// The pre-SIMD batch path: template gang descent straight off the
+  /// Dataset accessors, kept intact as the differential and benchmark
+  /// baseline for the vector tiers (this was LeafIndicesOf before they
+  /// existed).
+  void LeafIndicesOfGang(const Dataset& ds, RecordId begin, RecordId end,
+                         int32_t* out) const {
     DescendRange(begin, end, out,
                  [&ds](RecordId r) { return DatasetRow{&ds, r}; });
   }
@@ -200,6 +260,11 @@ class CompiledTree {
 
   /// Rows descended in lockstep by the batch path.
   static constexpr int kLanes = 8;
+
+  /// Raw-pointer snapshot of this tree's arrays, the form the per-ISA
+  /// batch kernels (infer/infer_kernels.h) traverse. Defined inline
+  /// after the class.
+  TreeNodesView nodes_view() const;
 
  private:
   struct DatasetRow {
@@ -333,7 +398,53 @@ class CompiledTree {
   // Leaf payload views, indexed by leaf index.
   const ClassId* leaf_class_ = nullptr;
   const float* leaf_probs_ = nullptr;  // num_leaves x num_classes, row-major
+
+  // Bind-time fused node records and their parallel attribute array
+  // (see FusedNode); shared so tree copies stay cheap. Null only for an
+  // empty (default-constructed) tree. fused_attr_slots_ is one past the
+  // largest numeric attribute any fused record references — the width a
+  // kernel needs for a row-major feature staging buffer.
+  std::shared_ptr<const std::vector<FusedNode>> fused_store_;
+  std::shared_ptr<const std::vector<int32_t>> fused_attr_store_;
+  int32_t fused_attr_slots_ = 0;
 };
+
+/// The hot arrays of one CompiledTree as plain pointers. This is what
+/// the per-ISA kernels take: a translation unit compiled with -mavx2
+/// must never inline CompiledTree methods (they would pick up AVX2
+/// codegen and get called from non-AVX2 hosts via the baseline build),
+/// so the kernels see only this POD view.
+struct TreeNodesView {
+  const int16_t* attr = nullptr;
+  const float* threshold = nullptr;
+  const int32_t* children = nullptr;
+  const CompiledTree::CatSplit* cat_splits = nullptr;
+  const uint8_t* cat_bits = nullptr;
+  const CompiledTree::LinSplit* lin_splits = nullptr;
+  const CompiledTree::WideSplit* wide_splits = nullptr;
+  const CompiledTree::FusedNode* fused = nullptr;
+  const int32_t* fused_attr = nullptr;
+  // One past the largest numeric attribute id in `fused_attr`: the row
+  // width of a row-major feature staging buffer covering every numeric
+  // split in this tree.
+  int32_t fused_attr_slots = 0;
+};
+
+inline TreeNodesView CompiledTree::nodes_view() const {
+  return TreeNodesView{attr_,
+                       threshold_,
+                       children_,
+                       cat_splits_,
+                       cat_bits_,
+                       lin_splits_,
+                       wide_splits_,
+                       fused_store_ != nullptr ? fused_store_->data()
+                                               : nullptr,
+                       fused_attr_store_ != nullptr
+                           ? fused_attr_store_->data()
+                           : nullptr,
+                       fused_attr_slots_};
+}
 
 // The blob stores these structs raw; pin their layout so a blob written
 // by any build of this library parses in any other.
@@ -343,6 +454,11 @@ static_assert(std::is_trivially_copyable_v<CompiledTree::LinSplit> &&
               sizeof(CompiledTree::LinSplit) == 32);
 static_assert(std::is_trivially_copyable_v<CompiledTree::WideSplit> &&
               sizeof(CompiledTree::WideSplit) == 16);
+// Never serialized, but the vector kernels gather the threshold double
+// and the {left,right} pair as the record's 8-byte halves, so the
+// layout is load-bearing anyway.
+static_assert(std::is_trivially_copyable_v<CompiledTree::FusedNode> &&
+              sizeof(CompiledTree::FusedNode) == 16);
 
 /// The mutable staging form of one compiled tree: plain vectors filled by
 /// the compiler pass, then packed verbatim into blob sections. Exists so

@@ -27,15 +27,24 @@ EnsemblePredictor EnsemblePredictor::Compile(
   return EnsemblePredictor(std::move(compiled), vote);
 }
 
-// The shared scoring loop: `leaf_of(tree, i)` answers which leaf row i
-// lands in for one member tree; everything else (vote combination,
-// probabilities, top-k, abstention) is row-source-agnostic, so the
-// Dataset and raw-row entry points stay combiner-identical by
-// construction.
-template <typename LeafOf>
+// The shared scoring loop. `columns_for(begin, end, scratch)` produces
+// the column-major view of one row block (plus the row offset its
+// columns are indexed from); everything downstream — tree-interleaved
+// descent, vote combination, probabilities, top-k, abstention — is
+// row-source-agnostic, so the Dataset, raw-row, and columnar entry
+// points stay combiner-identical by construction.
+//
+// Scoring is tree-interleaved: every member tree batch-descends the
+// whole row block (through the vector kernel tiers) before any row's
+// votes are combined, so the block's feature columns are pulled through
+// cache once per tree-batch rather than once per row x tree, and each
+// descent gets the full lane parallelism of the active tier. The leaf
+// indices land in one T x block scratch matrix the combine loop then
+// reads column-wise.
+template <typename ColumnsFor>
 BatchResult EnsemblePredictor::Run(int64_t n, const PredictOptions& opts,
                                    ThreadPool* pool,
-                                   const LeafOf& leaf_of) const {
+                                   const ColumnsFor& columns_for) const {
   const int32_t nc = num_classes();
   const int k = std::clamp(opts.top_k, 1, nc);
   const bool abstain = opts.abstain_threshold > 0.0;
@@ -50,17 +59,31 @@ BatchResult EnsemblePredictor::Run(int64_t n, const PredictOptions& opts,
                     kInvalidClass);
   }
 
+  const int num_trees = static_cast<int>(trees_.size());
   auto score_block = [&](int64_t begin, int64_t end) {
-    std::vector<double> acc(static_cast<size_t>(nc));
-    std::vector<ClassId> order(static_cast<size_t>(nc));
+    ScratchLease lease(&scratch_);
+    PredictScratch& s = *lease;
+    const int64_t bn = end - begin;
+    const auto block = columns_for(begin, end, &s);
+    s.leaves.resize(static_cast<size_t>(num_trees) * bn);
+    for (int t = 0; t < num_trees; ++t) {
+      trees_[t].LeafIndicesOfColumns(block.view, begin - block.base,
+                                     end - block.base,
+                                     s.leaves.data() + static_cast<size_t>(t) * bn);
+    }
+    s.acc.resize(static_cast<size_t>(nc));
+    std::vector<double>& acc = s.acc;
+    std::vector<ClassId>& order = s.order;
+    if (k > 1) order.resize(static_cast<size_t>(nc));
     for (int64_t i = begin; i < end; ++i) {
       std::fill(acc.begin(), acc.end(), 0.0);
-      for (const CompiledTree& t : trees_) {
-        const int32_t leaf = leaf_of(t, i);
+      for (int t = 0; t < num_trees; ++t) {
+        const int32_t leaf = s.leaves[static_cast<size_t>(t) * bn + (i - begin)];
+        const CompiledTree& tree = trees_[t];
         if (vote_ == VoteKind::kMajority) {
-          acc[t.leaf_class(leaf)] += 1.0;
+          acc[tree.leaf_class(leaf)] += 1.0;
         } else {
-          const float* p = t.leaf_probs(leaf);
+          const float* p = tree.leaf_probs(leaf);
           for (int32_t c = 0; c < nc; ++c) acc[c] += p[c];
         }
       }
@@ -109,12 +132,36 @@ BatchResult EnsemblePredictor::Run(int64_t n, const PredictOptions& opts,
   return out;
 }
 
+namespace {
+/// One row block's column view; the columns are indexed by `row - base`.
+struct BlockColumns {
+  RowColumnsView view;
+  int64_t base = 0;
+};
+}  // namespace
+
 BatchResult EnsemblePredictor::Predict(const Dataset& ds,
                                        const PredictOptions& opts,
                                        ThreadPool* pool) const {
+  // The dataset is already columnar: one pointer array for the whole
+  // call, every block shares it at base 0 (absolute record ids).
+  const Schema& schema = this->schema();
+  const int32_t na = schema.num_attrs();
+  std::vector<const double*> num(na, nullptr);
+  std::vector<const int32_t*> cat(na, nullptr);
+  bool any_cat = false;
+  for (int32_t a = 0; a < na; ++a) {
+    if (schema.is_numeric(a)) {
+      num[a] = ds.numeric_column(a).data();
+    } else {
+      cat[a] = ds.categorical_column(a).data();
+      any_cat = true;
+    }
+  }
+  const RowColumnsView view{num.data(), any_cat ? cat.data() : nullptr};
   return Run(ds.num_records(), opts, pool,
-             [&ds](const CompiledTree& t, int64_t i) {
-               return t.LeafIndexOf(ds, i);
+             [&view](int64_t, int64_t, PredictScratch*) {
+               return BlockColumns{view, 0};
              });
 }
 
@@ -123,13 +170,25 @@ BatchResult EnsemblePredictor::PredictRaw(const double* numeric,
                                           int64_t n,
                                           const PredictOptions& opts,
                                           ThreadPool* pool) const {
-  const int32_t na = schema().num_attrs();
+  // One row-major -> SoA transpose per block, shared by all member
+  // trees — the old path re-walked the row-major block once per tree.
+  const Schema* schema = &this->schema();
   return Run(n, opts, pool,
-             [numeric, categorical, na](const CompiledTree& t, int64_t i) {
-               return t.LeafIndexOfRow(
-                   numeric + i * na,
-                   categorical == nullptr ? nullptr : categorical + i * na);
+             [schema, numeric, categorical](int64_t begin, int64_t end,
+                                            PredictScratch* s) {
+               return BlockColumns{TransposeBlock(*schema, numeric,
+                                                  categorical, begin, end, s),
+                                   begin};
              });
+}
+
+BatchResult EnsemblePredictor::PredictColumns(
+    const double* const* numeric_cols, const int32_t* const* categorical_cols,
+    int64_t n, const PredictOptions& opts, ThreadPool* pool) const {
+  const RowColumnsView view{numeric_cols, categorical_cols};
+  return Run(n, opts, pool, [view](int64_t, int64_t, PredictScratch*) {
+    return BlockColumns{view, 0};
+  });
 }
 
 }  // namespace cmp

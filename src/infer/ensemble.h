@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "infer/batch_predictor.h"
 #include "infer/compiled_tree.h"
+#include "infer/scratch.h"
 #include "tree/tree.h"
 
 namespace cmp {
@@ -65,12 +66,21 @@ class EnsemblePredictor {
                          int64_t n, const PredictOptions& opts = {},
                          ThreadPool* pool = nullptr) const;
 
+  /// Scores `n` rows already in column-major form (one pointer per
+  /// schema attribute, see RowColumnsView); the serving batcher's
+  /// zero-copy entry point.
+  BatchResult PredictColumns(const double* const* numeric_cols,
+                             const int32_t* const* categorical_cols,
+                             int64_t n, const PredictOptions& opts = {},
+                             ThreadPool* pool = nullptr) const;
+
  private:
-  template <typename LeafOf>
+  template <typename ColumnsFor>
   BatchResult Run(int64_t n, const PredictOptions& opts, ThreadPool* pool,
-                  const LeafOf& leaf_of) const;
+                  const ColumnsFor& columns_for) const;
   std::vector<CompiledTree> trees_;
   VoteKind vote_;
+  mutable ScratchPool scratch_;  // per-block leaf/vote buffers, reused
   // Cached internal pool; shared_ptr so a concurrent Predict that asked
   // for a different thread count can swap in a new pool while in-flight
   // calls finish on the old one.

@@ -1,0 +1,101 @@
+#ifndef CMP_INFER_INFER_KERNELS_IMPL_H_
+#define CMP_INFER_INFER_KERNELS_IMPL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "infer/compiled_tree.h"
+
+namespace cmp::infer_impl {
+
+// Scalar building blocks shared by every kernel tier. These mirror
+// CompiledTree::Step / Descend / DescendRange over the raw views — the
+// vector tiers fall back to them for sub-gang blocks, categorical
+// lanes, and the end-of-range drain, which is what keeps every tier's
+// predictions byte-identical to the member-function walker.
+
+/// One descent step of lane `id` for row `r`; leaves hold still.
+inline int32_t Step(const TreeNodesView& t, const RowColumnsView& rows,
+                    int32_t id, int64_t r) {
+  const int16_t a = t.attr[id];
+  double x, cut;
+  if (a >= 0) {
+    x = rows.numeric[a][r];
+    cut = static_cast<double>(t.threshold[id]);
+  } else if (a == CompiledTree::kLeaf) {
+    return id;
+  } else if (a == CompiledTree::kWide) {
+    const CompiledTree::WideSplit& s =
+        t.wide_splits[std::bit_cast<int32_t>(t.threshold[id])];
+    x = rows.numeric[s.attr][r];
+    cut = s.threshold;
+  } else if (a == CompiledTree::kLin) {
+    const CompiledTree::LinSplit& s =
+        t.lin_splits[std::bit_cast<int32_t>(t.threshold[id])];
+    x = s.a * rows.numeric[s.x][r] + s.b * rows.numeric[s.y][r];
+    cut = s.c;
+  } else {
+    const CompiledTree::CatSplit& s =
+        t.cat_splits[std::bit_cast<int32_t>(t.threshold[id])];
+    const int32_t v = rows.categorical[s.attr][r];
+    const bool in_left = v >= 0 && v < s.card && t.cat_bits[s.offset + v];
+    return t.children[2 * id + static_cast<int32_t>(!in_left)];
+  }
+  return t.children[2 * id + static_cast<int32_t>(!(x <= cut))];
+}
+
+/// Full descent of row `r` starting at node `id` (vector tiers hand
+/// over their in-flight lanes here when the range runs dry).
+inline int32_t DescendFrom(const TreeNodesView& t, const RowColumnsView& rows,
+                           int32_t id, int64_t r) {
+  while (t.attr[id] != CompiledTree::kLeaf) id = Step(t, rows, id, r);
+  return t.children[2 * id + 1];
+}
+
+inline int32_t Descend(const TreeNodesView& t, const RowColumnsView& rows,
+                       int64_t r) {
+  return DescendFrom(t, rows, 0, r);
+}
+
+/// Scalar tier: the PR 1 gang descent (kLanes interleaved rows, refill
+/// on leaf, scalar drain) over the raw views.
+inline void DescendBlockScalar(const TreeNodesView& t,
+                               const RowColumnsView& rows, int64_t begin,
+                               int64_t end, int32_t* out) {
+  constexpr int kLanes = CompiledTree::kLanes;
+  if (end - begin < kLanes) {
+    for (int64_t i = begin; i < end; ++i) out[i - begin] = Descend(t, rows, i);
+    return;
+  }
+  int32_t ids[kLanes];
+  int64_t rws[kLanes];
+  int64_t next = begin;
+  for (int l = 0; l < kLanes; ++l) {
+    ids[l] = 0;
+    rws[l] = next++;
+  }
+  bool done_lane[kLanes] = {};
+  int retired = 0;  // lanes that found the range dry on refill
+  while (retired == 0) {
+    for (int l = 0; l < kLanes; ++l) ids[l] = Step(t, rows, ids[l], rws[l]);
+    for (int l = 0; l < kLanes; ++l) {
+      if (t.attr[ids[l]] != CompiledTree::kLeaf) continue;
+      out[rws[l] - begin] = t.children[2 * ids[l] + 1];
+      if (next < end) {
+        ids[l] = 0;
+        rws[l] = next++;
+      } else {
+        done_lane[l] = true;
+        ++retired;
+      }
+    }
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    if (done_lane[l]) continue;
+    out[rws[l] - begin] = DescendFrom(t, rows, ids[l], rws[l]);
+  }
+}
+
+}  // namespace cmp::infer_impl
+
+#endif  // CMP_INFER_INFER_KERNELS_IMPL_H_

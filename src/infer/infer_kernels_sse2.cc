@@ -1,0 +1,125 @@
+// SSE2 tier of the batch traversal kernels (see infer_kernels.h). SSE2
+// is the x86-64 architectural baseline, so this file needs no special
+// compile flags there; it exists for hosts (or forced selections)
+// without OS-enabled AVX state. Without gathers, node fields load
+// scalar into lane buffers — only the double compare and the branchless
+// child select vectorize — so the tier's win over scalar is modest and
+// comes from retiring four compares per cmppd. Predictions are
+// byte-identical to the scalar walker: same double loads, same ordered
+// `<=` (NaN routes right), side-table lanes resolved by the shared
+// scalar Step.
+
+#include "infer/infer_kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "infer/infer_kernels_impl.h"
+
+namespace cmp {
+
+namespace {
+
+constexpr int kLanes = 4;
+
+void DescendBlockSse2(const TreeNodesView& t, const RowColumnsView& rows,
+                      int64_t begin, int64_t end, int32_t* out) {
+  if (end - begin < kLanes) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[i - begin] = infer_impl::Descend(t, rows, i);
+    }
+    return;
+  }
+  int32_t ids[kLanes];
+  int64_t rws[kLanes];
+  alignas(16) double x[kLanes];
+  alignas(16) double cut[kLanes];
+  bool done_lane[kLanes] = {};
+  int64_t next = begin;
+  for (int l = 0; l < kLanes; ++l) {
+    ids[l] = 0;
+    rws[l] = next++;
+  }
+  bool dry = false;  // a lane found the range empty on refill
+  while (true) {
+    // Lane service: retire leaves (refilling from the range), step
+    // categorical lanes scalar, and resolve every lane to a plain
+    // (x, cut) double compare.
+    for (int l = 0; l < kLanes && !dry; ++l) {
+      for (;;) {
+        const int32_t id = ids[l];
+        const int16_t a = t.attr[id];
+        if (a >= 0) {
+          x[l] = rows.numeric[a][rws[l]];
+          cut[l] = static_cast<double>(t.threshold[id]);
+          break;
+        }
+        if (a == CompiledTree::kLeaf) {
+          out[rws[l] - begin] = t.children[2 * id + 1];
+          if (next < end) {
+            ids[l] = 0;
+            rws[l] = next++;
+            continue;
+          }
+          done_lane[l] = true;
+          dry = true;
+          break;
+        }
+        if (a == CompiledTree::kWide) {
+          const CompiledTree::WideSplit& s =
+              t.wide_splits[std::bit_cast<int32_t>(t.threshold[id])];
+          x[l] = rows.numeric[s.attr][rws[l]];
+          cut[l] = s.threshold;
+          break;
+        }
+        if (a == CompiledTree::kLin) {
+          const CompiledTree::LinSplit& s =
+              t.lin_splits[std::bit_cast<int32_t>(t.threshold[id])];
+          x[l] = s.a * rows.numeric[s.x][rws[l]] +
+                 s.b * rows.numeric[s.y][rws[l]];
+          cut[l] = s.c;
+          break;
+        }
+        ids[l] = infer_impl::Step(t, rows, id, rws[l]);  // categorical
+      }
+    }
+    if (dry) break;
+    // Four ordered compares at once; lane bit set means x <= cut
+    // (quiet NaN compares false, routing right like the scalar walker).
+    const int le =
+        _mm_movemask_pd(_mm_cmple_pd(_mm_load_pd(x), _mm_load_pd(cut))) |
+        (_mm_movemask_pd(_mm_cmple_pd(_mm_load_pd(x + 2), _mm_load_pd(cut + 2)))
+         << 2);
+    for (int l = 0; l < kLanes; ++l) {
+      ids[l] = t.children[2 * ids[l] + ((~le >> l) & 1)];
+    }
+  }
+  // Range dry: lanes still in flight (their ids unstepped since the last
+  // compare) finish scalar, exactly like the gang walker's drain.
+  for (int l = 0; l < kLanes; ++l) {
+    if (done_lane[l]) continue;
+    out[rws[l] - begin] = infer_impl::DescendFrom(t, rows, ids[l], rws[l]);
+  }
+}
+
+constexpr InferKernelOps kSse2Ops = {DescendBlockSse2};
+
+}  // namespace
+
+const InferKernelOps* Sse2InferKernelOpsOrNull() { return &kSse2Ops; }
+
+}  // namespace cmp
+
+#else  // !defined(__SSE2__)
+
+namespace cmp {
+
+const InferKernelOps* Sse2InferKernelOpsOrNull() { return nullptr; }
+
+}  // namespace cmp
+
+#endif  // defined(__SSE2__)

@@ -1,0 +1,81 @@
+#include "infer/layout.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace cmp {
+
+const char* NodeLayoutName(NodeLayout layout) {
+  switch (layout) {
+    case NodeLayout::kPreorder:
+      return "preorder";
+    case NodeLayout::kBlocked:
+      return "blocked";
+  }
+  return "unknown";
+}
+
+void ApplyBlockedLayout(CompiledTreeArrays* arrays) {
+  const int32_t n = static_cast<int32_t>(arrays->attr.size());
+  if (n <= 1) return;
+
+  // Pass 1: choose the new order. `pending` is a FIFO of block roots;
+  // each block walks breadth-first from its root until kLayoutBlockNodes
+  // nodes are placed, and whatever its BFS frontier still holds seeds
+  // later blocks. FIFO draining keeps the blocks every descent crosses
+  // (the top of the tree) at the front of the arrays.
+  std::vector<int32_t> order;
+  order.reserve(n);
+  std::deque<int32_t> pending;
+  pending.push_back(0);
+  std::vector<int32_t> bfs;  // current block's BFS queue
+  while (!pending.empty()) {
+    bfs.clear();
+    bfs.push_back(pending.front());
+    pending.pop_front();
+    size_t head = 0;
+    int32_t placed = 0;
+    while (head < bfs.size() && placed < kLayoutBlockNodes) {
+      const int32_t id = bfs[head++];
+      order.push_back(id);
+      ++placed;
+      if (arrays->attr[id] != CompiledTree::kLeaf) {
+        bfs.push_back(arrays->children[2 * id]);
+        bfs.push_back(arrays->children[2 * id + 1]);
+      }
+    }
+    // Unplaced frontier nodes become the roots of strictly later blocks,
+    // which is what keeps children strictly forward across block seams.
+    for (size_t i = head; i < bfs.size(); ++i) pending.push_back(bfs[i]);
+  }
+  assert(static_cast<int32_t>(order.size()) == n);
+
+  // Pass 2: permute the node arrays and remap internal child pointers.
+  // Leaf payloads (class id, leaf-table index) travel with their node,
+  // so the leaf tables and side tables need no touching.
+  std::vector<int32_t> perm(n);  // old id -> new id
+  for (int32_t new_id = 0; new_id < n; ++new_id) perm[order[new_id]] = new_id;
+  std::vector<int16_t> attr(n);
+  std::vector<float> threshold(n);
+  std::vector<int32_t> children(2 * static_cast<size_t>(n));
+  for (int32_t new_id = 0; new_id < n; ++new_id) {
+    const int32_t old_id = order[new_id];
+    attr[new_id] = arrays->attr[old_id];
+    threshold[new_id] = arrays->threshold[old_id];
+    if (arrays->attr[old_id] == CompiledTree::kLeaf) {
+      children[2 * new_id] = arrays->children[2 * old_id];
+      children[2 * new_id + 1] = arrays->children[2 * old_id + 1];
+    } else {
+      children[2 * new_id] = perm[arrays->children[2 * old_id]];
+      children[2 * new_id + 1] = perm[arrays->children[2 * old_id + 1]];
+    }
+  }
+  arrays->attr = std::move(attr);
+  arrays->threshold = std::move(threshold);
+  arrays->children = std::move(children);
+}
+
+}  // namespace cmp

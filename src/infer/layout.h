@@ -1,0 +1,58 @@
+#ifndef CMP_INFER_LAYOUT_H_
+#define CMP_INFER_LAYOUT_H_
+
+#include <cstdint>
+
+#include "infer/compiled_tree.h"
+
+namespace cmp {
+
+/// How a compiled tree's node arrays are ordered inside a `.cmpb` blob.
+///
+/// Descent never depends on the ordering — only on the invariant that
+/// internal children point strictly forward, which both layouts keep —
+/// so a reader that knows nothing about layouts loads either one
+/// correctly. The enum is recorded in the blob (SectionKind::kNodeLayout,
+/// a versioned global section; blobs written before it existed are
+/// preorder) so tools can report what they are serving and tests can
+/// pack both forms deliberately.
+enum class NodeLayout : uint32_t {
+  /// Depth-first preorder (left child adjacent to its parent): the
+  /// layout every blob carried before the blocked pass existed.
+  kPreorder = 0,
+  /// Breadth-first cache-blocked superblocks (ApplyBlockedLayout): the
+  /// serving default since the vectorized batch path landed.
+  kBlocked = 1,
+};
+
+/// Version of the blocked-layout pass written next to the enum in the
+/// kNodeLayout section, so a future reordering heuristic can be told
+/// apart from this one without a container version bump.
+inline constexpr uint32_t kNodeLayoutVersion = 1;
+
+/// Display name ("preorder", "blocked").
+const char* NodeLayoutName(NodeLayout layout);
+
+/// Nodes per superblock. 32 nodes make the per-block slices of the hot
+/// arrays whole cache lines — 64 B of attr, 128 B of threshold, 256 B of
+/// children — and the blob writer aligns those sections to 64 bytes, so
+/// an mmap'd block never straddles an extra line.
+inline constexpr int32_t kLayoutBlockNodes = 32;
+
+/// Reorders `arrays` (one compiled tree, any current order with strictly
+/// forward children) in place into cache-blocked form: a FIFO of subtree
+/// roots is drained by filling one superblock at a time breadth-first —
+/// the root block holds the top ~5 levels every descent touches, each
+/// boundary child starts a later block of its own subtree's top levels,
+/// and within a block children sit a few slots (not a few pages) after
+/// their parent. Children indices are rewritten to the permuted ids;
+/// leaf payloads (class, leaf-table index) and the side tables are
+/// untouched, so predictions are identical by construction. The
+/// strictly-forward-children invariant is preserved: BFS order puts
+/// in-block children after their parent, and boundary children land in
+/// blocks queued strictly later.
+void ApplyBlockedLayout(CompiledTreeArrays* arrays);
+
+}  // namespace cmp
+
+#endif  // CMP_INFER_LAYOUT_H_

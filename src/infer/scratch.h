@@ -1,0 +1,118 @@
+#ifndef CMP_INFER_SCRATCH_H_
+#define CMP_INFER_SCRATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/types.h"
+#include "infer/compiled_tree.h"
+
+namespace cmp {
+
+/// Reusable per-block scoring scratch. The predictors used to allocate
+/// these vectors inside every block closure — on the serving path that
+/// meant several heap round trips per flushed micro-batch — so each
+/// predictor now owns a ScratchPool and a block leases a warm set
+/// instead. The vectors only ever grow, so a steady-state block does no
+/// allocation at all.
+struct PredictScratch {
+  std::vector<int32_t> leaves;   // leaf index per row (x trees, ensembles)
+  std::vector<ClassId> order;    // top-k sort order
+  std::vector<double> acc;       // ensemble vote accumulator
+  std::vector<double> numeric_block;   // SoA transpose of a row-major block
+  std::vector<int32_t> cat_block;
+  std::vector<const double*> numeric_cols;
+  std::vector<const int32_t*> cat_cols;
+};
+
+/// Mutex-guarded free list of scratch sets. ThreadPool::ParallelFor
+/// gives workers no stable identity, so "per-thread" buffers are
+/// expressed as leases bracketing each block: Acquire at block start,
+/// Release at block end. The pool holds at most one scratch per
+/// concurrently running block and never shrinks.
+class ScratchPool {
+ public:
+  std::unique_ptr<PredictScratch> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<PredictScratch> s = std::move(free_.back());
+        free_.pop_back();
+        return s;
+      }
+    }
+    return std::make_unique<PredictScratch>();
+  }
+
+  void Release(std::unique_ptr<PredictScratch> s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(s));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<PredictScratch>> free_;
+};
+
+/// RAII lease of one scratch set from a pool.
+class ScratchLease {
+ public:
+  explicit ScratchLease(ScratchPool* pool)
+      : pool_(pool), scratch_(pool->Acquire()) {}
+  ~ScratchLease() { pool_->Release(std::move(scratch_)); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  PredictScratch& operator*() const { return *scratch_; }
+  PredictScratch* operator->() const { return scratch_.get(); }
+
+ private:
+  ScratchPool* pool_;
+  std::unique_ptr<PredictScratch> scratch_;
+};
+
+/// Transposes rows [begin, end) of a row-major dense block (layout as in
+/// CompiledTree::LeafIndexOfRow: one slot per schema attribute,
+/// `categorical` nullable) into `s`'s SoA columns and returns a view
+/// over them. The view's columns are indexed by `row - begin`, so pass
+/// [0, end - begin) to LeafIndicesOfColumns. One transpose serves every
+/// tree of an ensemble — that, plus the column loads it enables, is why
+/// the batch paths transpose instead of walking row-major.
+inline RowColumnsView TransposeBlock(const Schema& schema,
+                                     const double* numeric,
+                                     const int32_t* categorical,
+                                     int64_t begin, int64_t end,
+                                     PredictScratch* s) {
+  const int32_t na = schema.num_attrs();
+  const int64_t n = end - begin;
+  s->numeric_block.resize(static_cast<size_t>(na) * n);
+  s->numeric_cols.assign(na, nullptr);
+  const bool has_cat = categorical != nullptr;
+  if (has_cat) {
+    s->cat_block.resize(static_cast<size_t>(na) * n);
+    s->cat_cols.assign(na, nullptr);
+  }
+  for (int32_t a = 0; a < na; ++a) {
+    if (schema.is_numeric(a)) {
+      double* col = s->numeric_block.data() + static_cast<size_t>(a) * n;
+      const double* src = numeric + begin * na + a;
+      for (int64_t i = 0; i < n; ++i) col[i] = src[i * na];
+      s->numeric_cols[a] = col;
+    } else if (has_cat) {
+      int32_t* col = s->cat_block.data() + static_cast<size_t>(a) * n;
+      const int32_t* src = categorical + begin * na + a;
+      for (int64_t i = 0; i < n; ++i) col[i] = src[i * na];
+      s->cat_cols[a] = col;
+    }
+  }
+  return RowColumnsView{s->numeric_cols.data(),
+                        has_cat ? s->cat_cols.data() : nullptr};
+}
+
+}  // namespace cmp
+
+#endif  // CMP_INFER_SCRATCH_H_

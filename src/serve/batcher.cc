@@ -98,21 +98,36 @@ void MicroBatcher::RunBatch(std::vector<Request>* batch) const {
     const int32_t na = model->schema().num_attrs();
     const int32_t nc = model->num_classes();
     const int64_t n = static_cast<int64_t>(rows.size());
+    // One row-major -> SoA transpose per flushed batch: the group's rows
+    // are scattered attr-major into column buffers as they are gathered
+    // from the requests, and the predictor descends the columns directly
+    // (vector kernel tiers included) with no further copies.
     std::vector<double> numeric(static_cast<size_t>(n) * na);
-    std::vector<int32_t> categorical(static_cast<size_t>(n) * na, -1);
+    std::vector<int32_t> categorical;
     bool any_cat = false;
+    for (int64_t r = 0; r < n && !any_cat; ++r) {
+      any_cat = !(*batch)[rows[r]].categorical.empty();
+    }
+    if (any_cat) categorical.assign(static_cast<size_t>(n) * na, -1);
     for (int64_t r = 0; r < n; ++r) {
       const Request& req = (*batch)[rows[r]];
-      std::copy(req.numeric.begin(), req.numeric.end(),
-                numeric.begin() + r * na);
+      for (int32_t a = 0; a < na; ++a) {
+        numeric[static_cast<size_t>(a) * n + r] = req.numeric[a];
+      }
       if (!req.categorical.empty()) {
-        std::copy(req.categorical.begin(), req.categorical.end(),
-                  categorical.begin() + r * na);
-        any_cat = true;
+        for (int32_t a = 0; a < na; ++a) {
+          categorical[static_cast<size_t>(a) * n + r] = req.categorical[a];
+        }
       }
     }
-    const BatchResult result = model->PredictRows(
-        numeric.data(), any_cat ? categorical.data() : nullptr, n);
+    std::vector<const double*> numeric_cols(na);
+    std::vector<const int32_t*> cat_cols(any_cat ? na : 0);
+    for (int32_t a = 0; a < na; ++a) {
+      numeric_cols[a] = numeric.data() + static_cast<size_t>(a) * n;
+      if (any_cat) cat_cols[a] = categorical.data() + static_cast<size_t>(a) * n;
+    }
+    const BatchResult result = model->PredictColumns(
+        numeric_cols.data(), any_cat ? cat_cols.data() : nullptr, n);
     const auto done = std::chrono::steady_clock::now();
     // Account before fulfilling: a client that pipelines `stats` behind
     // its own reply must see counters that already include its rows.

@@ -3,6 +3,8 @@
 #include <bit>
 #include <sstream>
 
+#include "common/cpu_features.h"
+
 namespace cmp {
 
 // Bucket layout: values 0..3 map to buckets 0..3 exactly; for larger
@@ -98,6 +100,13 @@ std::string ServeStats::ToJson() const {
   const LatencyHistogram::Snapshot lat = request_latency_.Snap();
   const double up = UptimeSeconds();
   const uint64_t rows = rows_.load(std::memory_order_relaxed);
+  const uint64_t batches = batches_.load(std::memory_order_relaxed);
+  const int capacity = batch_capacity_.load(std::memory_order_relaxed);
+  const double batch_fill =
+      batches > 0 && capacity > 0
+          ? static_cast<double>(rows) /
+                (static_cast<double>(batches) * capacity)
+          : 0.0;
   std::ostringstream os;
   os << "{\"uptime_s\":" << up << ",\"rows\":" << rows
      << ",\"requests\":" << requests_.load(std::memory_order_relaxed)
@@ -108,6 +117,11 @@ std::string ServeStats::ToJson() const {
      << protocol_errors_.load(std::memory_order_relaxed)
      << ",\"rows_per_sec\":"
      << (up > 0.0 ? static_cast<double>(rows) / up : 0.0)
+     // The tier is read from the live dispatch state, not cached at
+     // startup, so it always names what the next batch will run
+     // (matching the train-side kernel_isa stats field).
+     << ",\"kernel_isa\":\"" << KernelIsaName(ActiveKernelIsa()) << "\""
+     << ",\"batch_fill\":" << batch_fill
      << ",\"latency_us\":{\"count\":" << lat.count
      << ",\"mean\":" << lat.mean_us << ",\"p50\":" << lat.p50_us
      << ",\"p99\":" << lat.p99_us << ",\"max\":" << lat.max_us << "}}";

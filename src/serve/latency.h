@@ -72,6 +72,12 @@ class ServeStats {
   void AddProtocolError() {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Configured micro-batch capacity (BatchPolicy::max_rows), the
+  /// denominator of the stats JSON's `batch_fill` ratio. Set once by the
+  /// daemon at startup.
+  void SetBatchCapacity(int rows) {
+    batch_capacity_.store(rows, std::memory_order_relaxed);
+  }
 
   uint64_t rows() const { return rows_.load(std::memory_order_relaxed); }
   uint64_t requests() const {
@@ -82,8 +88,9 @@ class ServeStats {
 
   double UptimeSeconds() const;
 
-  /// One-line JSON: totals, sustained rows/sec since start, and the
-  /// request-latency percentiles.
+  /// One-line JSON: totals, sustained rows/sec since start, the active
+  /// inference kernel tier, mean batch fill (rows per batch over the
+  /// configured capacity), and the request-latency percentiles.
   std::string ToJson() const;
 
  private:
@@ -94,6 +101,7 @@ class ServeStats {
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> connections_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<int> batch_capacity_{0};
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -44,6 +44,16 @@ BatchResult ServedModel::PredictRows(const double* numeric,
   return multi_->PredictRaw(numeric, categorical, n, ServingOptions(), pool_);
 }
 
+BatchResult ServedModel::PredictColumns(
+    const double* const* numeric_cols, const int32_t* const* categorical_cols,
+    int64_t n) const {
+  if (single_ != nullptr) {
+    return single_->PredictColumns(numeric_cols, categorical_cols, n);
+  }
+  return multi_->PredictColumns(numeric_cols, categorical_cols, n,
+                                ServingOptions(), pool_);
+}
+
 uint64_t ModelRegistry::Publish(const std::string& name, CompiledModel model,
                                 const std::string& source_path,
                                 std::string* error) {

@@ -44,6 +44,14 @@ class ServedModel {
   BatchResult PredictRows(const double* numeric, const int32_t* categorical,
                           int64_t n) const;
 
+  /// Scores `n` rows already in column-major form (one pointer per
+  /// schema attribute, see RowColumnsView). This is what the batcher
+  /// feeds: it transposes each flushed micro-batch once, and the vector
+  /// kernels descend the columns with no further copying. Thread-safe.
+  BatchResult PredictColumns(const double* const* numeric_cols,
+                             const int32_t* const* categorical_cols,
+                             int64_t n) const;
+
  private:
   std::string name_;
   uint64_t version_;

@@ -82,7 +82,9 @@ ServeDaemon::ServeDaemon(ServeOptions opts)
     : opts_(std::move(opts)),
       pool_(opts_.num_threads),
       registry_(&pool_),
-      batcher_(std::make_unique<MicroBatcher>(&pool_, opts_.batch, &stats_)) {}
+      batcher_(std::make_unique<MicroBatcher>(&pool_, opts_.batch, &stats_)) {
+  stats_.SetBatchCapacity(opts_.batch.max_rows);
+}
 
 ServeDaemon::~ServeDaemon() { Shutdown(); }
 

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/net.h"
 #include "serve/server.h"
 
@@ -33,12 +34,16 @@ int Usage() {
       << "usage: cmpserve --model NAME=PATH.cmpb [--model NAME2=PATH2 ...]\n"
          "                [--port P] [--unix PATH] [--threads N]\n"
          "                [--batch-rows R] [--batch-delay-us D]\n"
-         "                [--port-file FILE]\n"
+         "                [--port-file FILE] [--kernel auto|scalar|sse2|avx2]\n"
          "\n"
          "Serves predictions for compiled .cmpb models over a local TCP\n"
          "(default, port 0 = ephemeral) or UNIX socket. Line protocol:\n"
          "  predict <model> <csv-row> | predictp ... | batch <model> <n>\n"
-         "  swap <model> <path.cmpb> | stats | quit\n";
+         "  swap <model> <path.cmpb> | stats | quit\n"
+         "\n"
+         "--kernel pins the ISA tier of the batch traversal kernels\n"
+         "(default auto-detects; predictions are identical across tiers).\n"
+         "The tier actually serving is reported as kernel_isa in stats.\n";
   return kExitBadArgs;
 }
 
@@ -87,6 +92,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return Usage();
       port_file = v;
+    } else if (arg == "--kernel") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      std::string kernel_error;
+      if (!cmp::SelectKernelIsaByName(v, &kernel_error)) {
+        std::cerr << kernel_error << "\n";
+        return Usage();
+      }
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       return Usage();

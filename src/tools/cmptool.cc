@@ -117,6 +117,7 @@ int Usage() {
       "                 nodes are untouched)\n"
       "  cmptool eval  --data FILE --tree FILE\n"
       "  cmptool compile --tree FILE[,FILE...] --out FILE.cmpb\n"
+      "                [--layout blocked|preorder]\n"
       "                (packs text trees into one mmap-able blob for\n"
       "                 cmpserve / predict)\n"
       "  cmptool predict --data FILE --tree FILE[,FILE...] [--out FILE]\n"
@@ -129,8 +130,9 @@ int Usage() {
       "  cmptool info  --data FILE\n"
       "  cmptool importance --tree FILE\n"
       "every command also accepts --kernel auto|scalar|sse2|avx2 to pin\n"
-      "the histogram/gini kernel tier (default auto; the tree bytes are\n"
-      "identical for every tier)\n";
+      "the kernel ISA tier: histogram/gini kernels when training, batch\n"
+      "traversal kernels when predicting (default auto; tree bytes and\n"
+      "predictions are identical for every tier)\n";
   return kExitBadArgs;
 }
 
@@ -763,12 +765,21 @@ int CmdCompile(int argc, char** argv) {
   std::vector<const cmp::DecisionTree*> ptrs;
   ptrs.reserve(trees.size());
   for (const cmp::DecisionTree& t : trees) ptrs.push_back(&t);
+  cmp::PackOptions pack;
+  const std::string layout = GetFlag(argc, argv, "--layout", "blocked");
+  if (layout == "preorder") {
+    pack.layout = cmp::NodeLayout::kPreorder;
+  } else if (layout != "blocked") {
+    std::cerr << "--layout wants blocked|preorder, got '" << layout << "'\n";
+    return Usage();
+  }
   std::string error;
-  if (!cmp::SaveModelBlob(ptrs, out, &error)) {
+  if (!cmp::SaveModelBlob(ptrs, pack, out, &error)) {
     std::cerr << "failed to compile " << out << ": " << error << "\n";
     return kExitIo;
   }
-  std::cerr << "compiled " << trees.size() << " tree(s) -> " << out << "\n";
+  std::cerr << "compiled " << trees.size() << " tree(s) -> " << out << " ("
+            << cmp::NodeLayoutName(pack.layout) << " layout)\n";
   return kExitOk;
 }
 
@@ -914,7 +925,8 @@ int CmdPredict(int argc, char** argv) {
                       : trees.size())
           << " tree(s) in " << seconds << "s ("
           << static_cast<int64_t>(ds.num_records() / std::max(seconds, 1e-9))
-          << " rows/s, " << opts.num_threads << " thread(s))\n";
+          << " rows/s, " << opts.num_threads << " thread(s), "
+          << cmp::KernelIsaName(cmp::ActiveKernelIsa()) << " kernel)\n";
   return kExitOk;
 }
 
